@@ -1,0 +1,556 @@
+// Package csdb_bench holds the benchmark harness: one benchmark per
+// reproduction experiment E1–E12 (see DESIGN.md and EXPERIMENTS.md), each
+// exercising the measured kernel of the corresponding table. Run with
+//
+//	go test -bench=. -benchmem
+package csdb_bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"csdb/internal/automata"
+	"csdb/internal/consistency"
+	"csdb/internal/cq"
+	"csdb/internal/csp"
+	"csdb/internal/datalog"
+	"csdb/internal/digraph"
+	"csdb/internal/gen"
+	"csdb/internal/graph"
+	"csdb/internal/hcolor"
+	"csdb/internal/hypergraph"
+	"csdb/internal/logic"
+	"csdb/internal/pebble"
+	"csdb/internal/rpq"
+	"csdb/internal/schaefer"
+	"csdb/internal/structure"
+	"csdb/internal/treewidth"
+)
+
+// E1 — Proposition 2.1: join evaluation vs MAC search on model-B instances.
+
+func BenchmarkE1_JoinSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inst := gen.ModelB(rng, 10, 3, 0.5, 0.35)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csp.JoinSolve(inst)
+	}
+}
+
+func BenchmarkE1_MACSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	inst := gen.ModelB(rng, 10, 3, 0.5, 0.35)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csp.Solve(inst, csp.Options{})
+	}
+}
+
+// E2 — Proposition 2.2: the two containment procedures.
+
+func BenchmarkE2_ContainmentViaEvaluation(b *testing.B) {
+	q1 := cq.MustParse(gen.ChainQuery(8))
+	q2 := cq.MustParse(gen.ChainQuery(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, err := cq.Contains(q1, q2); err != nil || !ok {
+			b.Fatal("containment failed")
+		}
+	}
+}
+
+func BenchmarkE2_ContainmentViaHomomorphism(b *testing.B) {
+	q1 := cq.MustParse(gen.ChainQuery(8))
+	q2 := cq.MustParse(gen.ChainQuery(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, err := cq.ContainsViaHomomorphism(q1, q2); err != nil || !ok {
+			b.Fatal("containment failed")
+		}
+	}
+}
+
+// E3 — Schaefer classes: dedicated solver vs generic search on a Horn
+// template, and generic search on the NP-side 1-in-3 template.
+
+func schaeferHornInstance(n int) *schaefer.Instance {
+	rng := rand.New(rand.NewSource(3))
+	tpl := &schaefer.Template{Rels: []*schaefer.BoolRel{
+		schaefer.RelClause(false, false, true),
+		schaefer.RelClause(true),
+		schaefer.RelClause(false),
+	}}
+	inst := &schaefer.Instance{Template: tpl, NumVars: n}
+	for c := 0; c < 2*n; c++ {
+		ri := rng.Intn(len(tpl.Rels))
+		scope := make([]int, tpl.Rels[ri].Arity())
+		for i := range scope {
+			scope[i] = rng.Intn(n)
+		}
+		inst.Cons = append(inst.Cons, schaefer.Application{Rel: ri, Scope: scope})
+	}
+	return inst
+}
+
+func BenchmarkE3_HornSolver(b *testing.B) {
+	inst := schaeferHornInstance(60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := schaefer.SolveHorn(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_GenericSearchOnHorn(b *testing.B) {
+	inst := schaeferHornInstance(60)
+	q, err := inst.ToCSP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csp.Solve(q, csp.Options{})
+	}
+}
+
+func BenchmarkE3_GenericSearchOneInThree(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tpl := &schaefer.Template{Rels: []*schaefer.BoolRel{schaefer.RelOneInThree()}}
+	inst := &schaefer.Instance{Template: tpl, NumVars: 24}
+	for c := 0; c < 52; c++ {
+		inst.Cons = append(inst.Cons, schaefer.Application{
+			Rel: 0, Scope: []int{rng.Intn(24), rng.Intn(24), rng.Intn(24)},
+		})
+	}
+	q, err := inst.ToCSP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csp.Solve(q, csp.Options{})
+	}
+}
+
+// E4 — Hell–Nešetřil: bipartite template vs K3 on the same inputs.
+
+func BenchmarkE4_BipartiteTemplate(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.RandomGraph(rng, 60, 4.5/60)
+	h := graph.Cycle(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcolor.Solve(g, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4_K3Template(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.RandomGraph(rng, 60, 4.5/60)
+	h := graph.Clique(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hcolor.Solve(g, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E5 — Theorem 4.5: k-pebble game decision, polynomial in n for fixed k.
+
+func BenchmarkE5_PebbleGame(b *testing.B) {
+	for _, n := range []int{6, 10, 14} {
+		b.Run(fmt.Sprintf("C%d_vs_K2_k3", n), func(b *testing.B) {
+			a := structure.Cycle(n)
+			k2 := structure.Clique(2)
+			for i := 0; i < b.N; i++ {
+				if _, err := pebble.LargestStrategy(a, k2, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E6 — the three non-2-colorability deciders.
+
+func e6Graph() (*graph.Graph, *structure.Structure) {
+	rng := rand.New(rand.NewSource(6))
+	g := gen.RandomGraph(rng, 10, 0.25)
+	s := structure.NewGraph(10)
+	for _, e := range g.Edges() {
+		structure.AddUndirectedEdge(s, e[0], e[1])
+	}
+	return g, s
+}
+
+func BenchmarkE6_DatalogNon2Col(b *testing.B) {
+	_, s := e6Graph()
+	prog := datalog.NonTwoColorability()
+	edb := datalog.GraphEDB(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := datalog.GoalTrue(prog, edb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6_PebbleNon2Col(b *testing.B) {
+	_, s := e6Graph()
+	k2 := structure.Clique(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pebble.SpoilerWins(s, k2, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6_BFSNon2Col(b *testing.B) {
+	g, _ := e6Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.IsBipartite()
+	}
+}
+
+// E7 — establishing strong k-consistency, and propagation levels in search.
+
+func BenchmarkE7_EstablishStrongK(b *testing.B) {
+	a := structure.Cycle(6)
+	k3 := structure.Clique(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := consistency.EstablishStrongK(a, k3, 2); err != nil || !ok {
+			b.Fatal("establishment failed")
+		}
+	}
+}
+
+func BenchmarkE7_SearchBT(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	inst := gen.ModelB(rng, 14, 4, 0.5, 0.45)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csp.Solve(inst, csp.Options{Algorithm: csp.BT})
+	}
+}
+
+func BenchmarkE7_SearchMAC(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	inst := gen.ModelB(rng, 14, 4, 0.5, 0.45)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csp.Solve(inst, csp.Options{Algorithm: csp.MAC})
+	}
+}
+
+// E8 — Proposition 6.1: building and evaluating the (k+1)-variable formula.
+
+func BenchmarkE8_BuildFormula(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g, order := gen.PartialKTree(rng, 30, 2, 0.1)
+	a := structure.NewGraph(g.N())
+	for _, e := range g.Edges() {
+		structure.AddUndirectedEdge(a, e[0], e[1])
+	}
+	dec := treewidth.FromOrdering(g, order)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treewidth.BuildFormula(a, dec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_EvaluateFormula(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g, order := gen.PartialKTree(rng, 30, 2, 0.1)
+	a := structure.NewGraph(g.N())
+	for _, e := range g.Edges() {
+		structure.AddUndirectedEdge(a, e[0], e[1])
+	}
+	dec := treewidth.FromOrdering(g, order)
+	f, err := treewidth.BuildFormula(a, dec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k3 := structure.Clique(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := logic.Holds(f, k3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9 — Theorem 6.2: DP over the decomposition vs MAC search, by n.
+
+func BenchmarkE9(b *testing.B) {
+	for _, n := range []int{40, 80, 160} {
+		rng := rand.New(rand.NewSource(9))
+		g, order := gen.PartialKTree(rng, n, 2, 0.1)
+		inst := gen.CSPOnGraph(rng, g, 3, 0.45)
+		dec := treewidth.FromOrdering(g, order)
+		b.Run(fmt.Sprintf("DP_n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := treewidth.SolveDecomposed(inst, dec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("BT_n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				csp.Solve(inst, csp.Options{Algorithm: csp.BT})
+			}
+		})
+		b.Run(fmt.Sprintf("MAC_n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				csp.Solve(inst, csp.Options{})
+			}
+		})
+	}
+}
+
+// E10 — Yannakakis vs naive evaluation on an acyclic chain query.
+
+func e10DB() *structure.Structure {
+	rng := rand.New(rand.NewSource(10))
+	voc := structure.MustVocabulary(structure.Symbol{Name: "R", Arity: 2})
+	db := structure.MustNew(voc, 60)
+	for i := 0; i < 150; i++ {
+		db.MustAddTuple("R", rng.Intn(60), rng.Intn(60))
+	}
+	return db
+}
+
+func BenchmarkE10_Yannakakis(b *testing.B) {
+	q := cq.MustParse(gen.ChainQuery(5))
+	db := e10DB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hypergraph.Yannakakis(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10_NaiveJoin(b *testing.B) {
+	q := cq.MustParse(gen.ChainQuery(5))
+	db := e10DB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Evaluate(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10_GYO(b *testing.B) {
+	q := cq.MustParse(gen.ChainQuery(12))
+	h, _, err := hypergraph.FromQuery(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.GYO()
+	}
+}
+
+// E11 — certain answers: template construction (expression complexity) and
+// answering (data complexity) separately.
+
+func BenchmarkE11_TemplateConstruction(b *testing.B) {
+	q := automata.MustParseRegex("(ab)*")
+	views := []rpq.View{{Name: 'v', Def: "a"}, {Name: 'w', Def: "b"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rpq.ConstraintTemplate(q, views); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11_CertainAnswer(b *testing.B) {
+	q := automata.MustParseRegex("(ab)*")
+	views := []rpq.View{{Name: 'v', Def: "a"}, {Name: 'w', Def: "b"}}
+	tpl, err := rpq.ConstraintTemplate(q, views)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext := rpq.Extension{
+		'v': {{X: "x", Y: "y"}, {X: "z", Y: "w"}},
+		'w': {{X: "y", Y: "z"}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rpq.CertainAnswer(tpl, ext, "x", "w"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E12 — reduction round trip and maximal rewriting construction.
+
+func BenchmarkE12_SolveViaViews(b *testing.B) {
+	a := structure.Cycle(4)
+	k2 := structure.Clique(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rpq.SolveViaViews(a, k2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12_MaximalRewriting(b *testing.B) {
+	views := []rpq.View{{Name: 'v', Def: "ab"}, {Name: 'w', Def: "a"}, {Name: 'u', Def: "b"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rpq.MaximalRewriting("(ab)*", views); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md calls out, benchmarked ---
+
+// Backjumping vs chronological backtracking on the same static order.
+func BenchmarkAblation_BTvsCBJ(b *testing.B) {
+	p := csp.NewInstance(12, 3)
+	u := csp.TableOf(1, []int{1}, []int{2})
+	p.MustAddConstraint([]int{0}, u)
+	last := csp.TableOf(2, []int{0, 0})
+	p.MustAddConstraint([]int{0, 11}, last)
+	b.Run("BT", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csp.Solve(p, csp.Options{Algorithm: csp.BT, VarOrder: csp.Lex})
+		}
+	})
+	b.Run("CBJ", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csp.SolveCBJ(p, csp.Options{VarOrder: csp.Lex})
+		}
+	})
+}
+
+// Freuder's backtrack-free tree algorithm vs MAC on tree instances.
+func BenchmarkAblation_TreeSolver(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	g := graph.Path(200)
+	inst := gen.CSPOnGraph(rng, g, 4, 0.3)
+	b.Run("Freuder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := consistency.SolveTree(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MAC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csp.Solve(inst, csp.Options{})
+		}
+	})
+}
+
+// Exact counting by decomposition DP (vs exhaustive enumeration at a size
+// where enumeration is still feasible).
+func BenchmarkAblation_Counting(b *testing.B) {
+	p := csp.MustFromStructures(structure.Path(16), structure.Clique(3))
+	b.Run("DecompositionDP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := treewidth.Count(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Enumeration", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csp.CountSolutions(p, 0)
+		}
+	})
+}
+
+// The canonical 2-Datalog program vs the direct game algorithm.
+func BenchmarkAblation_CanonicalProgram(b *testing.B) {
+	a := structure.Cycle(6)
+	k2 := structure.Clique(2)
+	prog, err := datalog.CanonicalProgram(k2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb := datalog.GraphEDB(a)
+	b.Run("CanonicalDatalog", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := datalog.GoalTrue(prog, edb); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DirectGame", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pebble.SpoilerWins(a, k2, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Query minimization cost on a chain with redundant atoms.
+func BenchmarkAblation_QueryMinimization(b *testing.B) {
+	q := cq.MustParse("Q(X,Y) :- E(X,Z), E(Z,Y), E(X,W), E(W2,Y), E(X,Z), E(U,V)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cq.Minimize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// DFA minimization on rewriting automata.
+func BenchmarkAblation_DFAMinimize(b *testing.B) {
+	views := []rpq.View{{Name: 'v', Def: "ab"}, {Name: 'w', Def: "a"}, {Name: 'u', Def: "b"}}
+	rw, err := rpq.MaximalRewriting("(ab)*", views)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw.Minimize()
+	}
+}
+
+// The Feder–Vardi digraph encoding: construction cost and solving the
+// reduced instance vs the direct one.
+func BenchmarkAblation_DigraphReduction(b *testing.B) {
+	a := structure.Cycle(5)
+	k3 := structure.Clique(3)
+	b.Run("Encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := digraph.EncodePair(a, k3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	encA, encB, err := digraph.EncodePair(a, k3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("SolveReduced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csp.HomomorphismExists(encA.Graph, encB.Graph)
+		}
+	})
+	b.Run("SolveDirect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csp.HomomorphismExists(a, k3)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+// Command cqcheck decides conjunctive-query containment and equivalence by
+// the Chandra–Merlin theorem (Proposition 2.2 of the paper).
+//
+// Usage:
+//
+//	cqcheck 'Q1(X,Y) :- E(X,Z), E(Z,Y)' 'Q2(X,Y) :- E(X,Z), E(Z,W), E(W,Y)'
+//	cqcheck -minimize 'Q(X,Y) :- E(X,Z), E(Z,Y), E(X,W)'
+//
+// It prints whether Q1 ⊆ Q2, Q2 ⊆ Q1, both (equivalent), or neither, and
+// cross-checks the evaluation-based and homomorphism-based procedures. With
+// -minimize it prints the core of a single query instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"csdb/internal/cq"
+)
+
+func main() {
+	minimize := flag.Bool("minimize", false, "minimize one query (print its core)")
+	flag.Parse()
+	var err error
+	if *minimize {
+		err = runMinimize(flag.Args())
+	} else {
+		err = run(flag.Args())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqcheck:", err)
+		os.Exit(2)
+	}
+}
+
+func runMinimize(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cqcheck -minimize <query>")
+	}
+	q, err := cq.Parse(args[0])
+	if err != nil {
+		return err
+	}
+	m, err := cq.Minimize(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input: %s\ncore:  %s\n", q, m)
+	if len(m.Body) < len(q.Body) {
+		fmt.Printf("removed %d redundant subgoal(s)\n", len(q.Body)-len(m.Body))
+	} else {
+		fmt.Println("the query is already minimal")
+	}
+	return nil
+}
+
+func run(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: cqcheck <query1> <query2>")
+	}
+	q1, err := cq.Parse(args[0])
+	if err != nil {
+		return fmt.Errorf("query 1: %w", err)
+	}
+	q2, err := cq.Parse(args[1])
+	if err != nil {
+		return fmt.Errorf("query 2: %w", err)
+	}
+
+	c12, err := cq.Contains(q1, q2)
+	if err != nil {
+		return err
+	}
+	c21, err := cq.Contains(q2, q1)
+	if err != nil {
+		return err
+	}
+	// Cross-check via the homomorphism criterion.
+	h12, err := cq.ContainsViaHomomorphism(q1, q2)
+	if err != nil {
+		return err
+	}
+	h21, err := cq.ContainsViaHomomorphism(q2, q1)
+	if err != nil {
+		return err
+	}
+	if c12 != h12 || c21 != h21 {
+		return fmt.Errorf("internal inconsistency: evaluation and homomorphism checks disagree")
+	}
+
+	fmt.Printf("Q1: %s\nQ2: %s\n", q1, q2)
+	fmt.Printf("Q1 ⊆ Q2: %v\n", c12)
+	fmt.Printf("Q2 ⊆ Q1: %v\n", c21)
+	switch {
+	case c12 && c21:
+		fmt.Println("verdict: equivalent")
+	case c12:
+		fmt.Println("verdict: Q1 strictly contained in Q2")
+	case c21:
+		fmt.Println("verdict: Q2 strictly contained in Q1")
+	default:
+		fmt.Println("verdict: incomparable")
+	}
+	return nil
+}

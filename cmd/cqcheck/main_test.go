@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunContainment(t *testing.T) {
+	if err := run([]string{
+		"Q(X) :- E(X,Y), E(Y,Z), E(Z,X)",
+		"Q(X) :- E(X,Y)",
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"only one"}); err == nil {
+		t.Fatal("single argument accepted")
+	}
+	if err := run([]string{"Q(X) :- E(X,Y)", "garbage"}); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if err := run([]string{"Q(X) :- E(X,Y)", "Q(X,Y) :- E(X,Y)"}); err == nil {
+		t.Fatal("head arity mismatch accepted")
+	}
+}
+
+func TestRunMinimize(t *testing.T) {
+	if err := runMinimize([]string{"Q(X,Y) :- E(X,Z), E(Z,Y), E(X,W)"}); err != nil {
+		t.Fatalf("runMinimize: %v", err)
+	}
+	if err := runMinimize([]string{"bad("}); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if err := runMinimize(nil); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+}

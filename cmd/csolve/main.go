@@ -1,0 +1,138 @@
+// Command csolve solves constraint-satisfaction problems from the command
+// line. It reads either the library's instance text format or a DIMACS
+// coloring graph, picks a strategy (or is told one), and prints a solution
+// or UNSAT.
+//
+// Usage:
+//
+//	csolve [-strategy auto|search|join|treewidth|schaefer] [-explain]
+//	       [-all max] instance.csp
+//	csolve -coloring k graph.col
+//
+// With no file argument the instance is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"csdb/internal/core"
+	"csdb/internal/csp"
+	"csdb/internal/cspio"
+	"csdb/internal/gen"
+)
+
+func main() {
+	strategy := flag.String("strategy", "auto", "solving strategy: auto, search, join, treewidth, schaefer, tree")
+	coloring := flag.Int("coloring", 0, "treat the input as a DIMACS graph and solve k-coloring")
+	explain := flag.Bool("explain", false, "print the auto-strategy rationale before solving")
+	all := flag.Int64("all", 0, "enumerate up to this many solutions (search strategy)")
+	count := flag.Bool("count", false, "count solutions exactly via decomposition DP")
+	flag.Parse()
+
+	if err := run(*strategy, *coloring, *explain, *all, *count, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "csolve:", err)
+		os.Exit(2)
+	}
+}
+
+func run(strategyName string, coloring int, explain bool, all int64, count bool, args []string) error {
+	in := os.Stdin
+	if len(args) > 1 {
+		return fmt.Errorf("at most one input file expected")
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var inst *csp.Instance
+	if coloring > 0 {
+		g, err := cspio.ParseDIMACS(in)
+		if err != nil {
+			return err
+		}
+		inst = gen.Coloring(g, coloring)
+	} else {
+		var err error
+		inst, err = cspio.Parse(in)
+		if err != nil {
+			return err
+		}
+	}
+
+	strategy, err := parseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	problem := core.FromCSP(inst)
+	if explain {
+		fmt.Println("strategy:", problem.Explain(core.Options{}))
+	}
+
+	if count {
+		n, err := problem.Count()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v solution(s)\n", n)
+		return nil
+	}
+
+	if all > 0 {
+		count, _ := csp.SolveAll(inst, csp.Options{}, all, func(sol []int) bool {
+			fmt.Println(formatSolution(inst, sol))
+			return true
+		})
+		fmt.Printf("%d solution(s)\n", count)
+		return nil
+	}
+
+	res, err := problem.Solve(core.Options{Strategy: strategy})
+	if err != nil {
+		return err
+	}
+	if !res.Satisfiable {
+		fmt.Println("UNSAT")
+		return nil
+	}
+	fmt.Printf("SAT (%v", res.Used)
+	if res.SchaeferClass != nil {
+		fmt.Printf(": %v", *res.SchaeferClass)
+	}
+	fmt.Println(")")
+	fmt.Println(formatSolution(inst, res.Assignment))
+	return nil
+}
+
+func parseStrategy(name string) (core.Strategy, error) {
+	switch name {
+	case "auto":
+		return core.Auto, nil
+	case "search":
+		return core.Search, nil
+	case "join":
+		return core.Join, nil
+	case "treewidth":
+		return core.TreewidthDP, nil
+	case "schaefer":
+		return core.SchaeferSolver, nil
+	case "tree":
+		return core.Tree, nil
+	}
+	return core.Auto, fmt.Errorf("unknown strategy %q", name)
+}
+
+func formatSolution(inst *csp.Instance, sol []int) string {
+	parts := make([]string, len(sol))
+	for v, val := range sol {
+		parts[v] = fmt.Sprintf("%s=%d", inst.VarName(v), val)
+	}
+	return strings.Join(parts, " ")
+}

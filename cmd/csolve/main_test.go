@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"csdb/internal/core"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]core.Strategy{
+		"auto": core.Auto, "search": core.Search, "join": core.Join,
+		"treewidth": core.TreewidthDP, "schaefer": core.SchaeferSolver, "tree": core.Tree,
+	} {
+		got, err := parseStrategy(name)
+		if err != nil || got != want {
+			t.Fatalf("parseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseStrategy("quantum"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestRunOnInstanceFile(t *testing.T) {
+	if err := run("auto", 0, true, 0, false, []string{"../../testdata/sample.csp"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run("search", 0, false, 3, false, []string{"../../testdata/sample.csp"}); err != nil {
+		t.Fatalf("run -all: %v", err)
+	}
+	if err := run("auto", 0, false, 0, true, []string{"../../testdata/sample.csp"}); err != nil {
+		t.Fatalf("run -count: %v", err)
+	}
+}
+
+func TestRunOnDIMACS(t *testing.T) {
+	if err := run("auto", 3, false, 0, false, []string{"../../testdata/triangle.col"}); err != nil {
+		t.Fatalf("3-coloring: %v", err)
+	}
+	if err := run("search", 2, false, 0, false, []string{"../../testdata/triangle.col"}); err != nil {
+		t.Fatalf("2-coloring (UNSAT path): %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("auto", 0, false, 0, false, []string{"/nonexistent/file"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run("auto", 0, false, 0, false, []string{"a", "b"}); err == nil {
+		t.Fatal("two files accepted")
+	}
+	if err := run("bogus", 0, false, 0, false, []string{"../../testdata/sample.csp"}); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+}

@@ -1,0 +1,53 @@
+// Command experiments runs the reproduction experiments E1–E12 (one per
+// theorem/proposition of the paper; see DESIGN.md) and prints their tables
+// as markdown — the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments               # run everything
+//	experiments -only E9,E11  # run a subset
+//	experiments -seed 7       # change the workload seed
+//	experiments -list         # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"csdb/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	selected := experiments.Registry
+	if *only != "" {
+		selected = nil
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.ID, e.Name)
+		table := e.Run(*seed)
+		fmt.Println(table.Markdown())
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunOnSampleGraphs(t *testing.T) {
+	// C5 vs K2 with 3 pebbles: Spoiler wins (odd cycle).
+	if err := run(3, []string{"../../testdata/c5.graph", "../../testdata/k2.graph"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// With 2 pebbles: Duplicator wins.
+	if err := run(2, []string{"../../testdata/c5.graph", "../../testdata/k2.graph"}); err != nil {
+		t.Fatalf("run k=2: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(3, []string{"../../testdata/c5.graph"}); err == nil {
+		t.Fatal("single file accepted")
+	}
+	if err := run(3, []string{"../../testdata/c5.graph", "/nonexistent"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run(0, []string{"../../testdata/c5.graph", "../../testdata/k2.graph"}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestLoadGraph(t *testing.T) {
+	g, err := loadGraph("../../testdata/c5.graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 5 || g.Rel("E").Len() != 10 {
+		t.Fatalf("C5 parsed wrong: n=%d edges=%d", g.Size(), g.Rel("E").Len())
+	}
+}

@@ -1,0 +1,232 @@
+// Command rpq works with regular-path queries over edge-labeled graph
+// databases (Section 7 of the paper).
+//
+// Usage:
+//
+//	rpq eval    -db db.txt -query 'a(b|c)*'
+//	rpq cert    -views views.txt -query 'ab' [-pair x,y]
+//	rpq rewrite -query 'ab' -view 'v=a' -view 'w=b'
+//
+// Database file: one edge per line, "source label target" (labels are
+// single characters). Views file: "name=regex" definition lines followed by
+// "name source target" extension lines; '#' starts a comment.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"csdb/internal/automata"
+	"csdb/internal/rpq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: rpq <eval|cert|rewrite> [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "eval":
+		err = runEval(os.Args[2:])
+	case "cert":
+		err = runCert(os.Args[2:])
+	case "rewrite":
+		err = runRewrite(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpq:", err)
+		os.Exit(2)
+	}
+}
+
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file (source label target per line)")
+	query := fs.String("query", "", "regular-path query")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *query == "" {
+		return fmt.Errorf("eval needs -db and -query")
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	pairs, err := db.EvalRegex(*query)
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		fmt.Printf("%s %s\n", p.X, p.Y)
+	}
+	fmt.Printf("%d pair(s)\n", len(pairs))
+	return nil
+}
+
+func runCert(args []string) error {
+	fs := flag.NewFlagSet("cert", flag.ExitOnError)
+	viewsPath := fs.String("views", "", "views file (definitions then extension pairs)")
+	query := fs.String("query", "", "regular-path query")
+	pair := fs.String("pair", "", "specific pair c,d to test (default: all pairs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *viewsPath == "" || *query == "" {
+		return fmt.Errorf("cert needs -views and -query")
+	}
+	views, ext, err := loadViews(*viewsPath)
+	if err != nil {
+		return err
+	}
+	q, err := automata.ParseRegex(*query)
+	if err != nil {
+		return err
+	}
+	tpl, err := rpq.ConstraintTemplate(q, views)
+	if err != nil {
+		return err
+	}
+	if *pair != "" {
+		parts := strings.SplitN(*pair, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -pair %q", *pair)
+		}
+		cert, err := rpq.CertainAnswer(tpl, ext, parts[0], parts[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("(%s,%s) certain: %v\n", parts[0], parts[1], cert)
+		return nil
+	}
+	answers, err := rpq.CertainAnswers(tpl, ext)
+	if err != nil {
+		return err
+	}
+	for _, p := range answers {
+		fmt.Printf("%s %s\n", p.X, p.Y)
+	}
+	fmt.Printf("%d certain answer(s)\n", len(answers))
+	return nil
+}
+
+func runRewrite(args []string) error {
+	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+	query := fs.String("query", "", "regular-path query")
+	var viewDefs multiFlag
+	fs.Var(&viewDefs, "view", "view definition name=regex (repeatable)")
+	maxLen := fs.Int("words", 3, "list accepted view words up to this length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *query == "" || len(viewDefs) == 0 {
+		return fmt.Errorf("rewrite needs -query and at least one -view")
+	}
+	var views []rpq.View
+	for _, def := range viewDefs {
+		parts := strings.SplitN(def, "=", 2)
+		if len(parts) != 2 || len(parts[0]) != 1 {
+			return fmt.Errorf("bad -view %q (want single-char name=regex)", def)
+		}
+		views = append(views, rpq.View{Name: parts[0][0], Def: parts[1]})
+	}
+	rw, err := rpq.MaximalRewriting(*query, views)
+	if err != nil {
+		return err
+	}
+	empty, witness := rw.IsEmpty()
+	if empty {
+		fmt.Println("maximal rewriting: empty (the views cannot answer the query)")
+		return nil
+	}
+	fmt.Printf("maximal rewriting: nonempty; shortest view word %q\n", witness)
+	var alpha []byte
+	for _, v := range views {
+		alpha = append(alpha, v.Name)
+	}
+	fmt.Printf("accepted view words up to length %d:\n", *maxLen)
+	for _, w := range automata.WordsUpTo(alpha, *maxLen) {
+		if rw.Accepts(w) {
+			fmt.Printf("  %q\n", w)
+		}
+	}
+	return nil
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func loadDB(path string) (*rpq.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db := rpq.NewDB()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 || len(fields[1]) != 1 {
+			return nil, fmt.Errorf("%s:%d: want 'source label target' with a one-char label", path, line)
+		}
+		db.AddEdge(fields[0], fields[1][0], fields[2])
+	}
+	return db, sc.Err()
+}
+
+func loadViews(path string) ([]rpq.View, rpq.Extension, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var views []rpq.View
+	ext := rpq.Extension{}
+	known := map[byte]bool{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if strings.Contains(text, "=") {
+			parts := strings.SplitN(text, "=", 2)
+			name := strings.TrimSpace(parts[0])
+			if len(name) != 1 {
+				return nil, nil, fmt.Errorf("%s:%d: view names are single characters", path, line)
+			}
+			views = append(views, rpq.View{Name: name[0], Def: strings.TrimSpace(parts[1])})
+			known[name[0]] = true
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 || len(fields[0]) != 1 {
+			return nil, nil, fmt.Errorf("%s:%d: want 'view source target'", path, line)
+		}
+		name := fields[0][0]
+		if !known[name] {
+			return nil, nil, fmt.Errorf("%s:%d: extension for undefined view %q", path, line, name)
+		}
+		ext[name] = append(ext[name], rpq.Pair{X: fields[1], Y: fields[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return views, ext, nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import "testing"
+
+func TestRunEval(t *testing.T) {
+	if err := runEval([]string{"-db", "../../testdata/citations.db", "-query", "cc*"}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if err := runEval([]string{"-query", "c"}); err == nil {
+		t.Fatal("missing -db accepted")
+	}
+	if err := runEval([]string{"-db", "../../testdata/citations.db", "-query", "c)("}); err == nil {
+		t.Fatal("bad regex accepted")
+	}
+}
+
+func TestRunCert(t *testing.T) {
+	if err := runCert([]string{"-views", "../../testdata/views.txt", "-query", "cc*"}); err != nil {
+		t.Fatalf("cert: %v", err)
+	}
+	if err := runCert([]string{"-views", "../../testdata/views.txt", "-query", "cc*", "-pair", "p1,p3"}); err != nil {
+		t.Fatalf("cert -pair: %v", err)
+	}
+	if err := runCert([]string{"-views", "../../testdata/views.txt", "-query", "cc*", "-pair", "nocomma"}); err == nil {
+		t.Fatal("bad -pair accepted")
+	}
+	if err := runCert([]string{"-query", "c"}); err == nil {
+		t.Fatal("missing -views accepted")
+	}
+}
+
+func TestRunRewrite(t *testing.T) {
+	if err := runRewrite([]string{"-query", "ab", "-view", "v=a", "-view", "w=b"}); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	// Empty rewriting path.
+	if err := runRewrite([]string{"-query", "a", "-view", "v=a|b"}); err != nil {
+		t.Fatalf("rewrite empty: %v", err)
+	}
+	if err := runRewrite([]string{"-query", "ab"}); err == nil {
+		t.Fatal("missing views accepted")
+	}
+	if err := runRewrite([]string{"-query", "ab", "-view", "toolong=a"}); err == nil {
+		t.Fatal("multi-char view name accepted")
+	}
+}
+
+func TestLoadViews(t *testing.T) {
+	views, ext, err := loadViews("../../testdata/views.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 || len(ext['v']) != 2 || len(ext['w']) != 1 {
+		t.Fatalf("views parsed wrong: %d views, ext v=%d w=%d", len(views), len(ext['v']), len(ext['w']))
+	}
+}

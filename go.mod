@@ -1,0 +1,3 @@
+module csdb
+
+go 1.22

@@ -1,0 +1,565 @@
+// Package automata implements the finite-automata substrate for
+// regular-path queries (Section 7 of the paper): regular expressions
+// compiled to Thompson NFAs, ε-elimination, the subset construction,
+// complementation, products, and emptiness — everything needed for
+// view-based query answering (the constraint-template construction of
+// Theorem 7.5) and for maximal RPQ rewriting (Calvanese et al., PODS'99).
+//
+// Alphabet symbols are single bytes (letters and digits); a regular-path
+// query over a richer label set maps labels to bytes first.
+package automata
+
+import "sort"
+
+// NFA is a nondeterministic finite automaton with ε-transitions and a
+// single start state, as produced by Thompson's construction.
+type NFA struct {
+	N      int
+	Start  int
+	Accept []bool
+	Trans  []map[byte][]int
+	Eps    [][]int
+}
+
+// NewNFA returns an NFA with n states, none accepting.
+func NewNFA(n int) *NFA {
+	a := &NFA{N: n, Accept: make([]bool, n), Trans: make([]map[byte][]int, n), Eps: make([][]int, n)}
+	for i := range a.Trans {
+		a.Trans[i] = make(map[byte][]int)
+	}
+	return a
+}
+
+// AddTransition adds a labeled transition.
+func (a *NFA) AddTransition(from int, sym byte, to int) {
+	a.Trans[from][sym] = append(a.Trans[from][sym], to)
+}
+
+// AddEps adds an ε-transition.
+func (a *NFA) AddEps(from, to int) {
+	a.Eps[from] = append(a.Eps[from], to)
+}
+
+// Alphabet returns the symbols used in transitions, sorted.
+func (a *NFA) Alphabet() []byte {
+	seen := make(map[byte]bool)
+	for _, t := range a.Trans {
+		for s := range t {
+			seen[s] = true
+		}
+	}
+	out := make([]byte, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Closure returns the ε-closure of the state set (sorted).
+func (a *NFA) Closure(set []int) []int {
+	mark := make(map[int]bool, len(set))
+	stack := append([]int(nil), set...)
+	for _, s := range set {
+		mark[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.Eps[s] {
+			if !mark[t] {
+				mark[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(mark))
+	for s := range mark {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Step returns the ε-closed successor set of a closed set under sym.
+func (a *NFA) Step(closedSet []int, sym byte) []int {
+	var next []int
+	seen := make(map[int]bool)
+	for _, s := range closedSet {
+		for _, t := range a.Trans[s][sym] {
+			if !seen[t] {
+				seen[t] = true
+				next = append(next, t)
+			}
+		}
+	}
+	return a.Closure(next)
+}
+
+// Accepts reports whether the automaton accepts the word.
+func (a *NFA) Accepts(word []byte) bool {
+	cur := a.Closure([]int{a.Start})
+	for _, sym := range word {
+		cur = a.Step(cur, sym)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, s := range cur {
+		if a.Accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// AcceptsString is Accepts for string words.
+func (a *NFA) AcceptsString(w string) bool { return a.Accepts([]byte(w)) }
+
+// ENFA is an ε-free NFA with a set of start states — the (Σ, S, S0, ρ, F)
+// form of the paper's Section 7.
+type ENFA struct {
+	N      int
+	Starts []int
+	Accept []bool
+	Trans  []map[byte][]int
+}
+
+// EpsFree converts the NFA to an ε-free automaton over the reachable
+// states: state i of the result corresponds to a reachable state of a, the
+// start set is the ε-closure of a's start, and ρ(s, x) follows one labeled
+// transition then ε-closes.
+func (a *NFA) EpsFree() *ENFA {
+	// Reachable states (through any transitions).
+	reach := []int{a.Start}
+	seen := map[int]bool{a.Start: true}
+	for i := 0; i < len(reach); i++ {
+		s := reach[i]
+		for _, t := range a.Eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				reach = append(reach, t)
+			}
+		}
+		for _, ts := range a.Trans[s] {
+			for _, t := range ts {
+				if !seen[t] {
+					seen[t] = true
+					reach = append(reach, t)
+				}
+			}
+		}
+	}
+	sort.Ints(reach)
+	id := make(map[int]int, len(reach))
+	for i, s := range reach {
+		id[s] = i
+	}
+	e := &ENFA{N: len(reach), Accept: make([]bool, len(reach)), Trans: make([]map[byte][]int, len(reach))}
+	for i := range e.Trans {
+		e.Trans[i] = make(map[byte][]int)
+	}
+	// Accepting: a state whose ε-closure hits an accepting state.
+	for i, s := range reach {
+		for _, c := range a.Closure([]int{s}) {
+			if a.Accept[c] {
+				e.Accept[i] = true
+				break
+			}
+		}
+	}
+	// Transitions: s --x--> closure(move(closure(s), x)) ... ε-free form:
+	// s --x--> t when some state in closure(s) has an x-transition to t.
+	for i, s := range reach {
+		cl := a.Closure([]int{s})
+		dst := make(map[byte]map[int]bool)
+		for _, c := range cl {
+			for sym, ts := range a.Trans[c] {
+				if dst[sym] == nil {
+					dst[sym] = make(map[int]bool)
+				}
+				for _, t := range ts {
+					dst[sym][t] = true
+				}
+			}
+		}
+		for sym, ts := range dst {
+			for t := range ts {
+				e.Trans[i][sym] = append(e.Trans[i][sym], id[t])
+			}
+			sort.Ints(e.Trans[i][sym])
+		}
+	}
+	for _, s := range a.Closure([]int{a.Start}) {
+		e.Starts = append(e.Starts, id[s])
+	}
+	sort.Ints(e.Starts)
+	return e
+}
+
+// Alphabet returns the symbols used in transitions, sorted.
+func (e *ENFA) Alphabet() []byte {
+	seen := make(map[byte]bool)
+	for _, t := range e.Trans {
+		for s := range t {
+			seen[s] = true
+		}
+	}
+	out := make([]byte, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Move returns ρ(set, sym): the successors of any state in set under sym.
+func (e *ENFA) Move(set []int, sym byte) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, s := range set {
+		for _, t := range e.Trans[s][sym] {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Accepts reports whether the ε-free automaton accepts the word.
+func (e *ENFA) Accepts(word []byte) bool {
+	cur := append([]int(nil), e.Starts...)
+	for _, sym := range word {
+		cur = e.Move(cur, sym)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, s := range cur {
+		if e.Accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// AcceptsString is Accepts for string words.
+func (e *ENFA) AcceptsString(w string) bool { return e.Accepts([]byte(w)) }
+
+// DFA is a deterministic automaton with total transition function over its
+// alphabet (missing entries go to an implicit dead sink added during
+// construction).
+type DFA struct {
+	N        int
+	Start    int
+	Accept   []bool
+	Alphabet []byte
+	Trans    []map[byte]int
+}
+
+// Determinize runs the subset construction over the given alphabet (pass
+// nil to use the NFA's own alphabet). The result is total: a dead state is
+// included when needed.
+func (a *NFA) Determinize(alphabet []byte) *DFA {
+	if alphabet == nil {
+		alphabet = a.Alphabet()
+	}
+	return determinize(alphabet, a.Closure([]int{a.Start}), func(set []int, sym byte) []int {
+		return a.Step(set, sym)
+	}, func(set []int) bool {
+		for _, s := range set {
+			if a.Accept[s] {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Determinize runs the subset construction on an ε-free automaton.
+func (e *ENFA) Determinize(alphabet []byte) *DFA {
+	if alphabet == nil {
+		alphabet = e.Alphabet()
+	}
+	return determinize(alphabet, append([]int(nil), e.Starts...), func(set []int, sym byte) []int {
+		return e.Move(set, sym)
+	}, func(set []int) bool {
+		for _, s := range set {
+			if e.Accept[s] {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func determinize(alphabet []byte, start []int, step func([]int, byte) []int, accepting func([]int) bool) *DFA {
+	d := &DFA{Alphabet: append([]byte(nil), alphabet...)}
+	key := func(set []int) string {
+		b := make([]byte, 0, len(set)*2)
+		for _, s := range set {
+			b = appendNum(b, s)
+		}
+		return string(b)
+	}
+	index := map[string]int{}
+	var sets [][]int
+	add := func(set []int) int {
+		k := key(set)
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(sets)
+		index[k] = i
+		sets = append(sets, set)
+		d.N++
+		d.Accept = append(d.Accept, accepting(set))
+		d.Trans = append(d.Trans, make(map[byte]int))
+		return i
+	}
+	d.Start = add(start)
+	for i := 0; i < len(sets); i++ {
+		for _, sym := range alphabet {
+			j := add(step(sets[i], sym))
+			d.Trans[i][sym] = j
+		}
+	}
+	return d
+}
+
+func appendNum(b []byte, v int) []byte {
+	if v == 0 {
+		b = append(b, '0')
+	}
+	for v > 0 {
+		b = append(b, byte('0'+v%10))
+		v /= 10
+	}
+	return append(b, ',')
+}
+
+// Run returns the state reached on word from the start state.
+func (d *DFA) Run(word []byte) int {
+	s := d.Start
+	for _, sym := range word {
+		s = d.Trans[s][sym]
+	}
+	return s
+}
+
+// Accepts reports whether the DFA accepts the word. Symbols outside the
+// alphabet reject.
+func (d *DFA) Accepts(word []byte) bool {
+	s := d.Start
+	for _, sym := range word {
+		t, ok := d.Trans[s][sym]
+		if !ok {
+			return false
+		}
+		s = t
+	}
+	return d.Accept[s]
+}
+
+// AcceptsString is Accepts for string words.
+func (d *DFA) AcceptsString(w string) bool { return d.Accepts([]byte(w)) }
+
+// Complement returns the DFA accepting the complement language over the
+// same alphabet.
+func (d *DFA) Complement() *DFA {
+	c := &DFA{N: d.N, Start: d.Start, Alphabet: append([]byte(nil), d.Alphabet...)}
+	c.Accept = make([]bool, d.N)
+	for i, a := range d.Accept {
+		c.Accept[i] = !a
+	}
+	c.Trans = make([]map[byte]int, d.N)
+	for i, t := range d.Trans {
+		c.Trans[i] = make(map[byte]int, len(t))
+		for s, j := range t {
+			c.Trans[i][s] = j
+		}
+	}
+	return c
+}
+
+// IsEmpty reports whether the DFA's language is empty, and returns a
+// shortest witness word when it is not.
+func (d *DFA) IsEmpty() (bool, []byte) {
+	type node struct {
+		state int
+		word  []byte
+	}
+	visited := make([]bool, d.N)
+	queue := []node{{d.Start, nil}}
+	visited[d.Start] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if d.Accept[n.state] {
+			return false, n.word
+		}
+		for _, sym := range d.Alphabet {
+			t := d.Trans[n.state][sym]
+			if !visited[t] {
+				visited[t] = true
+				w := make([]byte, len(n.word)+1)
+				copy(w, n.word)
+				w[len(n.word)] = sym
+				queue = append(queue, node{t, w})
+			}
+		}
+	}
+	return true, nil
+}
+
+// ToNFA converts the DFA to an NFA (for composition).
+func (d *DFA) ToNFA() *NFA {
+	a := NewNFA(d.N)
+	a.Start = d.Start
+	copy(a.Accept, d.Accept)
+	for i, t := range d.Trans {
+		for sym, j := range t {
+			a.AddTransition(i, sym, j)
+		}
+	}
+	return a
+}
+
+// Intersect returns a DFA for the intersection of two DFAs. Both must share
+// an alphabet; the product is built over the union of their alphabets, with
+// out-of-alphabet symbols rejecting.
+func Intersect(d1, d2 *DFA) *DFA {
+	alpha := unionAlphabet(d1.Alphabet, d2.Alphabet)
+	type pair struct{ a, b int }
+	index := map[pair]int{}
+	var pairs []pair
+	out := &DFA{Alphabet: alpha}
+	add := func(p pair) int {
+		if i, ok := index[p]; ok {
+			return i
+		}
+		i := len(pairs)
+		index[p] = i
+		pairs = append(pairs, p)
+		out.N++
+		acceptA := p.a >= 0 && d1.Accept[p.a]
+		acceptB := p.b >= 0 && d2.Accept[p.b]
+		out.Accept = append(out.Accept, acceptA && acceptB)
+		out.Trans = append(out.Trans, make(map[byte]int))
+		return i
+	}
+	out.Start = add(pair{d1.Start, d2.Start})
+	for i := 0; i < len(pairs); i++ {
+		p := pairs[i]
+		for _, sym := range alpha {
+			na, nb := -1, -1
+			if p.a >= 0 {
+				if t, ok := d1.Trans[p.a][sym]; ok {
+					na = t
+				}
+			}
+			if p.b >= 0 {
+				if t, ok := d2.Trans[p.b][sym]; ok {
+					nb = t
+				}
+			}
+			out.Trans[i][sym] = add(pair{na, nb})
+		}
+	}
+	return out
+}
+
+func unionAlphabet(a, b []byte) []byte {
+	seen := make(map[byte]bool)
+	var out []byte
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contained reports whether L(a) ⊆ L(b) over the union of their alphabets,
+// and returns a witness word in L(a) \ L(b) when not.
+func Contained(a, b *DFA) (bool, []byte) {
+	alpha := unionAlphabet(a.Alphabet, b.Alphabet)
+	at := totalize(a, alpha)
+	bt := totalize(b, alpha)
+	diff := Intersect(at, bt.Complement())
+	empty, witness := diff.IsEmpty()
+	return empty, witness
+}
+
+// totalize extends a DFA to a larger alphabet with a dead sink.
+func totalize(d *DFA, alpha []byte) *DFA {
+	out := &DFA{N: d.N, Start: d.Start, Alphabet: append([]byte(nil), alpha...)}
+	out.Accept = append([]bool(nil), d.Accept...)
+	out.Trans = make([]map[byte]int, d.N)
+	dead := -1
+	ensureDead := func() int {
+		if dead < 0 {
+			dead = out.N
+			out.N++
+			out.Accept = append(out.Accept, false)
+			out.Trans = append(out.Trans, make(map[byte]int))
+		}
+		return dead
+	}
+	for i := 0; i < d.N; i++ {
+		out.Trans[i] = make(map[byte]int)
+		for _, sym := range alpha {
+			if t, ok := d.Trans[i][sym]; ok {
+				out.Trans[i][sym] = t
+			} else {
+				out.Trans[i][sym] = ensureDead()
+			}
+		}
+	}
+	if dead >= 0 {
+		for _, sym := range alpha {
+			out.Trans[dead][sym] = dead
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether two DFAs accept the same language.
+func Equivalent(a, b *DFA) bool {
+	ab, _ := Contained(a, b)
+	ba, _ := Contained(b, a)
+	return ab && ba
+}
+
+// WordsUpTo enumerates all words over the alphabet with length <= maxLen
+// (for exhaustive small-language testing). The count grows exponentially;
+// callers keep maxLen tiny.
+func WordsUpTo(alphabet []byte, maxLen int) [][]byte {
+	out := [][]byte{{}}
+	frontier := [][]byte{{}}
+	for l := 1; l <= maxLen; l++ {
+		var next [][]byte
+		for _, w := range frontier {
+			for _, sym := range alphabet {
+				nw := make([]byte, len(w)+1)
+				copy(nw, w)
+				nw[len(w)] = sym
+				next = append(next, nw)
+				out = append(out, nw)
+			}
+		}
+		frontier = next
+	}
+	return out
+}

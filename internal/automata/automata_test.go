@@ -1,0 +1,232 @@
+package automata
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// refMatch checks a word against Go's regexp as a reference semantics,
+// anchored both ends.
+func refMatch(t *testing.T, expr string, word []byte) bool {
+	t.Helper()
+	re, err := regexp.Compile("^(" + goRegex(expr) + ")$")
+	if err != nil {
+		t.Fatalf("reference regexp %q: %v", expr, err)
+	}
+	return re.Match(word)
+}
+
+// goRegex translates our syntax to Go's (only "()" for ε differs).
+func goRegex(expr string) string {
+	return strings.ReplaceAll(expr, "()", "(?:)")
+}
+
+var sampleRegexes = []string{
+	"", "a", "ab", "a|b", "a*", "a+", "a?", "(ab)*", "a(b|c)d",
+	"(a|b)*abb", "ab|ba", "a*b*", "(a*)(b|a)+", "((a|b)(a|b))*",
+	"a|()", "(ab|c)?d*",
+}
+
+func TestRegexAgainstReference(t *testing.T) {
+	words := WordsUpTo([]byte("abcd"), 4)
+	for _, expr := range sampleRegexes {
+		nfa, err := ParseRegex(expr)
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		enfa := nfa.EpsFree()
+		dfa := nfa.Determinize([]byte("abcd"))
+		for _, w := range words {
+			want := refMatch(t, expr, w)
+			if got := nfa.Accepts(w); got != want {
+				t.Fatalf("%q on %q: NFA=%v want %v", expr, w, got, want)
+			}
+			if got := enfa.Accepts(w); got != want {
+				t.Fatalf("%q on %q: ENFA=%v want %v", expr, w, got, want)
+			}
+			if got := dfa.Accepts(w); got != want {
+				t.Fatalf("%q on %q: DFA=%v want %v", expr, w, got, want)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"(", ")", "a)", "(a", "*", "|*", "a**b)", "a b", "a-b"}
+	for _, expr := range bad {
+		if _, err := ParseRegex(expr); err == nil {
+			t.Fatalf("accepted %q", expr)
+		}
+	}
+	// Note: "a||b" is legal (middle alternative is ε), as in POSIX.
+	if _, err := ParseRegex("a||b"); err != nil {
+		t.Fatalf("rejected a||b: %v", err)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	dfa := MustParseRegex("(a|b)*abb").Determinize([]byte("ab"))
+	comp := dfa.Complement()
+	for _, w := range WordsUpTo([]byte("ab"), 5) {
+		if dfa.Accepts(w) == comp.Accepts(w) {
+			t.Fatalf("complement agrees on %q", w)
+		}
+	}
+}
+
+func TestIntersectAndContained(t *testing.T) {
+	a := MustParseRegex("a*b").Determinize([]byte("ab"))
+	b := MustParseRegex("(a|b)*b").Determinize([]byte("ab"))
+	inter := Intersect(a, b)
+	for _, w := range WordsUpTo([]byte("ab"), 4) {
+		if inter.Accepts(w) != (a.Accepts(w) && b.Accepts(w)) {
+			t.Fatalf("intersection wrong on %q", w)
+		}
+	}
+	ok, _ := Contained(a, b)
+	if !ok {
+		t.Fatal("a*b should be contained in (a|b)*b")
+	}
+	ok, witness := Contained(b, a)
+	if ok {
+		t.Fatal("(a|b)*b contained in a*b")
+	}
+	if !b.Accepts(witness) || a.Accepts(witness) {
+		t.Fatalf("witness %q is wrong", witness)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"a*", "()|aa*", true},
+		{"(a|b)*", "(a*b*)*", true},
+		{"ab|ba", "(ab)|(ba)", true},
+		{"a+", "a*", false},
+		{"ab", "ba", false},
+	}
+	for _, c := range cases {
+		da := MustParseRegex(c.a).Determinize([]byte("ab"))
+		db := MustParseRegex(c.b).Determinize([]byte("ab"))
+		if got := Equivalent(da, db); got != c.want {
+			t.Fatalf("Equivalent(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	// a ∩ b is empty.
+	a := MustParseRegex("a").Determinize([]byte("ab"))
+	b := MustParseRegex("b").Determinize([]byte("ab"))
+	empty, _ := Intersect(a, b).IsEmpty()
+	if !empty {
+		t.Fatal("a ∩ b nonempty")
+	}
+	nonEmpty := MustParseRegex("a*b").Determinize([]byte("ab"))
+	empty, w := nonEmpty.IsEmpty()
+	if empty || !nonEmpty.Accepts(w) {
+		t.Fatalf("emptiness wrong: %v %q", empty, w)
+	}
+	// Shortest witness.
+	if len(w) != 1 {
+		t.Fatalf("witness %q not shortest", w)
+	}
+}
+
+func TestEpsFreeStartsAndAccept(t *testing.T) {
+	e := MustParseRegex("a*").EpsFree()
+	// ε is accepted: some start state accepting.
+	found := false
+	for _, s := range e.Starts {
+		if e.Accept[s] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("a* eps-free automaton rejects ε")
+	}
+	if !e.AcceptsString("aaa") || e.AcceptsString("b") {
+		t.Fatal("eps-free acceptance wrong")
+	}
+}
+
+func TestDFATotality(t *testing.T) {
+	d := MustParseRegex("ab").Determinize([]byte("ab"))
+	for i := 0; i < d.N; i++ {
+		for _, sym := range d.Alphabet {
+			if _, ok := d.Trans[i][sym]; !ok {
+				t.Fatalf("missing transition from %d on %q", i, sym)
+			}
+		}
+	}
+}
+
+func TestToNFARoundTrip(t *testing.T) {
+	d := MustParseRegex("(a|b)*abb").Determinize([]byte("ab"))
+	n := d.ToNFA()
+	for _, w := range WordsUpTo([]byte("ab"), 5) {
+		if d.Accepts(w) != n.Accepts(w) {
+			t.Fatalf("round trip disagrees on %q", w)
+		}
+	}
+}
+
+// Random regexes: NFA, ε-free NFA, and DFA all agree with the reference.
+func TestRandomRegexAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	words := WordsUpTo([]byte("ab"), 4)
+	for trial := 0; trial < 60; trial++ {
+		expr := randomRegex(rng, 3)
+		nfa, err := ParseRegex(expr)
+		if err != nil {
+			t.Fatalf("generated %q failed: %v", expr, err)
+		}
+		dfa := nfa.Determinize([]byte("ab"))
+		enfa := nfa.EpsFree()
+		for _, w := range words {
+			want := refMatch(t, expr, w)
+			if nfa.Accepts(w) != want || dfa.Accepts(w) != want || enfa.Accepts(w) != want {
+				t.Fatalf("%q on %q: nfa=%v dfa=%v enfa=%v want=%v",
+					expr, w, nfa.Accepts(w), dfa.Accepts(w), enfa.Accepts(w), want)
+			}
+		}
+	}
+}
+
+func randomRegex(rng *rand.Rand, depth int) string {
+	if depth == 0 || rng.Float64() < 0.3 {
+		return string([]byte{'a' + byte(rng.Intn(2))})
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return randomRegex(rng, depth-1) + randomRegex(rng, depth-1)
+	case 1:
+		return "(" + randomRegex(rng, depth-1) + ")|(" + randomRegex(rng, depth-1) + ")"
+	case 2:
+		return "(" + randomRegex(rng, depth-1) + ")*"
+	default:
+		return "(" + randomRegex(rng, depth-1) + ")?"
+	}
+}
+
+func TestUnionRegexAndAlphabet(t *testing.T) {
+	u := UnionRegex("ab", "c")
+	if u != "(ab)|(c)" {
+		t.Fatalf("UnionRegex = %q", u)
+	}
+	alpha := RegexAlphabet("a(b|c)*a")
+	if string(alpha) != "abc" {
+		t.Fatalf("RegexAlphabet = %q", alpha)
+	}
+}
+
+func TestWordsUpTo(t *testing.T) {
+	words := WordsUpTo([]byte("ab"), 2)
+	if len(words) != 1+2+4 {
+		t.Fatalf("WordsUpTo count = %d", len(words))
+	}
+}

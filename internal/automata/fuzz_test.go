@@ -1,0 +1,59 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The regex parser must never panic on arbitrary input, and accepted
+// expressions must produce automata that behave (no panics on membership).
+func TestParseRegexNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := []byte("ab()|*+?cd01^$[]{}\\")
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(25)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		nfa, err := ParseRegex(string(b))
+		if err != nil {
+			continue
+		}
+		// Exercise the machinery on a couple of words.
+		nfa.AcceptsString("ab")
+		nfa.EpsFree().AcceptsString("ba")
+		nfa.Determinize([]byte("ab")).Minimize().AcceptsString("aa")
+	}
+}
+
+// Deeply nested expressions must not blow the stack or mis-parse.
+func TestDeeplyNestedRegex(t *testing.T) {
+	expr := ""
+	for i := 0; i < 200; i++ {
+		expr += "("
+	}
+	expr += "a"
+	for i := 0; i < 200; i++ {
+		expr += ")"
+	}
+	nfa, err := ParseRegex(expr)
+	if err != nil {
+		t.Fatalf("nested parse failed: %v", err)
+	}
+	if !nfa.AcceptsString("a") || nfa.AcceptsString("aa") {
+		t.Fatal("nested expression semantics wrong")
+	}
+	// Long stars.
+	star := "a"
+	for i := 0; i < 50; i++ {
+		star = "(" + star + ")*"
+	}
+	nfa2, err := ParseRegex(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nfa2.AcceptsString("") || !nfa2.AcceptsString("aaa") {
+		t.Fatal("nested star semantics wrong")
+	}
+}

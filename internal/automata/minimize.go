@@ -1,0 +1,122 @@
+package automata
+
+import "sort"
+
+// Minimize returns the minimal DFA equivalent to d (Moore's partition
+// refinement over reachable states). Useful for presenting rewriting
+// automata compactly and for canonical equivalence checks.
+func (d *DFA) Minimize() *DFA {
+	// Restrict to reachable states.
+	reach := []int{d.Start}
+	seen := map[int]bool{d.Start: true}
+	for i := 0; i < len(reach); i++ {
+		for _, sym := range d.Alphabet {
+			if t, ok := d.Trans[reach[i]][sym]; ok && !seen[t] {
+				seen[t] = true
+				reach = append(reach, t)
+			}
+		}
+	}
+	sort.Ints(reach)
+	id := make(map[int]int, len(reach))
+	for i, s := range reach {
+		id[s] = i
+	}
+	n := len(reach)
+
+	// Initial partition: accepting vs non-accepting.
+	class := make([]int, n)
+	for i, s := range reach {
+		if d.Accept[s] {
+			class[i] = 1
+		}
+	}
+	numClasses := 2
+	// If all states fall in one class, normalize.
+	{
+		has0, has1 := false, false
+		for _, c := range class {
+			if c == 0 {
+				has0 = true
+			} else {
+				has1 = true
+			}
+		}
+		if !has0 || !has1 {
+			numClasses = 1
+			for i := range class {
+				class[i] = 0
+			}
+		}
+	}
+
+	// Refine until stable: two states stay together iff they agree on the
+	// class of every successor.
+	for {
+		sigs := make([]string, n)
+		for i, s := range reach {
+			b := make([]byte, 0, 8+len(d.Alphabet)*4)
+			b = appendNum(b, class[i])
+			for _, sym := range d.Alphabet {
+				t, ok := d.Trans[s][sym]
+				if !ok {
+					b = append(b, 'x', ',') // no-transition marker
+					continue
+				}
+				b = appendNum(b, class[id[t]])
+			}
+			sigs[i] = string(b)
+		}
+		index := map[string]int{}
+		newClass := make([]int, n)
+		next := 0
+		for i := range reach {
+			c, ok := index[sigs[i]]
+			if !ok {
+				c = next
+				next++
+				index[sigs[i]] = c
+			}
+			newClass[i] = c
+		}
+		if next == numClasses {
+			break
+		}
+		class, numClasses = newClass, next
+	}
+
+	out := &DFA{N: numClasses, Alphabet: append([]byte(nil), d.Alphabet...)}
+	out.Accept = make([]bool, numClasses)
+	out.Trans = make([]map[byte]int, numClasses)
+	for i := range out.Trans {
+		out.Trans[i] = make(map[byte]int)
+	}
+	out.Start = class[id[d.Start]]
+	for i, s := range reach {
+		c := class[i]
+		if d.Accept[s] {
+			out.Accept[c] = true
+		}
+		for _, sym := range d.Alphabet {
+			if t, ok := d.Trans[s][sym]; ok {
+				out.Trans[c][sym] = class[id[t]]
+			}
+		}
+	}
+	return out
+}
+
+// NumReachable returns the number of states reachable from the start.
+func (d *DFA) NumReachable() int {
+	reach := []int{d.Start}
+	seen := map[int]bool{d.Start: true}
+	for i := 0; i < len(reach); i++ {
+		for _, sym := range d.Alphabet {
+			if t, ok := d.Trans[reach[i]][sym]; ok && !seen[t] {
+				seen[t] = true
+				reach = append(reach, t)
+			}
+		}
+	}
+	return len(reach)
+}

@@ -1,0 +1,101 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	for _, expr := range sampleRegexes {
+		d := MustParseRegex(expr).Determinize([]byte("abcd"))
+		m := d.Minimize()
+		if m.N > d.N {
+			t.Fatalf("%q: minimization grew the automaton %d -> %d", expr, d.N, m.N)
+		}
+		for _, w := range WordsUpTo([]byte("abcd"), 4) {
+			if d.Accepts(w) != m.Accepts(w) {
+				t.Fatalf("%q: language changed at %q", expr, w)
+			}
+		}
+		if !Equivalent(d, m) {
+			t.Fatalf("%q: Equivalent denies minimized DFA", expr)
+		}
+	}
+}
+
+func TestMinimizeKnownSizes(t *testing.T) {
+	// The canonical example: (a|b)*abb has a 4-state minimal DFA (plus no
+	// dead state needed since it is total over {a,b}).
+	d := MustParseRegex("(a|b)*abb").Determinize([]byte("ab"))
+	m := d.Minimize()
+	if m.N != 4 {
+		t.Fatalf("(a|b)*abb minimal size = %d, want 4", m.N)
+	}
+	// a* over {a}: 1 state.
+	m2 := MustParseRegex("a*").Determinize([]byte("a")).Minimize()
+	if m2.N != 1 {
+		t.Fatalf("a* minimal size = %d, want 1", m2.N)
+	}
+	// Empty language over {a}: 1 (dead) state.
+	empty := Intersect(
+		MustParseRegex("a").Determinize([]byte("a")),
+		MustParseRegex("aa").Determinize([]byte("a")),
+	).Minimize()
+	if empty.N != 1 || empty.Accept[empty.Start] {
+		t.Fatalf("empty language minimal size = %d", empty.N)
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	d := MustParseRegex("(ab|c)?d*").Determinize([]byte("abcd"))
+	m1 := d.Minimize()
+	m2 := m1.Minimize()
+	if m1.N != m2.N {
+		t.Fatalf("minimization not idempotent: %d -> %d", m1.N, m2.N)
+	}
+}
+
+// Property: for random regexes, minimization preserves the language and two
+// equivalent regexes minimize to the same number of states (Myhill-Nerode
+// canonicity of the state count).
+func TestMinimizeCanonicalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		expr := randomRegex(rng, 3)
+		d := MustParseRegex(expr).Determinize([]byte("ab"))
+		m := d.Minimize()
+		for _, w := range WordsUpTo([]byte("ab"), 4) {
+			if d.Accepts(w) != m.Accepts(w) {
+				return false
+			}
+		}
+		// Doubly-minimized size is stable.
+		return m.Minimize().N == m.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquivalentRegexesSameMinimalSize(t *testing.T) {
+	pairs := [][2]string{
+		{"a*", "()|aa*"},
+		{"(a|b)*", "(a*b*)*"},
+		{"ab|ba", "(ab)|(ba)"},
+	}
+	for _, p := range pairs {
+		m1 := MustParseRegex(p[0]).Determinize([]byte("ab")).Minimize()
+		m2 := MustParseRegex(p[1]).Determinize([]byte("ab")).Minimize()
+		if m1.N != m2.N {
+			t.Fatalf("%q vs %q: minimal sizes %d != %d", p[0], p[1], m1.N, m2.N)
+		}
+	}
+}
+
+func TestNumReachable(t *testing.T) {
+	d := MustParseRegex("ab").Determinize([]byte("ab"))
+	if d.NumReachable() != d.N {
+		t.Fatalf("subset construction produced unreachable states: %d vs %d", d.NumReachable(), d.N)
+	}
+}

@@ -1,0 +1,221 @@
+package automata
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseRegex compiles a regular expression to a Thompson NFA. Supported
+// syntax, in increasing precedence:
+//
+//	alternation   r|s
+//	concatenation rs
+//	repetition    r*  r+  r?
+//	grouping      (r)
+//	symbols       letters and digits (one byte per symbol)
+//	empty word    () — the empty group denotes ε
+//
+// The empty regex denotes the language {ε}.
+func ParseRegex(expr string) (*NFA, error) {
+	p := &regexParser{input: expr}
+	frag, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("automata: unexpected %q at position %d in %q", p.input[p.pos], p.pos, p.input)
+	}
+	return p.build(frag), nil
+}
+
+// MustParseRegex is ParseRegex but panics on error.
+func MustParseRegex(expr string) *NFA {
+	a, err := ParseRegex(expr)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// regexParser builds Thompson fragments over a growing state arena.
+type regexParser struct {
+	input string
+	pos   int
+
+	trans []transEdge
+	eps   [][2]int
+	n     int
+}
+
+type transEdge struct {
+	from int
+	sym  byte
+	to   int
+}
+
+// frag is a Thompson fragment: one start state, one accept state.
+type frag struct{ start, accept int }
+
+func (p *regexParser) newState() int {
+	s := p.n
+	p.n++
+	return s
+}
+
+func (p *regexParser) build(f frag) *NFA {
+	a := NewNFA(p.n)
+	a.Start = f.start
+	a.Accept[f.accept] = true
+	for _, t := range p.trans {
+		a.AddTransition(t.from, t.sym, t.to)
+	}
+	for _, e := range p.eps {
+		a.AddEps(e[0], e[1])
+	}
+	return a
+}
+
+func (p *regexParser) peek() (byte, bool) {
+	if p.pos < len(p.input) {
+		return p.input[p.pos], true
+	}
+	return 0, false
+}
+
+func (p *regexParser) alternation() (frag, error) {
+	f, err := p.concatenation()
+	if err != nil {
+		return frag{}, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			return f, nil
+		}
+		p.pos++
+		g, err := p.concatenation()
+		if err != nil {
+			return frag{}, err
+		}
+		start, accept := p.newState(), p.newState()
+		p.eps = append(p.eps, [2]int{start, f.start}, [2]int{start, g.start},
+			[2]int{f.accept, accept}, [2]int{g.accept, accept})
+		f = frag{start, accept}
+	}
+}
+
+func (p *regexParser) concatenation() (frag, error) {
+	var parts []frag
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			break
+		}
+		g, err := p.repetition()
+		if err != nil {
+			return frag{}, err
+		}
+		parts = append(parts, g)
+	}
+	if len(parts) == 0 {
+		// ε fragment.
+		s := p.newState()
+		return frag{s, s}, nil
+	}
+	f := parts[0]
+	for _, g := range parts[1:] {
+		p.eps = append(p.eps, [2]int{f.accept, g.start})
+		f = frag{f.start, g.accept}
+	}
+	return f, nil
+}
+
+func (p *regexParser) repetition() (frag, error) {
+	f, err := p.base()
+	if err != nil {
+		return frag{}, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return f, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			start, accept := p.newState(), p.newState()
+			p.eps = append(p.eps, [2]int{start, f.start}, [2]int{start, accept},
+				[2]int{f.accept, f.start}, [2]int{f.accept, accept})
+			f = frag{start, accept}
+		case '+':
+			p.pos++
+			start, accept := p.newState(), p.newState()
+			p.eps = append(p.eps, [2]int{start, f.start},
+				[2]int{f.accept, f.start}, [2]int{f.accept, accept})
+			f = frag{start, accept}
+		case '?':
+			p.pos++
+			start, accept := p.newState(), p.newState()
+			p.eps = append(p.eps, [2]int{start, f.start}, [2]int{start, accept},
+				[2]int{f.accept, accept})
+			f = frag{start, accept}
+		default:
+			return f, nil
+		}
+	}
+}
+
+func (p *regexParser) base() (frag, error) {
+	c, ok := p.peek()
+	if !ok {
+		return frag{}, fmt.Errorf("automata: unexpected end of regex %q", p.input)
+	}
+	switch {
+	case c == '(':
+		p.pos++
+		f, err := p.alternation()
+		if err != nil {
+			return frag{}, err
+		}
+		cc, ok := p.peek()
+		if !ok || cc != ')' {
+			return frag{}, fmt.Errorf("automata: missing ')' in %q", p.input)
+		}
+		p.pos++
+		return f, nil
+	case isSymbol(c):
+		p.pos++
+		start, accept := p.newState(), p.newState()
+		p.trans = append(p.trans, transEdge{start, c, accept})
+		return frag{start, accept}, nil
+	default:
+		return frag{}, fmt.Errorf("automata: unexpected %q at position %d in %q", c, p.pos, p.input)
+	}
+}
+
+func isSymbol(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// RegexAlphabet returns the symbols occurring in the expression.
+func RegexAlphabet(expr string) []byte {
+	var out []byte
+	seen := make(map[byte]bool)
+	for i := 0; i < len(expr); i++ {
+		c := expr[i]
+		if isSymbol(c) && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// UnionRegex joins expressions with '|', parenthesizing each.
+func UnionRegex(exprs ...string) string {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = "(" + e + ")"
+	}
+	return strings.Join(parts, "|")
+}

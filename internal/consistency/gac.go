@@ -1,0 +1,111 @@
+package consistency
+
+import "csdb/internal/csp"
+
+// GAC establishes generalized arc consistency (GAC-3) on the instance as a
+// standalone preprocessing step: for every constraint and every variable in
+// its scope, values without a supporting tuple (under the current domains)
+// are removed, to a fixpoint. Arc consistency on binary constraint networks
+// is the k=2 instance of the strong-k-consistency machinery; GAC is its
+// standard generalization to arbitrary arities.
+//
+// It returns the pruned per-variable domains and whether the instance
+// remains consistent (no domain wiped out). The input is not modified.
+func GAC(p *csp.Instance) (domains [][]int, consistent bool) {
+	dom := make([][]bool, p.Vars)
+	size := make([]int, p.Vars)
+	for v := 0; v < p.Vars; v++ {
+		dom[v] = make([]bool, p.Dom)
+		for _, val := range p.DomainOf(v) {
+			if val >= 0 && val < p.Dom && !dom[v][val] {
+				dom[v][val] = true
+				size[v]++
+			}
+		}
+		if size[v] == 0 {
+			return nil, false
+		}
+	}
+
+	watch := make([][]*csp.Constraint, p.Vars)
+	for _, con := range p.Constraints {
+		seen := map[int]bool{}
+		for _, v := range con.Scope {
+			if !seen[v] {
+				seen[v] = true
+				watch[v] = append(watch[v], con)
+			}
+		}
+	}
+
+	queue := append([]*csp.Constraint(nil), p.Constraints...)
+	inQueue := make(map[*csp.Constraint]bool, len(queue))
+	for _, c := range queue {
+		inQueue[c] = true
+	}
+	for len(queue) > 0 {
+		con := queue[0]
+		queue = queue[1:]
+		inQueue[con] = false
+
+		supported := make([][]bool, len(con.Scope))
+		for i := range supported {
+			supported[i] = make([]bool, p.Dom)
+		}
+	tuples:
+		for _, row := range con.Table.Tuples() {
+			for i, u := range con.Scope {
+				if !dom[u][row[i]] {
+					continue tuples
+				}
+			}
+			for i := range con.Scope {
+				supported[i][row[i]] = true
+			}
+		}
+		for i, u := range con.Scope {
+			changed := false
+			for val := 0; val < p.Dom; val++ {
+				if dom[u][val] && !supported[i][val] {
+					dom[u][val] = false
+					size[u]--
+					changed = true
+				}
+			}
+			if size[u] == 0 {
+				return nil, false
+			}
+			if changed {
+				for _, c2 := range watch[u] {
+					if !inQueue[c2] {
+						inQueue[c2] = true
+						queue = append(queue, c2)
+					}
+				}
+			}
+		}
+	}
+
+	domains = make([][]int, p.Vars)
+	for v := 0; v < p.Vars; v++ {
+		for val := 0; val < p.Dom; val++ {
+			if dom[v][val] {
+				domains[v] = append(domains[v], val)
+			}
+		}
+	}
+	return domains, true
+}
+
+// Propagate returns a copy of the instance whose per-variable domains have
+// been narrowed by GAC, or ok=false when GAC wipes out a domain (the
+// instance is unsatisfiable).
+func Propagate(p *csp.Instance) (*csp.Instance, bool) {
+	domains, consistent := GAC(p)
+	if !consistent {
+		return nil, false
+	}
+	q := p.Clone()
+	q.Domains = domains
+	return q, true
+}

@@ -1,0 +1,340 @@
+// Package core is the unifying public API of the library, realizing the
+// central message of the paper: a constraint-satisfaction problem, a
+// homomorphism problem, a conjunctive-query evaluation, and a
+// conjunctive-query containment check are the same object viewed from four
+// angles (Propositions 2.1–2.3).
+//
+// A Problem can be created from any of the views and converted to the
+// others. Solve picks a strategy automatically: Boolean templates in one of
+// Schaefer's classes go to the dedicated polynomial solver; instances whose
+// primal graph has small treewidth go to the decomposition DP of Theorem
+// 6.2; everything else goes to MAC search (with the join-evaluation solver
+// of Proposition 2.1 available explicitly).
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"csdb/internal/consistency"
+	"csdb/internal/cq"
+	"csdb/internal/csp"
+	"csdb/internal/schaefer"
+	"csdb/internal/structure"
+	"csdb/internal/treewidth"
+)
+
+// Problem is a constraint-satisfaction / homomorphism / query-evaluation
+// problem. Exactly one canonical CSP instance backs it; the structure and
+// query views are materialized on demand.
+type Problem struct {
+	inst *csp.Instance
+	a, b *structure.Structure // cached homomorphism view
+}
+
+// FromCSP wraps a CSP instance.
+func FromCSP(p *csp.Instance) *Problem {
+	return &Problem{inst: p}
+}
+
+// FromStructures builds the problem "is there a homomorphism a → b?".
+func FromStructures(a, b *structure.Structure) (*Problem, error) {
+	inst, err := csp.FromStructures(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{inst: inst, a: a, b: b}, nil
+}
+
+// FromBooleanQuery builds the problem "is the Boolean conjunctive query q
+// true in db?" — by Proposition 2.2 this is the homomorphism problem from
+// q's canonical database into db.
+func FromBooleanQuery(q *cq.Query, db *structure.Structure) (*Problem, error) {
+	if len(q.Head) != 0 {
+		return nil, fmt.Errorf("core: FromBooleanQuery requires a Boolean query, got %d head variables", len(q.Head))
+	}
+	canon, _, err := q.CanonicalDB(db.Voc(), false)
+	if err != nil {
+		return nil, err
+	}
+	return FromStructures(canon, db)
+}
+
+// CSP returns the canonical CSP instance view.
+func (p *Problem) CSP() *csp.Instance { return p.inst }
+
+// Structures returns the homomorphism view (A_P, B_P).
+func (p *Problem) Structures() (*structure.Structure, *structure.Structure, error) {
+	if p.a != nil {
+		return p.a, p.b, nil
+	}
+	a, b, err := csp.ToStructures(p.inst)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.a, p.b = a, b
+	return a, b, nil
+}
+
+// Query returns the conjunctive-query view of Proposition 2.3: the Boolean
+// canonical query φ_A and the database B, such that the problem is solvable
+// iff φ_A is true in B.
+func (p *Problem) Query() (*cq.Query, *structure.Structure, error) {
+	a, b, err := p.Structures()
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := cq.StructureQuery(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, b, nil
+}
+
+// Strategy selects how Solve attacks the problem.
+type Strategy int
+
+const (
+	// Auto picks a strategy from the instance's shape.
+	Auto Strategy = iota
+	// Search is MAC backtracking search.
+	Search
+	// Join evaluates the natural join of the constraint relations
+	// (Proposition 2.1).
+	Join
+	// TreewidthDP runs dynamic programming over a heuristic tree
+	// decomposition of the primal graph (Theorem 6.2).
+	TreewidthDP
+	// Schaefer dispatches Boolean instances to the dichotomy solvers.
+	SchaeferSolver
+	// Tree runs Freuder's backtrack-free algorithm (directional arc
+	// consistency) on tree-structured binary instances.
+	Tree
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Search:
+		return "search"
+	case Join:
+		return "join"
+	case TreewidthDP:
+		return "treewidth-dp"
+	case SchaeferSolver:
+		return "schaefer"
+	case Tree:
+		return "tree"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options configures Solve.
+type Options struct {
+	Strategy Strategy
+	// TreewidthThreshold is the largest heuristic width for which Auto uses
+	// the decomposition DP (default 3).
+	TreewidthThreshold int
+	// Preprocess runs GAC before search (Auto and Search strategies).
+	Preprocess bool
+	// Search options passed through to the MAC solver.
+	Search csp.Options
+}
+
+// Result reports the outcome of Solve.
+type Result struct {
+	Satisfiable bool
+	Assignment  []int
+	// Used is the strategy that actually ran.
+	Used Strategy
+	// SchaeferClass is set when the Schaefer dispatcher solved the problem
+	// with a dedicated class solver.
+	SchaeferClass *schaefer.Class
+	Stats         csp.Stats
+}
+
+// Solve decides the problem.
+func (p *Problem) Solve(opts Options) (Result, error) {
+	inst := p.inst
+	if opts.Preprocess {
+		reduced, ok := consistency.Propagate(inst)
+		if !ok {
+			return Result{Used: chosenOrSearch(opts.Strategy)}, nil
+		}
+		inst = reduced
+	}
+	strategy := opts.Strategy
+	if strategy == Auto {
+		strategy = p.pick(opts)
+	}
+	switch strategy {
+	case Join:
+		res := csp.JoinSolve(inst)
+		return Result{Satisfiable: res.Found, Assignment: res.Solution, Used: Join, Stats: res.Stats}, nil
+	case Tree:
+		res, err := consistency.SolveTree(inst)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Satisfiable: res.Found, Assignment: res.Solution, Used: Tree, Stats: res.Stats}, nil
+	case TreewidthDP:
+		res, err := treewidth.Solve(inst)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Satisfiable: res.Found, Assignment: res.Solution, Used: TreewidthDP, Stats: res.Stats}, nil
+	case SchaeferSolver:
+		sp, err := toSchaefer(inst)
+		if err != nil {
+			return Result{}, err
+		}
+		assign, ok, class, err := schaefer.Solve(sp)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Satisfiable: ok, Assignment: assign, Used: SchaeferSolver, SchaeferClass: class}, nil
+	default:
+		res := csp.Solve(inst, opts.Search)
+		return Result{Satisfiable: res.Found, Assignment: res.Solution, Used: Search, Stats: res.Stats}, nil
+	}
+}
+
+func chosenOrSearch(s Strategy) Strategy {
+	if s == Auto {
+		return Search
+	}
+	return s
+}
+
+// pick implements the Auto strategy choice.
+func (p *Problem) pick(opts Options) Strategy {
+	inst := p.inst
+	// Boolean instance in a Schaefer class?
+	if inst.Dom == 2 {
+		if sp, err := toSchaefer(inst); err == nil && sp.Template.IsTractable() {
+			return SchaeferSolver
+		}
+	}
+	// Tree-structured binary instance: backtrack-free (Freuder).
+	if consistency.IsTreeStructured(inst) {
+		return Tree
+	}
+	// Small treewidth?
+	threshold := opts.TreewidthThreshold
+	if threshold == 0 {
+		threshold = 3
+	}
+	d := treewidth.BestHeuristic(treewidth.PrimalGraph(inst))
+	if d.Width() <= threshold {
+		return TreewidthDP
+	}
+	return Search
+}
+
+// Explain reports which strategy Auto would choose and why.
+func (p *Problem) Explain(opts Options) string {
+	inst := p.inst
+	if inst.Dom == 2 {
+		if sp, err := toSchaefer(inst); err == nil {
+			if classes := sp.Template.Classify(); len(classes) > 0 {
+				return fmt.Sprintf("boolean template in Schaefer classes %v: dedicated polynomial solver", classes)
+			}
+		}
+	}
+	if consistency.IsTreeStructured(inst) {
+		return "tree-structured binary instance: backtrack-free directional arc consistency (Freuder)"
+	}
+	threshold := opts.TreewidthThreshold
+	if threshold == 0 {
+		threshold = 3
+	}
+	d := treewidth.BestHeuristic(treewidth.PrimalGraph(inst))
+	if d.Width() <= threshold {
+		return fmt.Sprintf("primal graph has heuristic treewidth %d <= %d: decomposition DP (Theorem 6.2)", d.Width(), threshold)
+	}
+	return fmt.Sprintf("heuristic treewidth %d above threshold %d, domain size %d: MAC search", d.Width(), threshold, inst.Dom)
+}
+
+// toSchaefer converts a 2-valued CSP instance to a Schaefer template
+// instance, deduplicating constraint tables into template relations.
+func toSchaefer(inst *csp.Instance) (*schaefer.Instance, error) {
+	if inst.Dom != 2 {
+		return nil, fmt.Errorf("core: Schaefer solver needs a Boolean domain, got %d values", inst.Dom)
+	}
+	q := inst.Normalize()
+	tpl := &schaefer.Template{}
+	byKey := make(map[string]int)
+	out := &schaefer.Instance{Template: tpl, NumVars: q.Vars}
+	// Fold per-variable domain restrictions into unary constraints.
+	if q.Domains != nil {
+		for v, dom := range q.Domains {
+			if dom == nil {
+				continue
+			}
+			rel, err := schaefer.NewBoolRel(1)
+			if err != nil {
+				return nil, err
+			}
+			for _, val := range dom {
+				if err := rel.Add([]int{val}); err != nil {
+					return nil, err
+				}
+			}
+			idx := len(tpl.Rels)
+			tpl.Rels = append(tpl.Rels, rel)
+			out.Cons = append(out.Cons, schaefer.Application{Rel: idx, Scope: []int{v}})
+		}
+	}
+	for _, con := range q.Constraints {
+		k := con.Table.Key()
+		idx, ok := byKey[k]
+		if !ok {
+			rel, err := schaefer.NewBoolRel(con.Table.Arity())
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range con.Table.Tuples() {
+				if err := rel.Add(t); err != nil {
+					return nil, err
+				}
+			}
+			idx = len(tpl.Rels)
+			tpl.Rels = append(tpl.Rels, rel)
+			byKey[k] = idx
+		}
+		out.Cons = append(out.Cons, schaefer.Application{Rel: idx, Scope: con.Scope})
+	}
+	return out, nil
+}
+
+// Homomorphism finds a homomorphism a → b (nil, false when none exists).
+func Homomorphism(a, b *structure.Structure) ([]int, bool, error) {
+	p, err := FromStructures(a, b)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := p.Solve(Options{})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Assignment, res.Satisfiable, nil
+}
+
+// Contains decides conjunctive-query containment Q1 ⊆ Q2 (Chandra–Merlin).
+func Contains(q1, q2 *cq.Query) (bool, error) {
+	return cq.Contains(q1, q2)
+}
+
+// MinimizeQuery returns the core of a conjunctive query (the unique minimal
+// equivalent query).
+func MinimizeQuery(q *cq.Query) (*cq.Query, error) {
+	return cq.Minimize(q)
+}
+
+// Count returns the exact number of solutions, computed by dynamic
+// programming over a tree decomposition — polynomial for bounded treewidth
+// (the counting extension of Theorem 6.2).
+func (p *Problem) Count() (*big.Int, error) {
+	return treewidth.Count(p.inst)
+}

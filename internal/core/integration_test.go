@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"csdb/internal/consistency"
+	"csdb/internal/cq"
+	"csdb/internal/csp"
+	"csdb/internal/digraph"
+	"csdb/internal/gen"
+	"csdb/internal/logic"
+	"csdb/internal/pebble"
+	"csdb/internal/treewidth"
+)
+
+// The grand tour: on the same random problem, every view the paper
+// identifies must return the same verdict —
+//
+//	MAC search, join evaluation (Prop 2.1), decomposition DP (Thm 6.2),
+//	the Boolean query φ_A over B (Prop 2.3), the bounded-variable formula
+//	from a tree decomposition (Prop 6.1), the Feder–Vardi digraph encoding,
+//	and (one-sided) the existential pebble game (Thm 4.6).
+func TestGrandTour(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 20; trial++ {
+		a := gen.RandomSymmetricGraph(rng, 3+rng.Intn(3), 0.5)
+		b := gen.RandomSymmetricGraph(rng, 2+rng.Intn(2), 0.6)
+		if a.NumTuples() == 0 || b.NumTuples() == 0 {
+			continue
+		}
+		p, err := FromStructures(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := p.CSP()
+
+		// 1. The reference verdict: MAC search.
+		want := csp.Solve(inst, csp.Options{}).Found
+
+		// 2. Join evaluation (Prop 2.1).
+		if got := csp.JoinSolve(inst).Found; got != want {
+			t.Fatalf("trial %d: join=%v search=%v", trial, got, want)
+		}
+
+		// 3. Decomposition DP (Thm 6.2).
+		dpRes, err := treewidth.Solve(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dpRes.Found != want {
+			t.Fatalf("trial %d: dp=%v search=%v", trial, dpRes.Found, want)
+		}
+
+		// 4. φ_A true in B (Prop 2.3), evaluated through the CQ engine.
+		phiA, err := cq.StructureQuery(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := phiA.True(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth != want {
+			t.Fatalf("trial %d: phi_A=%v search=%v", trial, truth, want)
+		}
+
+		// 5. The bounded-variable formula from a tree decomposition
+		// (Prop 6.1), evaluated through the relational formula engine.
+		f, _, err := treewidth.FormulaForStructure(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		holds, err := logic.Holds(f, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if holds != want {
+			t.Fatalf("trial %d: formula=%v search=%v", trial, holds, want)
+		}
+
+		// 6. The Feder–Vardi digraph encoding.
+		encA, encB, err := digraph.EncodePair(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := csp.HomomorphismExists(encA.Graph, encB.Graph); got != want {
+			t.Fatalf("trial %d: digraph=%v search=%v", trial, got, want)
+		}
+
+		// 7. One-sided game checks (Thm 4.6): a homomorphism means the
+		// Duplicator wins every k-pebble game, and a Spoiler win refutes.
+		for k := 2; k <= 3; k++ {
+			dup, err := pebble.DuplicatorWins(a, b, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want && !dup {
+				t.Fatalf("trial %d: hom exists but Spoiler wins %d-pebble game", trial, k)
+			}
+		}
+
+		// 8. Strong 2-consistency can be established whenever the
+		// Duplicator wins the 2-pebble game (Thm 5.6), and the established
+		// instance preserves the verdict.
+		est, ok, err := consistency.EstablishStrongK(a, b, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			if got := csp.HomomorphismExists(est.APrime, est.BPrime); got != want {
+				t.Fatalf("trial %d: established=%v search=%v", trial, got, want)
+			}
+		} else if want {
+			t.Fatalf("trial %d: hom exists but establishment failed", trial)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package cq_test
+
+import (
+	"fmt"
+
+	"csdb/internal/cq"
+)
+
+// Conjunctive-query containment by the Chandra–Merlin theorem.
+func ExampleContains() {
+	// Every triangle vertex has an outgoing edge.
+	triangle := cq.MustParse("Q(X) :- E(X,Y), E(Y,Z), E(Z,X)")
+	edge := cq.MustParse("Q(X) :- E(X,Y)")
+	c, err := cq.Contains(triangle, edge)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("triangle ⊆ edge:", c)
+	c, err = cq.Contains(edge, triangle)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("edge ⊆ triangle:", c)
+	// Output:
+	// triangle ⊆ edge: true
+	// edge ⊆ triangle: false
+}
+
+// Query minimization removes redundant joins.
+func ExampleMinimize() {
+	q := cq.MustParse("Q(X,Y) :- E(X,Z), E(Z,Y), E(X,W)")
+	m, err := cq.Minimize(q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m)
+	// Output:
+	// Q(X,Y) :- E(X,Z), E(Z,Y).
+}

@@ -1,0 +1,87 @@
+package cq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"csdb/internal/structure"
+)
+
+// The parser must never panic: on arbitrary input it either succeeds or
+// returns an error, and successful parses round-trip through String.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := []byte("QXYZabc(),:-. _|123")
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		input := string(b)
+		q, err := Parse(input)
+		if err != nil {
+			continue
+		}
+		// Successful parses re-parse to the same rendering.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("round trip of %q (from %q) failed: %v", q.String(), input, err)
+		}
+		if q2.String() != q.String() {
+			t.Fatalf("unstable rendering: %q vs %q", q.String(), q2.String())
+		}
+	}
+}
+
+// Mutations of valid queries must never panic either.
+func TestParseMutatedValidQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := "Q(X,Y) :- E(X,Z), F(Z,Y), G(X,Y,Z)."
+	for trial := 0; trial < 3000; trial++ {
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			switch rng.Intn(3) {
+			case 0: // delete
+				if len(b) > 1 {
+					i := rng.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				}
+			case 1: // duplicate
+				i := rng.Intn(len(b))
+				b = append(b[:i], append([]byte{b[i]}, b[i:]...)...)
+			default: // replace
+				i := rng.Intn(len(b))
+				b[i] = byte(" (),:-.|XYZ"[rng.Intn(11)])
+			}
+		}
+		_, _ = Parse(string(b)) // must not panic
+	}
+}
+
+// Evaluate must not panic even for adversarial (but valid) queries against
+// mismatched databases.
+func TestEvaluateOnWeirdQueries(t *testing.T) {
+	queries := []string{
+		"Q(X) :- E(X,X)",
+		"Q :- E(X,Y), E(Y,X), E(X,X)",
+		"Q(A) :- Longpredicatename(A,A)",
+		"Q(X) :- E(X,Y), E(Y,Z), E(Z,W), E(W,V), E(V,X)",
+	}
+	db := structure.NewGraph(3)
+	db.MustAddTuple("E", 0, 1)
+	db.MustAddTuple("E", 1, 2)
+	for _, s := range queries {
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if _, err := q.Evaluate(db); err != nil {
+			// Arity errors are fine; panics are not (reaching here is ok).
+			if !strings.Contains(err.Error(), "arity") {
+				t.Fatalf("%q: unexpected error %v", s, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package cq
+
+// Query minimization — the classical application of the Chandra–Merlin
+// theorem that the paper's Section 2 machinery enables: every conjunctive
+// query is equivalent to a unique minimal query (its *core*), and the core
+// is a subquery: repeatedly deleting subgoals while equivalence (checked by
+// the homomorphism criterion) is preserved terminates in it. Deleting one
+// atom at a time suffices: any retraction of the canonical database onto a
+// proper substructure witnesses the removability of each atom outside its
+// image, so a locally minimal subquery is globally minimal.
+
+// Minimize returns a minimal conjunctive query equivalent to q — the core
+// of q, unique up to variable renaming.
+func Minimize(q *Query) (*Query, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	cur := &Query{Name: q.Name, Head: append([]string(nil), q.Head...), Body: append([]Atom(nil), q.Body...)}
+	for {
+		removed := false
+		for i := 0; i < len(cur.Body) && len(cur.Body) > 1; i++ {
+			cand := &Query{Name: cur.Name, Head: cur.Head}
+			cand.Body = append(cand.Body, cur.Body[:i]...)
+			cand.Body = append(cand.Body, cur.Body[i+1:]...)
+			if cand.Validate() != nil {
+				continue // removal would strand a head variable
+			}
+			// Dropping a conjunct only weakens the query, so cur ⊆ cand
+			// always holds; equivalence needs the converse.
+			ok, err := Contains(cand, cur)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur, nil
+		}
+	}
+}
+
+// IsMinimal reports whether no single subgoal of q can be dropped while
+// preserving equivalence — i.e. whether q is its own core.
+func IsMinimal(q *Query) (bool, error) {
+	m, err := Minimize(q)
+	if err != nil {
+		return false, err
+	}
+	return len(m.Body) == len(q.Body), nil
+}

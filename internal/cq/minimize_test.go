@@ -1,0 +1,89 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinimizeDropsRedundantSubgoals(t *testing.T) {
+	cases := []struct {
+		in       string
+		wantSize int
+	}{
+		// The extra E(X,Z2) folds into E(X,Z).
+		{"Q(X,Y) :- E(X,Z), F(Z,Y), E(X,Z2)", 2},
+		// A chain of length 2 with a redundant parallel copy.
+		{"Q(X,Y) :- E(X,Z), E(Z,Y), E(X,W), E(W,Y)", 2},
+		// Nothing redundant.
+		{"Q(X,Y) :- E(X,Z), E(Z,Y)", 2},
+		{"Q(X) :- E(X,X)", 1},
+		// Folding: Z can be identified with X, so one atom suffices.
+		{"Q :- E(X,Y), E(Z,Y)", 1},
+		// The directed 4-cycle and triangle are cores: every endomorphism
+		// of a directed cycle is an automorphism, so nothing is removable.
+		{"Q :- E(X,Y), E(Y,Z), E(Z,W), E(W,X)", 4},
+		{"Q :- E(X,Y), E(Y,Z), E(Z,X)", 3},
+		// Two parallel length-2 paths fold onto one (U identifies with Y).
+		{"Q(X,Z) :- E(X,Y), E(Y,Z), E(X,U), E(U,Z)", 2},
+	}
+	for _, c := range cases {
+		q := MustParse(c.in)
+		m, err := Minimize(q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		if len(m.Body) != c.wantSize {
+			t.Fatalf("%s: minimized to %d subgoals (%s), want %d", c.in, len(m.Body), m, c.wantSize)
+		}
+		eq, err := Equivalent(q, m)
+		if err != nil || !eq {
+			t.Fatalf("%s: minimized query not equivalent: %v %v", c.in, eq, err)
+		}
+		minimal, err := IsMinimal(m)
+		if err != nil || !minimal {
+			t.Fatalf("%s: result not minimal", c.in)
+		}
+	}
+}
+
+func TestIsMinimal(t *testing.T) {
+	minimal, err := IsMinimal(MustParse("Q(X,Y) :- E(X,Z), E(Z,Y)"))
+	if err != nil || !minimal {
+		t.Fatalf("chain reported non-minimal: %v %v", minimal, err)
+	}
+	minimal, err = IsMinimal(MustParse("Q(X,Y) :- E(X,Y), E(X,Z)"))
+	if err != nil || minimal {
+		t.Fatalf("redundant query reported minimal: %v %v", minimal, err)
+	}
+}
+
+// Property: minimization preserves equivalence and is idempotent on random
+// queries.
+func TestMinimizeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		q := randomQuery(rng)
+		m, err := Minimize(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v (%s)", trial, err, q)
+		}
+		eq, err := Equivalent(q, m)
+		if err != nil || !eq {
+			t.Fatalf("trial %d: not equivalent after minimization (%s -> %s)", trial, q, m)
+		}
+		m2, err := Minimize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m2.Body) != len(m.Body) {
+			t.Fatalf("trial %d: minimization not idempotent", trial)
+		}
+	}
+}
+
+func TestMinimizeRejectsInvalid(t *testing.T) {
+	bad := &Query{Name: "Q", Head: []string{"X"}, Body: nil}
+	if _, err := Minimize(bad); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

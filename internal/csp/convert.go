@@ -1,0 +1,144 @@
+package csp
+
+import (
+	"fmt"
+
+	"csdb/internal/structure"
+)
+
+// This file implements the two translations of Section 2:
+//
+//   CSP instance P  -->  homomorphism instance (A_P, B_P)
+//   pair (A, B)     -->  CSP instance CSP(A, B)
+//
+// and a convenience homomorphism finder built on the CSP solver.
+
+// FromStructures builds the CSP instance CSP(A, B) of a homomorphism
+// instance: variables are A's elements, values are B's elements, and each
+// tuple t in a relation R^A yields the constraint (t, R^B).
+func FromStructures(a, b *structure.Structure) (*Instance, error) {
+	if !a.Voc().Equal(b.Voc()) {
+		return nil, fmt.Errorf("csp: structures have different vocabularies")
+	}
+	p := NewInstance(a.Size(), b.Size())
+	for _, sym := range a.Voc().Symbols() {
+		ain, bin := a.Rel(sym.Name), b.Rel(sym.Name)
+		table := NewTable(sym.Arity)
+		for _, row := range bin.Tuples() {
+			table.Add(row)
+		}
+		for _, t := range ain.Tuples() {
+			if err := p.AddConstraint(t, table); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// MustFromStructures is FromStructures but panics on error.
+func MustFromStructures(a, b *structure.Structure) *Instance {
+	p, err := FromStructures(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ToStructures builds the homomorphism instance (A_P, B_P) of a CSP
+// instance: the domain of A_P is the variable set, the domain of B_P is the
+// value set, B_P interprets the distinct constraint tables, and A_P holds a
+// tuple per constraint scope under the symbol of its table.
+//
+// Scopes with repeated variables are eliminated first (NormalizeDistinct),
+// matching the paper's "without loss of generality" step. Per-variable
+// domain restrictions, if any, become unary constraints before translation.
+func ToStructures(p *Instance) (*structure.Structure, *structure.Structure, error) {
+	q := p.withDomainsAsConstraints().NormalizeDistinct()
+
+	// Deduplicate tables by content; name them R0, R1, ...
+	voc := structure.MustVocabulary()
+	type entry struct {
+		name  string
+		table *Table
+	}
+	byKey := make(map[string]entry)
+	var order []entry
+	for _, con := range q.Constraints {
+		k := con.Table.Key()
+		if _, ok := byKey[k]; !ok {
+			e := entry{name: fmt.Sprintf("R%d", len(order)), table: con.Table}
+			byKey[k] = e
+			order = append(order, e)
+			if err := voc.Add(structure.Symbol{Name: e.name, Arity: con.Table.Arity()}); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	a, err := structure.New(voc, q.Vars)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := structure.New(voc, q.Dom)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range order {
+		for _, row := range e.table.Tuples() {
+			if err := b.AddTuple(e.name, row...); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, con := range q.Constraints {
+		name := byKey[con.Table.Key()].name
+		if err := a.AddTuple(name, con.Scope...); err != nil {
+			return nil, nil, err
+		}
+	}
+	return a, b, nil
+}
+
+// withDomainsAsConstraints folds per-variable domain restrictions into unary
+// constraints so downstream translations see a pure (V, D, C) instance.
+func (p *Instance) withDomainsAsConstraints() *Instance {
+	if p.Domains == nil {
+		return p
+	}
+	out := &Instance{Vars: p.Vars, Dom: p.Dom, Names: p.Names}
+	for v, dom := range p.Domains {
+		if dom == nil {
+			continue
+		}
+		t := NewTable(1)
+		for _, val := range dom {
+			t.Add([]int{val})
+		}
+		out.MustAddConstraint([]int{v}, t)
+	}
+	for _, con := range p.Constraints {
+		out.MustAddConstraint(con.Scope, con.Table.Clone())
+	}
+	return out
+}
+
+// FindHomomorphism searches for a homomorphism from a to b using the MAC
+// solver on CSP(A, B). It returns the mapping and true, or nil and false.
+func FindHomomorphism(a, b *structure.Structure) ([]int, bool) {
+	p, err := FromStructures(a, b)
+	if err != nil {
+		return nil, false
+	}
+	res := Solve(p, Options{})
+	if !res.Found {
+		return nil, false
+	}
+	return res.Solution, true
+}
+
+// HomomorphismExists reports whether a homomorphism a -> b exists.
+func HomomorphismExists(a, b *structure.Structure) bool {
+	_, ok := FindHomomorphism(a, b)
+	return ok
+}

@@ -1,0 +1,88 @@
+package csp
+
+import (
+	"fmt"
+
+	"csdb/internal/relation"
+)
+
+// This file implements Proposition 2.1: viewing every variable as a
+// relational attribute and every constraint (t, R) as a relation R over the
+// scheme t, the instance is solvable iff the natural join of all constraint
+// relations is nonempty.
+
+// attrOf names the relational attribute of variable v.
+func attrOf(v int) string { return fmt.Sprintf("v%d", v) }
+
+// ConstraintRelations converts the (normalized) instance's constraints into
+// attribute-named relations, one per constraint, plus one unary domain
+// relation for every variable mentioned in no constraint (so the join ranges
+// over all variables).
+func ConstraintRelations(p *Instance) []*relation.Relation {
+	q := p.withDomainsAsConstraints().Normalize()
+	rels := make([]*relation.Relation, 0, len(q.Constraints))
+	mentioned := make([]bool, q.Vars)
+	for _, con := range q.Constraints {
+		attrs := make([]string, len(con.Scope))
+		for i, v := range con.Scope {
+			attrs[i] = attrOf(v)
+			mentioned[v] = true
+		}
+		r := relation.MustNew(attrs...)
+		for _, row := range con.Table.Tuples() {
+			r.MustAdd(relation.Tuple(row))
+		}
+		rels = append(rels, r)
+	}
+	for v := 0; v < q.Vars; v++ {
+		if mentioned[v] {
+			continue
+		}
+		r := relation.MustNew(attrOf(v))
+		for _, val := range q.DomainOf(v) {
+			r.MustAdd(relation.Tuple{val})
+		}
+		rels = append(rels, r)
+	}
+	return rels
+}
+
+// JoinSolve decides solvability by evaluating the natural join of the
+// constraint relations (Proposition 2.1) and extracts one solution from a
+// witness tuple when the join is nonempty.
+func JoinSolve(p *Instance) Result {
+	rels := ConstraintRelations(p)
+	j := relation.JoinAll(rels)
+	if j.Empty() {
+		return Result{}
+	}
+	witness := j.Tuples()[0]
+	sol := make([]int, p.Vars)
+	for v := range sol {
+		pos := j.Pos(attrOf(v))
+		if pos < 0 {
+			// Variable absent from every relation: impossible, since
+			// ConstraintRelations adds a unary domain relation; defensive.
+			sol[v] = 0
+			continue
+		}
+		sol[v] = witness[pos]
+	}
+	return Result{Found: true, Solution: sol}
+}
+
+// JoinSolutions returns every solution of the instance as a relation over
+// the attributes v0..v(n-1) — the full join of Proposition 2.1, projected
+// and reordered onto the variable attributes.
+func JoinSolutions(p *Instance) (*relation.Relation, error) {
+	rels := ConstraintRelations(p)
+	j := relation.JoinAll(rels)
+	attrs := make([]string, p.Vars)
+	for v := range attrs {
+		attrs[v] = attrOf(v)
+	}
+	if j.Empty() {
+		return relation.New(attrs...)
+	}
+	return j.Project(attrs...)
+}

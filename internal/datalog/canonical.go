@@ -1,0 +1,166 @@
+package datalog
+
+import (
+	"fmt"
+
+	"csdb/internal/structure"
+)
+
+// This file implements the canonical k-Datalog program of Theorem 4.5(3)
+// for k = 2 over graph vocabularies: for every finite graph template B
+// (with at most 2 nodes, keeping the program size manageable — the
+// construction is exponential in |B|^k), a 2-Datalog program ρ_B whose goal
+// is derivable on an input graph A exactly when the Spoiler wins the
+// existential 2-pebble game on (A, B).
+//
+// The program works on "constraint" IDB predicates indexed by relations
+// over B's domain:
+//
+//	P1_R(x)   — in every Duplicator strategy, the image of x lies in R ⊆ B
+//	P2_R(x,y) — the image pair of (x,y) lies in R ⊆ B²
+//
+// with rules for the sound propagation steps of establishing strong
+// 2-consistency: base facts from B's edge relation, intersection,
+// transposition, projection, diagonal restriction, and cylindrification
+// (kept safe with an active-domain predicate). The Spoiler wins iff some
+// P1_∅(x) becomes derivable — the least fixpoint of the program computes
+// exactly the complement of the largest winning strategy (Theorem 4.6 at
+// k = 2).
+
+// maxCanonicalTemplate bounds |B| for CanonicalProgram; the number of
+// intersection rules grows as 4^(|B|^2).
+const maxCanonicalTemplate = 2
+
+// CanonicalProgram builds ρ_B for the existential 2-pebble game against the
+// graph template b (vocabulary {E/2}, at most 2 nodes). The input graph A
+// is supplied at evaluation time as the EDB relation E.
+func CanonicalProgram(b *structure.Structure) (*Program, error) {
+	if !b.Voc().Has("E") {
+		return nil, fmt.Errorf("datalog: canonical program needs a graph template over {E/2}")
+	}
+	m := b.Size()
+	if m > maxCanonicalTemplate {
+		return nil, fmt.Errorf("datalog: canonical program limited to templates with at most %d nodes, got %d", maxCanonicalTemplate, m)
+	}
+
+	// Relations over B are bitmasks: unary masks over m bits, binary masks
+	// over m*m bits (pair (i,j) is bit i*m+j).
+	nUnary := 1 << uint(m)
+	nBinary := 1 << uint(m*m)
+
+	p1 := func(mask int) string { return fmt.Sprintf("P1_%d", mask) }
+	p2 := func(mask int) string { return fmt.Sprintf("P2_%d", mask) }
+
+	prog := &Program{Goal: "Q"}
+	add := func(head Atom, body ...Atom) {
+		prog.Rules = append(prog.Rules, Rule{Head: head, Body: body})
+	}
+
+	// Active domain (safety witness for cylindrification).
+	add(Atom{"Adom", []string{"X"}}, Atom{"E", []string{"X", "Y"}})
+	add(Atom{"Adom", []string{"X"}}, Atom{"E", []string{"Y", "X"}})
+
+	// Base: every A-edge's image pair must be a B-edge.
+	eMask := 0
+	for _, t := range b.Rel("E").Tuples() {
+		eMask |= 1 << uint(t[0]*m+t[1])
+	}
+	add(Atom{p2(eMask), []string{"X", "Y"}}, Atom{"E", []string{"X", "Y"}})
+
+	// Intersection (binary and unary).
+	for r := 0; r < nBinary; r++ {
+		for s := r + 1; s < nBinary; s++ {
+			if r&s == r || r&s == s { // intersection adds nothing new
+				continue
+			}
+			add(Atom{p2(r & s), []string{"X", "Y"}},
+				Atom{p2(r), []string{"X", "Y"}}, Atom{p2(s), []string{"X", "Y"}})
+		}
+	}
+	for r := 0; r < nUnary; r++ {
+		for s := r + 1; s < nUnary; s++ {
+			if r&s == r || r&s == s {
+				continue
+			}
+			add(Atom{p1(r & s), []string{"X"}},
+				Atom{p1(r), []string{"X"}}, Atom{p1(s), []string{"X"}})
+		}
+	}
+
+	// Transposition, projection, diagonal, cylindrification.
+	transpose := func(r int) int {
+		out := 0
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if r&(1<<uint(i*m+j)) != 0 {
+					out |= 1 << uint(j*m+i)
+				}
+			}
+		}
+		return out
+	}
+	proj1 := func(r int) int {
+		out := 0
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if r&(1<<uint(i*m+j)) != 0 {
+					out |= 1 << uint(i)
+				}
+			}
+		}
+		return out
+	}
+	diag := func(r int) int {
+		out := 0
+		for i := 0; i < m; i++ {
+			if r&(1<<uint(i*m+i)) != 0 {
+				out |= 1 << uint(i)
+			}
+		}
+		return out
+	}
+	cyl1 := func(r int) int { // R × B: first coordinate constrained
+		out := 0
+		for i := 0; i < m; i++ {
+			if r&(1<<uint(i)) == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				out |= 1 << uint(i*m+j)
+			}
+		}
+		return out
+	}
+	for r := 0; r < nBinary; r++ {
+		if t := transpose(r); t != r {
+			add(Atom{p2(t), []string{"X", "Y"}}, Atom{p2(r), []string{"Y", "X"}})
+		}
+		add(Atom{p1(proj1(r)), []string{"X"}}, Atom{p2(r), []string{"X", "Y"}})
+		add(Atom{p1(diag(r)), []string{"X"}}, Atom{p2(r), []string{"X", "X"}})
+	}
+	for r := 0; r < nUnary; r++ {
+		c := cyl1(r)
+		add(Atom{p2(c), []string{"X", "Y"}},
+			Atom{p1(r), []string{"X"}}, Atom{"Adom", []string{"Y"}})
+		add(Atom{p2(transpose(c)), []string{"X", "Y"}},
+			Atom{p1(r), []string{"Y"}}, Atom{"Adom", []string{"X"}})
+	}
+
+	// Goal: some element's image set is empty.
+	add(Atom{Pred: "Q"}, Atom{p1(0), []string{"X"}})
+
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// SpoilerWinsCanonical evaluates ρ_B on the input graph a: true iff the
+// Spoiler wins the existential 2-pebble game on (a, b).
+func SpoilerWinsCanonical(a, b *structure.Structure) (bool, error) {
+	prog, err := CanonicalProgram(b)
+	if err != nil {
+		return false, err
+	}
+	return GoalTrue(prog, GraphEDB(a))
+}

@@ -1,0 +1,130 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"csdb/internal/pebble"
+	"csdb/internal/structure"
+)
+
+func TestCanonicalProgramValidation(t *testing.T) {
+	if _, err := CanonicalProgram(structure.Clique(3)); err == nil {
+		t.Fatal("3-node template accepted")
+	}
+	other := structure.MustNew(structure.MustVocabulary(structure.Symbol{Name: "F", Arity: 2}), 2)
+	if _, err := CanonicalProgram(other); err == nil {
+		t.Fatal("non-graph template accepted")
+	}
+}
+
+func TestCanonicalProgramIs2Datalog(t *testing.T) {
+	prog, err := CanonicalProgram(structure.Clique(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.IsKDatalog(2) {
+		t.Fatalf("canonical program has width %d, want <= 2", prog.Width())
+	}
+	if prog.Goal != "Q" {
+		t.Fatalf("goal = %q", prog.Goal)
+	}
+}
+
+// The defining property (Theorem 4.5(3)): ρ_B derives the goal on A iff the
+// Spoiler wins the existential 2-pebble game on (A, B) — checked against
+// the direct game algorithm for every 2-node template and random inputs.
+func TestCanonicalProgramMatchesGame(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+
+	// All 16 digraph templates on 2 nodes.
+	var templates []*structure.Structure
+	for mask := 0; mask < 16; mask++ {
+		b := structure.NewGraph(2)
+		bit := 0
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if mask&(1<<uint(bit)) != 0 {
+					b.MustAddTuple("E", i, j)
+				}
+				bit++
+			}
+		}
+		templates = append(templates, b)
+	}
+
+	inputs := []*structure.Structure{
+		structure.Cycle(3), structure.Cycle(4), structure.Path(4), structure.Clique(3),
+	}
+	for trial := 0; trial < 10; trial++ {
+		inputs = append(inputs, randomDigraphForTest(rng, 2+rng.Intn(3), 0.5))
+	}
+
+	for bi, b := range templates {
+		prog, err := CanonicalProgram(b)
+		if err != nil {
+			t.Fatalf("template %d: %v", bi, err)
+		}
+		for ai, a := range inputs {
+			got, err := GoalTrue(prog, GraphEDB(a))
+			if err != nil {
+				t.Fatalf("template %d input %d: %v", bi, ai, err)
+			}
+			want, err := pebble.SpoilerWins(a, b, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("template %d input %d: canonical program=%v game=%v", bi, ai, got, want)
+			}
+		}
+	}
+}
+
+// For K2 the 2-pebble game is weaker than non-2-colorability (which needs
+// 3 pebbles): the canonical 2-Datalog program must NOT flag odd cycles —
+// the Duplicator can always keep two pebbles consistent — a sharpness check
+// on the k in Theorem 4.6.
+func TestCanonicalProgramSharpness(t *testing.T) {
+	k2 := structure.Clique(2)
+	for _, n := range []int{3, 5, 7} {
+		got, err := SpoilerWinsCanonical(structure.Cycle(n), k2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			t.Fatalf("2-pebble canonical program flagged C%d (odd cycles need 3 pebbles)", n)
+		}
+	}
+	// Failures 2 pebbles DO catch: a loop in A vs the loop-free K2, and any
+	// edge in A vs an edgeless template.
+	loop := structure.NewGraph(1)
+	loop.MustAddTuple("E", 0, 0)
+	got, err := SpoilerWinsCanonical(loop, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("loop vs K2 not caught")
+	}
+	edgeless := structure.NewGraph(2)
+	got, err = SpoilerWinsCanonical(structure.Path(2), edgeless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("edge vs edgeless template not caught")
+	}
+}
+
+func randomDigraphForTest(rng *rand.Rand, n int, p float64) *structure.Structure {
+	g := structure.NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				g.MustAddTuple("E", i, j)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,332 @@
+// Package datalog implements Datalog programs — finite sets of rules
+// "t0 :- t1, ..., tm" over relational predicates — with semi-naive bottom-up
+// least-fixpoint evaluation, as used throughout Section 4 of the paper.
+//
+// Predicates occurring in rule heads are the intensional (IDB) predicates;
+// all others are extensional (EDB). Evaluation takes EDB relations and
+// returns the least fixpoint of all IDB relations; it runs in time
+// polynomial in the size of the EDBs, which is the paper's route to
+// tractability (expressibility in Datalog ⇒ polynomial time).
+//
+// The package also provides the width measure of k-Datalog (at most k
+// distinct variables in every rule body and at most k in every head) and
+// the concrete programs the paper discusses: non-2-colorability (the
+// 4-Datalog example of Section 4), transitive closure, Horn unsatisfiability
+// and 2-SAT unsatisfiability (the classic tractable CSP(B) complements).
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Atom is a predicate applied to variables. A nil/empty Args list denotes a
+// 0-ary (propositional) predicate such as the goal of a Boolean program.
+type Atom struct {
+	Pred string
+	Args []string
+}
+
+func (a Atom) String() string {
+	if len(a.Args) == 0 {
+		return a.Pred
+	}
+	return a.Pred + "(" + strings.Join(a.Args, ",") + ")"
+}
+
+// Rule is a single Datalog rule Head :- Body.
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// distinctVars returns the number of distinct variables among the atoms.
+func distinctVars(atoms []Atom) int {
+	seen := make(map[string]bool)
+	for _, a := range atoms {
+		for _, v := range a.Args {
+			seen[v] = true
+		}
+	}
+	return len(seen)
+}
+
+// Program is a set of rules with a designated goal predicate.
+type Program struct {
+	Rules []Rule
+	Goal  string
+}
+
+// IDBs returns the intensional predicates (those occurring in rule heads),
+// sorted.
+func (p *Program) IDBs() []string {
+	set := make(map[string]bool)
+	for _, r := range p.Rules {
+		set[r.Head.Pred] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EDBs returns the extensional predicates (those occurring only in bodies),
+// sorted.
+func (p *Program) EDBs() []string {
+	idb := make(map[string]bool)
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	set := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if !idb[a.Pred] {
+				set[a.Pred] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arities returns the arity of every predicate in the program.
+func (p *Program) Arities() (map[string]int, error) {
+	arity := make(map[string]int)
+	record := func(a Atom) error {
+		if prev, ok := arity[a.Pred]; ok && prev != len(a.Args) {
+			return fmt.Errorf("datalog: predicate %s used with arities %d and %d", a.Pred, prev, len(a.Args))
+		}
+		arity[a.Pred] = len(a.Args)
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := record(r.Head); err != nil {
+			return nil, err
+		}
+		for _, a := range r.Body {
+			if err := record(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return arity, nil
+}
+
+// Validate checks rule safety (head variables occur in the body), arity
+// consistency, and that the goal (if set) is an IDB.
+func (p *Program) Validate() error {
+	if _, err := p.Arities(); err != nil {
+		return err
+	}
+	for _, r := range p.Rules {
+		if len(r.Body) == 0 {
+			return fmt.Errorf("datalog: rule %s has an empty body", r)
+		}
+		bodyVars := make(map[string]bool)
+		for _, a := range r.Body {
+			for _, v := range a.Args {
+				bodyVars[v] = true
+			}
+		}
+		for _, v := range r.Head.Args {
+			if !bodyVars[v] {
+				return fmt.Errorf("datalog: unsafe rule %s: head variable %s not in body", r, v)
+			}
+		}
+	}
+	if p.Goal != "" {
+		idb := false
+		for _, n := range p.IDBs() {
+			if n == p.Goal {
+				idb = true
+			}
+		}
+		if !idb {
+			return fmt.Errorf("datalog: goal %s is not an IDB predicate", p.Goal)
+		}
+	}
+	return nil
+}
+
+// Width returns the k for which the program is k-Datalog: the maximum over
+// all rules of the number of distinct variables in the body and in the head.
+func (p *Program) Width() int {
+	w := 0
+	for _, r := range p.Rules {
+		if b := distinctVars(r.Body); b > w {
+			w = b
+		}
+		if h := distinctVars([]Atom{r.Head}); h > w {
+			w = h
+		}
+	}
+	return w
+}
+
+// IsKDatalog reports whether the program is in k-Datalog.
+func (p *Program) IsKDatalog(k int) bool { return p.Width() <= k }
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Parse parses a program: one rule per line ("Head :- Body."), blank lines
+// and lines starting with '%' or '#' ignored. The goal predicate can be
+// declared with a line ".goal Q"; otherwise it defaults to the head of the
+// last rule.
+func Parse(text string) (*Program, error) {
+	p := &Program{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if goal, ok := strings.CutPrefix(line, ".goal"); ok {
+			p.Goal = strings.TrimSpace(goal)
+			continue
+		}
+		r, err := parseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: line %d: %w", ln+1, err)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("datalog: empty program")
+	}
+	if p.Goal == "" {
+		p.Goal = p.Rules[len(p.Rules)-1].Head.Pred
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(text string) *Program {
+	p, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseRule(s string) (Rule, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), ".")
+	parts := strings.SplitN(s, ":-", 2)
+	if len(parts) != 2 {
+		return Rule{}, fmt.Errorf("missing ':-' in %q", s)
+	}
+	head, err := parseAtom(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Rule{}, fmt.Errorf("bad head: %w", err)
+	}
+	var body []Atom
+	depth, start := 0, 0
+	bodyText := parts[1]
+	flush := func(end int) error {
+		txt := strings.TrimSpace(bodyText[start:end])
+		if txt == "" {
+			return fmt.Errorf("empty subgoal in %q", s)
+		}
+		a, err := parseAtom(txt)
+		if err != nil {
+			return err
+		}
+		body = append(body, a)
+		return nil
+	}
+	for i, r := range bodyText {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return Rule{}, fmt.Errorf("unbalanced parentheses in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				if err := flush(i); err != nil {
+					return Rule{}, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return Rule{}, fmt.Errorf("unbalanced parentheses in %q", s)
+	}
+	if err := flush(len(bodyText)); err != nil {
+		return Rule{}, err
+	}
+	return Rule{Head: head, Body: body}, nil
+}
+
+func parseAtom(s string) (Atom, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		if !isIdent(s) {
+			return Atom{}, fmt.Errorf("bad atom %q", s)
+		}
+		return Atom{Pred: s}, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return Atom{}, fmt.Errorf("missing ')' in %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !isIdent(name) {
+		return Atom{}, fmt.Errorf("bad predicate name %q", name)
+	}
+	var args []string
+	for _, part := range strings.Split(s[open+1:len(s)-1], ",") {
+		v := strings.TrimSpace(part)
+		if !isIdent(v) {
+			return Atom{}, fmt.Errorf("bad argument %q in %q", v, s)
+		}
+		args = append(args, v)
+	}
+	if len(args) == 0 {
+		return Atom{}, fmt.Errorf("empty argument list in %q", s)
+	}
+	return Atom{Pred: name, Args: args}, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,40 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The program parser must never panic on arbitrary text.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := []byte("TQXYZE(),:-.\n% abc01_")
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(60)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		p, err := Parse(string(b))
+		if err != nil {
+			continue
+		}
+		// Valid programs evaluate on empty EDBs without panicking.
+		if _, err := Eval(p, Relations{}); err != nil {
+			t.Fatalf("valid program failed to evaluate: %v\n%s", err, p)
+		}
+	}
+}
+
+// Evaluation must terminate on recursive programs whose EDBs are cyclic.
+func TestEvalTerminatesOnCycles(t *testing.T) {
+	p := MustParse("T(X,Y) :- E(X,Y)\nT(X,Y) :- T(X,Z), T(Z,Y)")
+	e := EDBRelation(2, []int{0, 1}, []int{1, 0}, []int{1, 1})
+	res, err := Eval(p, Relations{"E": e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["T"].Len() != 4 {
+		t.Fatalf("TC on 2-cycle = %d pairs, want 4", res["T"].Len())
+	}
+}

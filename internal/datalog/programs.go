@@ -1,0 +1,162 @@
+package datalog
+
+import (
+	"csdb/internal/relation"
+	"csdb/internal/structure"
+)
+
+// This file collects the concrete Datalog programs discussed in the paper:
+// the 4-Datalog program for Non-2-Colorability from Section 4, transitive
+// closure, and the complements of the classic tractable Boolean CSPs
+// (Horn satisfiability and 2-satisfiability) from Schaefer's theorem, whose
+// expressibility in Datalog is the paper's unifying explanation for their
+// tractability.
+
+// NonTwoColorability returns the paper's example program: the goal Q is
+// derivable iff the (symmetric) edge relation E contains a closed walk of
+// odd length, i.e. iff the graph is not 2-colorable.
+//
+//	P(X,Y) :- E(X,Y)
+//	P(X,Y) :- P(X,Z), E(Z,W), E(W,Y)
+//	Q      :- P(X,X)
+func NonTwoColorability() *Program {
+	return MustParse(`
+P(X,Y) :- E(X,Y)
+P(X,Y) :- P(X,Z), E(Z,W), E(W,Y)
+Q :- P(X,X)
+.goal Q
+`)
+}
+
+// TransitiveClosure returns the textbook TC program with goal predicate T.
+//
+//	T(X,Y) :- E(X,Y)
+//	T(X,Y) :- T(X,Z), E(Z,Y)
+func TransitiveClosure() *Program {
+	return MustParse(`
+T(X,Y) :- E(X,Y)
+T(X,Y) :- T(X,Z), E(Z,Y)
+.goal T
+`)
+}
+
+// GraphEDB converts a graph structure (vocabulary {E/2}) into the EDB map
+// expected by the graph programs.
+func GraphEDB(g *structure.Structure) Relations {
+	e := EDBRelation(2)
+	for _, t := range g.Rel("E").Tuples() {
+		e.MustAdd(relation.Tuple(t))
+	}
+	return Relations{"E": e}
+}
+
+// TwoSatUnsat returns a 3-Datalog program whose goal holds iff a 2-CNF
+// formula, encoded as an implication graph over literal vertices, is
+// unsatisfiable: some variable's two literals lie on a common cycle.
+//
+// EDBs: Imp(U,V) — implication edges; Comp(X,Y) — X and Y are the two
+// literals of one variable.
+func TwoSatUnsat() *Program {
+	return MustParse(`
+R(X,Y) :- Imp(X,Y)
+R(X,Y) :- R(X,Z), Imp(Z,Y)
+Q :- Comp(X,Y), R(X,Y), R(Y,X)
+.goal Q
+`)
+}
+
+// TwoCNF is a 2-CNF formula: each clause is a pair of literals; literal i+1
+// is variable i positive, literal -(i+1) is variable i negated. Unit clauses
+// are written as a pair repeating the literal.
+type TwoCNF struct {
+	NumVars int
+	Clauses [][2]int
+}
+
+// litID maps a nonzero literal to a vertex id: variable v's positive literal
+// is 2v, its negative literal 2v+1.
+func litID(lit int) int {
+	v := lit
+	if v < 0 {
+		v = -v
+	}
+	id := 2 * (v - 1)
+	if lit < 0 {
+		id++
+	}
+	return id
+}
+
+// negID returns the vertex id of the complementary literal.
+func negID(id int) int { return id ^ 1 }
+
+// EDB encodes the formula's implication graph for the TwoSatUnsat program:
+// a clause (a ∨ b) contributes edges ¬a → b and ¬b → a.
+func (f TwoCNF) EDB() Relations {
+	imp := EDBRelation(2)
+	for _, c := range f.Clauses {
+		a, b := litID(c[0]), litID(c[1])
+		imp.MustAdd(relation.Tuple{negID(a), b})
+		imp.MustAdd(relation.Tuple{negID(b), a})
+	}
+	comp := EDBRelation(2)
+	for v := 0; v < f.NumVars; v++ {
+		comp.MustAdd(relation.Tuple{2 * v, 2*v + 1})
+	}
+	return Relations{"Imp": imp, "Comp": comp}
+}
+
+// HornUnsat returns a Datalog program whose goal holds iff a Horn formula
+// with at most two negative literals per clause (encoded in the EDBs below)
+// is unsatisfiable. T(X) derives the unit-propagation closure of forced-true
+// variables.
+//
+// EDBs: Fact(X) — clause "x"; Imp1(Y,X) — clause "y → x"; Imp2(Y,Z,X) —
+// clause "y ∧ z → x"; Neg1(X) — clause "¬x"; Neg2(X,Y) — clause "¬x ∨ ¬y".
+func HornUnsat() *Program {
+	return MustParse(`
+T(X) :- Fact(X)
+T(X) :- Imp1(Y,X), T(Y)
+T(X) :- Imp2(Y,Z,X), T(Y), T(Z)
+Q :- Neg1(X), T(X)
+Q :- Neg2(X,Y), T(X), T(Y)
+.goal Q
+`)
+}
+
+// HornFormula is a Horn formula restricted to at most two negative literals
+// per clause (enough for Horn-SAT's hardness and for the CSP(B) encodings
+// used in the experiments). Variables are 0-based.
+type HornFormula struct {
+	NumVars int
+	Facts   []int    // clauses { x }
+	Imp1    [][2]int // clauses { y -> x } as (y, x)
+	Imp2    [][3]int // clauses { y ∧ z -> x } as (y, z, x)
+	Neg1    []int    // clauses { ¬x }
+	Neg2    [][2]int // clauses { ¬x ∨ ¬y }
+}
+
+// EDB encodes the formula for the HornUnsat program.
+func (f HornFormula) EDB() Relations {
+	fact := EDBRelation(1)
+	for _, x := range f.Facts {
+		fact.MustAdd(relation.Tuple{x})
+	}
+	imp1 := EDBRelation(2)
+	for _, c := range f.Imp1 {
+		imp1.MustAdd(relation.Tuple{c[0], c[1]})
+	}
+	imp2 := EDBRelation(3)
+	for _, c := range f.Imp2 {
+		imp2.MustAdd(relation.Tuple{c[0], c[1], c[2]})
+	}
+	neg1 := EDBRelation(1)
+	for _, x := range f.Neg1 {
+		neg1.MustAdd(relation.Tuple{x})
+	}
+	neg2 := EDBRelation(2)
+	for _, c := range f.Neg2 {
+		neg2.MustAdd(relation.Tuple{c[0], c[1]})
+	}
+	return Relations{"Fact": fact, "Imp1": imp1, "Imp2": imp2, "Neg1": neg1, "Neg2": neg2}
+}

@@ -1,0 +1,284 @@
+// Package digraph implements a reduction from the homomorphism problem over
+// arbitrary relational structures to the homomorphism problem over directed
+// graphs — the fact, due to Feder and Vardi and noted after Corollary 7.4
+// of the paper, that "constraint-satisfaction problems over directed graphs
+// are just as hard as general constraint-satisfaction problems". It
+// justifies Section 7's restriction of constraint templates to digraphs.
+//
+// # Construction
+//
+// Fix a vocabulary σ and enumerate its positions: position p = 1..L ranges
+// over all (symbol, argument-index) pairs, in sorted symbol order. The
+// encoding D(X) of a σ-structure X is a digraph with
+//
+//   - an element vertex for every element of X, at level L+2;
+//   - a tuple vertex for every tuple of every relation, at level 0;
+//   - for the i-th position of a tuple t (with global position index p), an
+//     oriented path from the tuple vertex to the element vertex of t[i]
+//     with the shape  forward^(1+p) backward forward^(L+2-p):  it ascends
+//     to a peak at level 1+p, dips one level, then ascends to L+2.
+//
+// Every edge increases the level by exactly one, so D(X) is a *balanced*
+// digraph: any homomorphism between encodings shifts levels by a constant
+// per component, and components containing a tuple span the full level
+// range, forcing the shift to zero. Level preservation pins element
+// vertices to element vertices and tuple vertices to tuple vertices, and
+// the peak/dip shape — peaks have out-degree zero — forces each gadget path
+// onto a gadget path of the *same* position index. Unwinding definitions,
+// homomorphisms D(A) → D(B) restricted to element vertices are exactly the
+// homomorphisms A → B (plus arbitrary images for isolated elements, which
+// are unconstrained on both sides).
+package digraph
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"csdb/internal/structure"
+)
+
+// Encoding is the digraph encoding of a structure, with the bookkeeping
+// needed to read homomorphisms back.
+type Encoding struct {
+	// Graph is the encoding digraph, over the vocabulary {E/2}.
+	Graph *structure.Structure
+	// Element[i] is the vertex of element i of the source structure.
+	Element []int
+	// Levels[v] is the level of vertex v (element vertices sit at the top).
+	Levels []int
+}
+
+// positions enumerates the (symbol, index) pairs of a vocabulary in sorted
+// symbol order, returning the per-symbol starting offsets and the total L.
+func positions(voc *structure.Vocabulary) (offset map[string]int, total int) {
+	syms := append([]structure.Symbol(nil), voc.Symbols()...)
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Name < syms[j].Name })
+	offset = make(map[string]int, len(syms))
+	p := 0
+	for _, s := range syms {
+		offset[s.Name] = p
+		p += s.Arity
+	}
+	return offset, p
+}
+
+// Encode builds the digraph encoding of x. Structures to be compared must
+// share a vocabulary; the position enumeration is canonical (sorted by
+// symbol name), so encodings of like-vocabulary structures are compatible.
+func Encode(x *structure.Structure) (*Encoding, error) {
+	if x.Voc().Len() == 0 {
+		return nil, fmt.Errorf("digraph: empty vocabulary")
+	}
+	offset, L := positions(x.Voc())
+
+	// Count vertices: elements, tuples, and (L+3) interior vertices per
+	// gadget path (a path of L+4 edges has L+3 interior vertices).
+	nElems := x.Size()
+	nTuples := 0
+	nGadgets := 0
+	for _, sym := range x.Voc().Symbols() {
+		cnt := x.Rel(sym.Name).Len()
+		nTuples += cnt
+		nGadgets += cnt * sym.Arity
+	}
+	interiorPer := L + 3
+	n := nElems + nTuples + nGadgets*interiorPer
+
+	g, err := structure.New(structure.GraphVoc(), n)
+	if err != nil {
+		return nil, err
+	}
+	enc := &Encoding{Graph: g, Element: make([]int, nElems), Levels: make([]int, n)}
+	topLevel := L + 2
+
+	next := 0
+	alloc := func() int {
+		v := next
+		next++
+		return v
+	}
+	for i := 0; i < nElems; i++ {
+		v := alloc()
+		enc.Element[i] = v
+		enc.Levels[v] = topLevel
+	}
+
+	addGadget := func(tupleVertex, elemVertex, p int) error {
+		// Vertex sequence z0..z_{L+4} with z0 = tuple vertex and
+		// z_{L+4} = element vertex; edge s is forward except step 2+p,
+		// which is backward (an edge from z_{s} to z_{s-1}).
+		prev := tupleVertex
+		level := 0
+		for s := 1; s <= L+4; s++ {
+			var cur int
+			if s == L+4 {
+				cur = elemVertex
+			} else {
+				cur = alloc()
+			}
+			if s == 2+p {
+				// Backward edge: cur sits one level below prev.
+				level--
+				enc.Levels[cur] = level
+				if err := g.AddTuple("E", cur, prev); err != nil {
+					return err
+				}
+			} else {
+				level++
+				enc.Levels[cur] = level
+				if err := g.AddTuple("E", prev, cur); err != nil {
+					return err
+				}
+			}
+			prev = cur
+		}
+		if level != topLevel {
+			return fmt.Errorf("digraph: internal error: gadget ends at level %d, want %d", level, topLevel)
+		}
+		return nil
+	}
+
+	for _, sym := range x.Voc().Symbols() {
+		base := offset[sym.Name]
+		for _, t := range x.Rel(sym.Name).Tuples() {
+			w := alloc()
+			enc.Levels[w] = 0
+			for i, a := range t {
+				p := base + i + 1 // positions are 1-based
+				if err := addGadget(w, enc.Element[a], p); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if next != n {
+		return nil, fmt.Errorf("digraph: internal error: allocated %d of %d vertices", next, n)
+	}
+	return enc, nil
+}
+
+// EncodePair encodes two like-vocabulary structures; by the reduction,
+// hom(A, B) holds iff hom(EncodePair.A.Graph, EncodePair.B.Graph) holds.
+func EncodePair(a, b *structure.Structure) (encA, encB *Encoding, err error) {
+	if !a.Voc().Equal(b.Voc()) {
+		return nil, nil, fmt.Errorf("digraph: structures have different vocabularies")
+	}
+	encA, err = Encode(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	encB, err = Encode(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return encA, encB, nil
+}
+
+// ExtendHomomorphism lifts a homomorphism h: A → B to the encodings,
+// mapping element vertices via h, each tuple vertex to the vertex of the
+// image tuple, and gadget interiors along the corresponding image gadget.
+// It returns the vertex map, or an error if h is not a homomorphism.
+func ExtendHomomorphism(a, b *structure.Structure, h []int) ([]int, error) {
+	if !structure.IsHomomorphism(a, b, h) {
+		return nil, fmt.Errorf("digraph: not a homomorphism")
+	}
+	encA, err := Encode(a)
+	if err != nil {
+		return nil, err
+	}
+	encB, err := Encode(b)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the deterministic allocation order of both encodings in
+	// lockstep: the vertex layout of Encode is element vertices first, then
+	// per symbol (insertion order), per tuple, one tuple vertex followed by
+	// arity gadget paths of L+2 interior vertices each.
+	_, L := positions(a.Voc())
+	interiorPer := L + 3
+
+	// Index the tuple layout of B: for symbol s, map tuple key to its
+	// vertex block start.
+	type block struct{ tupleVertex int }
+	bBlocks := make(map[string]map[string]block)
+	cursor := b.Size()
+	for _, sym := range b.Voc().Symbols() {
+		m := make(map[string]block)
+		for _, t := range b.Rel(sym.Name).Tuples() {
+			m[key(t)] = block{tupleVertex: cursor}
+			cursor += 1 + sym.Arity*interiorPer
+		}
+		bBlocks[sym.Name] = m
+	}
+
+	out := make([]int, encA.Graph.Size())
+	for i := range out {
+		out[i] = -1
+	}
+	for i, v := range encA.Element {
+		out[v] = encB.Element[h[i]]
+	}
+	cursorA := a.Size()
+	img := make([]int, 8)
+	for _, sym := range a.Voc().Symbols() {
+		for _, t := range a.Rel(sym.Name).Tuples() {
+			it := img[:len(t)]
+			for i, v := range t {
+				it[i] = h[v]
+			}
+			bb, ok := bBlocks[sym.Name][key(it)]
+			if !ok {
+				return nil, fmt.Errorf("digraph: image tuple missing (internal error)")
+			}
+			// Tuple vertex.
+			out[cursorA] = bb.tupleVertex
+			cursorA++
+			// Gadget interiors, position by position, in lockstep.
+			for i := 0; i < len(t); i++ {
+				for s := 0; s < interiorPer; s++ {
+					out[cursorA] = bb.tupleVertex + 1 + i*interiorPer + s
+					cursorA++
+				}
+			}
+		}
+	}
+	if !structure.IsHomomorphism(encA.Graph, encB.Graph, out) {
+		return nil, fmt.Errorf("digraph: lifted map is not a homomorphism (internal error)")
+	}
+	return out, nil
+}
+
+func key(t []int) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// RestrictHomomorphism reads a structure-level map off a digraph
+// homomorphism between encodings: element i of A maps to the element of B
+// whose vertex is the image of A's element vertex. Isolated elements of A
+// (whose vertices are unconstrained and may land anywhere) are mapped to
+// element 0 of B when their image is not an element vertex.
+func RestrictHomomorphism(a *structure.Structure, encA, encB *Encoding, phi []int) ([]int, error) {
+	if len(phi) != encA.Graph.Size() {
+		return nil, fmt.Errorf("digraph: map has wrong size")
+	}
+	// Invert B's element vertex table.
+	elemOf := make(map[int]int, len(encB.Element))
+	for i, v := range encB.Element {
+		elemOf[v] = i
+	}
+	h := make([]int, a.Size())
+	for i, v := range encA.Element {
+		if e, ok := elemOf[phi[v]]; ok {
+			h[i] = e
+		} else {
+			h[i] = 0 // isolated element: unconstrained
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,171 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"csdb/internal/csp"
+	"csdb/internal/structure"
+)
+
+func TestEncodeShape(t *testing.T) {
+	// One binary symbol: L = 2, gadgets have L+3 = 5 interior vertices.
+	a := structure.NewGraph(2)
+	a.MustAddTuple("E", 0, 1)
+	enc, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 elements + 1 tuple + 2 gadgets * 5 interiors = 13 vertices.
+	if enc.Graph.Size() != 13 {
+		t.Fatalf("encoding size = %d, want 13", enc.Graph.Size())
+	}
+	// Balanced: every edge raises the level by one.
+	for _, e := range enc.Graph.Rel("E").Tuples() {
+		if enc.Levels[e[1]] != enc.Levels[e[0]]+1 {
+			t.Fatalf("edge (%d,%d) levels %d -> %d", e[0], e[1], enc.Levels[e[0]], enc.Levels[e[1]])
+		}
+	}
+	// Element vertices at the top level L+2 = 4.
+	for _, v := range enc.Element {
+		if enc.Levels[v] != 4 {
+			t.Fatalf("element vertex at level %d", enc.Levels[v])
+		}
+	}
+	if _, err := Encode(structure.MustNew(structure.MustVocabulary(), 1)); err == nil {
+		t.Fatal("empty vocabulary accepted")
+	}
+}
+
+func TestExtendHomomorphism(t *testing.T) {
+	a, b := structure.Cycle(4), structure.Clique(2)
+	h := []int{0, 1, 0, 1}
+	phi, err := ExtendHomomorphism(a, b, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encA, encB, err := EncodePair(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !structure.IsHomomorphism(encA.Graph, encB.Graph, phi) {
+		t.Fatal("lifted map is not a homomorphism")
+	}
+	// Restricting recovers h on elements.
+	back, err := RestrictHomomorphism(a, encA, encB, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h {
+		if back[i] != h[i] {
+			t.Fatalf("restriction differs at %d: %d vs %d", i, back[i], h[i])
+		}
+	}
+	// Non-homomorphisms are rejected.
+	if _, err := ExtendHomomorphism(a, b, []int{0, 0, 0, 0}); err == nil {
+		t.Fatal("non-homomorphism lifted")
+	}
+}
+
+// The reduction's defining property: hom(A,B) iff hom(D(A), D(B)), checked
+// against the direct solver on graphs (the paper's own template class).
+func TestReductionOnGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *structure.Structure
+	}{
+		{"C4 vs K2", structure.Cycle(4), structure.Clique(2)},
+		{"C3 vs K2", structure.Cycle(3), structure.Clique(2)},
+		{"C5 vs K3", structure.Cycle(5), structure.Clique(3)},
+		{"K3 vs C3", structure.Clique(3), structure.Cycle(3)},
+		{"P3 vs P2", structure.Path(3), structure.Path(2)},
+	}
+	for _, c := range cases {
+		direct := csp.HomomorphismExists(c.a, c.b)
+		encA, encB, err := EncodePair(c.a, c.b)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		viaDigraph := csp.HomomorphismExists(encA.Graph, encB.Graph)
+		if direct != viaDigraph {
+			t.Fatalf("%s: direct=%v digraph=%v", c.name, direct, viaDigraph)
+		}
+	}
+}
+
+// The same equivalence over a mixed vocabulary (unary + binary + ternary):
+// the reduction carries arbitrary structures, and a digraph homomorphism
+// restricts to a structure homomorphism.
+func TestReductionOnRandomStructures(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	voc := structure.MustVocabulary(
+		structure.Symbol{Name: "R", Arity: 2},
+		structure.Symbol{Name: "U", Arity: 1},
+		structure.Symbol{Name: "T", Arity: 3},
+	)
+	randomStructure := func(n int, p float64) *structure.Structure {
+		s := structure.MustNew(voc, n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				s.MustAddTuple("U", i)
+			}
+			for j := 0; j < n; j++ {
+				if rng.Float64() < p {
+					s.MustAddTuple("R", i, j)
+				}
+				if rng.Float64() < p/2 {
+					s.MustAddTuple("T", i, j, rng.Intn(n))
+				}
+			}
+		}
+		return s
+	}
+	for trial := 0; trial < 15; trial++ {
+		a := randomStructure(2+rng.Intn(2), 0.4)
+		b := randomStructure(2+rng.Intn(2), 0.5)
+		direct := csp.HomomorphismExists(a, b)
+		encA, encB, err := EncodePair(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		phi, viaDigraph := csp.FindHomomorphism(encA.Graph, encB.Graph)
+		if direct != viaDigraph {
+			t.Fatalf("trial %d: direct=%v digraph=%v (|D(A)|=%d |D(B)|=%d)",
+				trial, direct, viaDigraph, encA.Graph.Size(), encB.Graph.Size())
+		}
+		if viaDigraph {
+			h, err := RestrictHomomorphism(a, encA, encB, phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !structure.IsHomomorphism(a, b, h) {
+				t.Fatalf("trial %d: restricted map is not a homomorphism", trial)
+			}
+		}
+	}
+}
+
+func TestEncodePairVocabularyMismatch(t *testing.T) {
+	a := structure.Cycle(3)
+	b := structure.MustNew(structure.MustVocabulary(structure.Symbol{Name: "F", Arity: 2}), 2)
+	if _, _, err := EncodePair(a, b); err == nil {
+		t.Fatal("vocabulary mismatch accepted")
+	}
+}
+
+// Isolated elements are unconstrained on both sides: encoding preserves the
+// equivalence.
+func TestReductionWithIsolatedElements(t *testing.T) {
+	a := structure.NewGraph(3)
+	a.MustAddTuple("E", 0, 1) // element 2 isolated
+	b := structure.NewGraph(2)
+	b.MustAddTuple("E", 0, 1)
+	direct := csp.HomomorphismExists(a, b)
+	encA, encB, err := EncodePair(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via := csp.HomomorphismExists(encA.Graph, encB.Graph); via != direct {
+		t.Fatalf("direct=%v digraph=%v", direct, via)
+	}
+}

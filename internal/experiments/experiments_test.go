@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryIntegrity(t *testing.T) {
+	if len(Registry) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(Registry))
+	}
+	seen := map[string]bool{}
+	for i, e := range Registry {
+		want := "E" + itoa(i+1)
+		if e.ID != want {
+			t.Fatalf("registry[%d].ID = %q, want %q", i, e.ID, want)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Name == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Find("e5"); !ok {
+		t.Fatal("case-insensitive Find broken")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+// Each experiment must produce a well-formed table whose agreement columns
+// are full. Running all of them keeps this test meaningful but slow-ish
+// (~10s); the cheap shape checks run on every experiment.
+func TestExperimentsProduceFullAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; run without -short")
+	}
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table := e.Run(7) // a seed different from the published one
+			if table.ID != e.ID || len(table.Header) == 0 || len(table.Rows) == 0 {
+				t.Fatalf("malformed table: %+v", table)
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Header) {
+					t.Fatalf("row width %d != header width %d: %v", len(row), len(table.Header), row)
+				}
+			}
+			md := table.Markdown()
+			if !strings.Contains(md, "| ") || !strings.Contains(md, e.ID) {
+				t.Fatal("markdown rendering broken")
+			}
+			// Agreement cells of the form "a/b" must have a == b; the
+			// experiments are designed so disagreement means a bug.
+			for _, row := range table.Rows {
+				for _, cell := range row {
+					parts := strings.Split(cell, "/")
+					if len(parts) != 2 {
+						continue
+					}
+					if strings.ContainsAny(parts[0], "0123456789") &&
+						strings.ContainsAny(parts[1], "0123456789") &&
+						!strings.Contains(cell, " ") {
+						if parts[0] != parts[1] {
+							t.Errorf("%s: agreement cell %q not full", e.ID, cell)
+						}
+					}
+				}
+			}
+			if strings.Contains(md, "UNEXPECTED") {
+				t.Errorf("%s: unexpected game outcome flagged", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"csdb/internal/cq"
+)
+
+// cqQuery aliases the conjunctive-query type for brevity in this package.
+type cqQuery = cq.Query
+
+func mustParseCQ(s string) *cqQuery { return cq.MustParse(s) }
+
+func mustContains(q1, q2 *cqQuery) bool {
+	ok, err := cq.Contains(q1, q2)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+func mustContainsHom(q1, q2 *cqQuery) bool {
+	ok, err := cq.ContainsViaHomomorphism(q1, q2)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// randomCQ builds a random conjunctive query over a binary predicate E with
+// nVars variables and nAtoms subgoals, one distinguished variable.
+func randomCQ(rng *rand.Rand, nVars, nAtoms int) *cqQuery {
+	names := []string{"X", "Y", "Z", "W", "V"}
+	vars := names[:nVars]
+	q := &cq.Query{Name: "Q"}
+	for i := 0; i < nAtoms; i++ {
+		q.Body = append(q.Body, cq.Atom{Pred: "E", Args: []string{
+			vars[rng.Intn(nVars)], vars[rng.Intn(nVars)],
+		}})
+	}
+	q.Head = []string{q.Body[0].Args[rng.Intn(2)]}
+	return q
+}

@@ -1,0 +1,364 @@
+// Package gen generates the workloads used by the experiments and
+// benchmarks: random graphs and digraphs, partial k-trees (inputs of known
+// treewidth for Theorem 6.2), model-B random CSPs, coloring and n-queens
+// instances, chain/star/cycle conjunctive queries, and random Boolean
+// relations closed under a chosen Schaefer polymorphism.
+//
+// All generators take explicit *rand.Rand sources so experiments are
+// reproducible from seeds.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"csdb/internal/csp"
+	"csdb/internal/graph"
+	"csdb/internal/schaefer"
+	"csdb/internal/structure"
+)
+
+// RandomGraph returns a G(n, p) undirected graph.
+func RandomGraph(rng *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// RandomDigraph returns a loop-free random digraph structure over {E/2}.
+func RandomDigraph(rng *rand.Rand, n int, p float64) *structure.Structure {
+	g := structure.NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				g.MustAddTuple("E", i, j)
+			}
+		}
+	}
+	return g
+}
+
+// RandomSymmetricGraph returns a random symmetric (undirected) graph
+// structure over {E/2}.
+func RandomSymmetricGraph(rng *rand.Rand, n int, p float64) *structure.Structure {
+	g := structure.NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				structure.AddUndirectedEdge(g, i, j)
+			}
+		}
+	}
+	return g
+}
+
+// PartialKTree returns a connected graph of treewidth at most k on n
+// vertices, together with an elimination ordering witnessing the width
+// bound (the reverse construction order). Construction: start from K_{k+1},
+// repeatedly attach a fresh vertex to a random k-clique of the current
+// graph, then delete each edge independently with probability dropP
+// (subgraphs of k-trees are exactly the graphs of treewidth <= k).
+func PartialKTree(rng *rand.Rand, n, k int, dropP float64) (*graph.Graph, []int) {
+	if n < k+1 {
+		n = k + 1
+	}
+	g := graph.New(n)
+	cliques := [][]int{}
+	base := make([]int, k+1)
+	for i := range base {
+		base[i] = i
+	}
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	// Seed cliques: all k-subsets of the base clique.
+	for drop := 0; drop <= k; drop++ {
+		c := make([]int, 0, k)
+		for i := 0; i <= k; i++ {
+			if i != drop {
+				c = append(c, i)
+			}
+		}
+		cliques = append(cliques, c)
+	}
+	for v := k + 1; v < n; v++ {
+		c := cliques[rng.Intn(len(cliques))]
+		for _, u := range c {
+			g.AddEdge(v, u)
+		}
+		// New k-cliques: v with each (k-1)-subset of c.
+		for drop := 0; drop < len(c); drop++ {
+			nc := make([]int, 0, k)
+			nc = append(nc, v)
+			for i, u := range c {
+				if i != drop {
+					nc = append(nc, u)
+				}
+			}
+			cliques = append(cliques, nc)
+		}
+	}
+	// Elimination ordering: reverse construction order (vertices n-1..k+1,
+	// then the base clique) has width <= k on the k-tree, hence on any
+	// subgraph.
+	order := make([]int, 0, n)
+	for v := n - 1; v >= 0; v-- {
+		order = append(order, v)
+	}
+	if dropP > 0 {
+		pruned := graph.New(n)
+		for _, e := range g.Edges() {
+			if rng.Float64() >= dropP {
+				pruned.AddEdge(e[0], e[1])
+			}
+		}
+		g = pruned
+	}
+	return g, order
+}
+
+// NotEqualTable returns the binary disequality table over d values (the
+// graph-coloring constraint).
+func NotEqualTable(d int) *csp.Table {
+	t := csp.NewTable(2)
+	for a := 0; a < d; a++ {
+		for b := 0; b < d; b++ {
+			if a != b {
+				t.Add([]int{a, b})
+			}
+		}
+	}
+	return t
+}
+
+// RandomBinaryTable returns a binary table over d values keeping each pair
+// with probability 1-tightness.
+func RandomBinaryTable(rng *rand.Rand, d int, tightness float64) *csp.Table {
+	t := csp.NewTable(2)
+	for a := 0; a < d; a++ {
+		for b := 0; b < d; b++ {
+			if rng.Float64() >= tightness {
+				t.Add([]int{a, b})
+			}
+		}
+	}
+	return t
+}
+
+// ModelB returns a model-B-style random binary CSP: n variables, d values,
+// each of the possible variable pairs constrained with probability density,
+// each constraint forbidding a fraction tightness of the d² value pairs.
+func ModelB(rng *rand.Rand, n, d int, density, tightness float64) *csp.Instance {
+	p := csp.NewInstance(n, d)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				p.MustAddConstraint([]int{i, j}, RandomBinaryTable(rng, d, tightness))
+			}
+		}
+	}
+	return p
+}
+
+// CSPOnGraph places one random binary constraint on each edge of the graph
+// (so the instance's primal graph is exactly g).
+func CSPOnGraph(rng *rand.Rand, g *graph.Graph, d int, tightness float64) *csp.Instance {
+	p := csp.NewInstance(g.N(), d)
+	for _, e := range g.Edges() {
+		if e[0] == e[1] {
+			continue
+		}
+		p.MustAddConstraint([]int{e[0], e[1]}, RandomBinaryTable(rng, d, tightness))
+	}
+	return p
+}
+
+// Coloring returns the k-coloring instance of a graph.
+func Coloring(g *graph.Graph, k int) *csp.Instance {
+	p := csp.NewInstance(g.N(), k)
+	neq := NotEqualTable(k)
+	for _, e := range g.Edges() {
+		if e[0] != e[1] {
+			p.MustAddConstraint([]int{e[0], e[1]}, neq)
+		}
+	}
+	return p
+}
+
+// NQueens returns the n-queens problem as a binary CSP: one variable per
+// row (the queen's column), with non-attack constraints between every pair
+// of rows.
+func NQueens(n int) *csp.Instance {
+	p := csp.NewInstance(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t := csp.NewTable(2)
+			diff := j - i
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					if a != b && a-b != diff && b-a != diff {
+						t.Add([]int{a, b})
+					}
+				}
+			}
+			p.MustAddConstraint([]int{i, j}, t)
+		}
+	}
+	return p
+}
+
+// ChainQuery returns Q(V0,Vn) :- R(V0,V1), ..., R(V(n-1),Vn) as rule text.
+func ChainQuery(n int) string {
+	body := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			body += ", "
+		}
+		body += fmt.Sprintf("R(V%d,V%d)", i, i+1)
+	}
+	return fmt.Sprintf("Q(V0,V%d) :- %s.", n, body)
+}
+
+// StarQuery returns Q(V0) :- R(V0,V1), ..., R(V0,Vn).
+func StarQuery(n int) string {
+	body := ""
+	for i := 1; i <= n; i++ {
+		if i > 1 {
+			body += ", "
+		}
+		body += fmt.Sprintf("R(V0,V%d)", i)
+	}
+	return fmt.Sprintf("Q(V0) :- %s.", body)
+}
+
+// CycleQuery returns the Boolean cycle query of length n (cyclic for n>=3).
+func CycleQuery(n int) string {
+	body := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			body += ", "
+		}
+		body += fmt.Sprintf("R(V%d,V%d)", i, (i+1)%n)
+	}
+	return fmt.Sprintf("Q :- %s.", body)
+}
+
+// ClosedBoolRel returns a random Boolean relation of the given arity closed
+// under the polymorphism of the class: random seed tuples are closed under
+// the characteristic operation (AND, OR, majority, or ⊕3); for 0/1-valid
+// the constant tuple is added.
+func ClosedBoolRel(rng *rand.Rand, arity int, class schaefer.Class, seeds int) *schaefer.BoolRel {
+	tuples := make(map[int][]int)
+	randTuple := func() []int {
+		t := make([]int, arity)
+		for i := range t {
+			t[i] = rng.Intn(2)
+		}
+		return t
+	}
+	code := func(t []int) int {
+		c := 0
+		for _, v := range t {
+			c = c<<1 | v
+		}
+		return c
+	}
+	for i := 0; i < seeds; i++ {
+		t := randTuple()
+		tuples[code(t)] = t
+	}
+	switch class {
+	case schaefer.ZeroValid:
+		z := make([]int, arity)
+		tuples[0] = z
+	case schaefer.OneValid:
+		o := make([]int, arity)
+		for i := range o {
+			o[i] = 1
+		}
+		tuples[code(o)] = o
+	case schaefer.Horn, schaefer.DualHorn:
+		closeBinary(tuples, arity, class == schaefer.Horn)
+	case schaefer.Bijunctive, schaefer.Affine:
+		closeTernary(tuples, arity, class == schaefer.Bijunctive)
+	}
+	rel := schaefer.MustBoolRel(arity)
+	for _, t := range tuples {
+		if err := rel.Add(t); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}
+
+func closeBinary(tuples map[int][]int, arity int, isAnd bool) {
+	for changed := true; changed; {
+		changed = false
+		var list [][]int
+		for _, t := range tuples {
+			list = append(list, t)
+		}
+		for _, a := range list {
+			for _, b := range list {
+				c := make([]int, arity)
+				for i := range c {
+					if isAnd {
+						c[i] = a[i] & b[i]
+					} else {
+						c[i] = a[i] | b[i]
+					}
+				}
+				k := codeOf(c)
+				if _, ok := tuples[k]; !ok {
+					tuples[k] = c
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func closeTernary(tuples map[int][]int, arity int, isMajority bool) {
+	for changed := true; changed; {
+		changed = false
+		var list [][]int
+		for _, t := range tuples {
+			list = append(list, t)
+		}
+		for _, a := range list {
+			for _, b := range list {
+				for _, c := range list {
+					d := make([]int, arity)
+					for i := range d {
+						if isMajority {
+							d[i] = a[i]&b[i] | a[i]&c[i] | b[i]&c[i]
+						} else {
+							d[i] = a[i] ^ b[i] ^ c[i]
+						}
+					}
+					k := codeOf(d)
+					if _, ok := tuples[k]; !ok {
+						tuples[k] = d
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func codeOf(t []int) int {
+	c := 0
+	for _, v := range t {
+		c = c<<1 | v
+	}
+	return c
+}

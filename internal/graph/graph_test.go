@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(0, 9) || g.HasEdge(-1, 0) {
+		t.Fatal("phantom edge")
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	g.AddEdge(0, 1) // parallel edge ignored
+	if g.NumEdges() != 2 {
+		t.Fatal("parallel edge counted")
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("Degree(1) = %d", g.Degree(1))
+	}
+}
+
+func TestLoops(t *testing.T) {
+	g := New(2)
+	if g.HasLoop() {
+		t.Fatal("loop in empty graph")
+	}
+	g.AddEdge(1, 1)
+	if !g.HasLoop() {
+		t.Fatal("loop not detected")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("loop edge count = %d, want 1", g.NumEdges())
+	}
+	if g.IsBipartite() {
+		t.Fatal("graph with loop reported bipartite")
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range edge")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestTwoColorOnKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"even cycle", Cycle(8), true},
+		{"odd cycle", Cycle(7), false},
+		{"path", Path(9), true},
+		{"K2", Clique(2), true},
+		{"K3", Clique(3), false},
+		{"grid", Grid(4, 5), true},
+		{"complete bipartite", CompleteBipartite(3, 4), true},
+		{"petersen", Petersen(), false},
+		{"empty", New(5), true},
+	}
+	for _, c := range cases {
+		col, ok := c.g.TwoColor()
+		if ok != c.want {
+			t.Fatalf("%s: bipartite = %v, want %v", c.name, ok, c.want)
+		}
+		if ok {
+			for _, e := range c.g.Edges() {
+				if col[e[0]] == col[e[1]] {
+					t.Fatalf("%s: invalid 2-coloring at edge %v", c.name, e)
+				}
+			}
+		}
+		if c.g.HasOddCycle() == c.want {
+			t.Fatalf("%s: HasOddCycle inconsistent with bipartiteness", c.name)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[2] != 1 || sizes[3] != 1 || sizes[1] != 1 {
+		t.Fatalf("component sizes wrong: %v", sizes)
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	if Clique(5).NumEdges() != 10 {
+		t.Fatal("K5 edge count")
+	}
+	if Cycle(6).NumEdges() != 6 {
+		t.Fatal("C6 edge count")
+	}
+	if Grid(3, 4).NumEdges() != 3*3+2*4 {
+		t.Fatal("grid edge count")
+	}
+	p := Petersen()
+	if p.NumEdges() != 15 {
+		t.Fatalf("petersen edges = %d, want 15", p.NumEdges())
+	}
+	for v := 0; v < 10; v++ {
+		if p.Degree(v) != 3 {
+			t.Fatalf("petersen degree(%d) = %d, want 3", v, p.Degree(v))
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Cycle(4)
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Fatal("clone shares adjacency")
+	}
+}
+
+// Property: a random bipartite-by-construction graph is always 2-colorable,
+// and adding an edge inside one part of an odd structure breaks it exactly
+// when it creates an odd cycle (checked against brute force).
+func TestBipartiteByConstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 2+rng.Intn(4), 2+rng.Intn(4)
+		g := New(m + n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					g.AddEdge(i, m+j)
+				}
+			}
+		}
+		return g.IsBipartite()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TwoColor agrees with brute-force 2-colorability on small graphs.
+func TestTwoColorAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		want := false
+	assign:
+		for mask := 0; mask < 1<<n; mask++ {
+			for _, e := range g.Edges() {
+				if (mask>>e[0])&1 == (mask>>e[1])&1 {
+					continue assign
+				}
+			}
+			want = true
+			break
+		}
+		if g.IsBipartite() != want {
+			t.Fatalf("trial %d (n=%d): IsBipartite = %v, brute force = %v", trial, n, g.IsBipartite(), want)
+		}
+	}
+}

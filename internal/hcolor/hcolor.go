@@ -1,0 +1,173 @@
+// Package hcolor implements H-coloring — homomorphisms of undirected graphs
+// into a fixed template graph H — and the Hell–Nešetřil dichotomy that
+// Section 3 of the paper presents: CSP(H) is polynomial when H has a loop
+// or is bipartite, and NP-complete otherwise.
+//
+// The tractable side is realized by dedicated polynomial algorithms (loops
+// and edgeless templates are trivial; bipartite templates reduce to
+// 2-coloring of the input); the NP-complete side falls back to constraint
+// search via the csp package.
+package hcolor
+
+import (
+	"fmt"
+
+	"csdb/internal/csp"
+	"csdb/internal/graph"
+	"csdb/internal/structure"
+)
+
+// Side identifies which side of the Hell–Nešetřil dichotomy a template
+// falls on, and why.
+type Side int
+
+const (
+	// TrivialLoop: H has a loop, every graph maps to it.
+	TrivialLoop Side = iota
+	// TrivialEdgeless: H has no edge, only edgeless graphs map to it.
+	TrivialEdgeless
+	// PolynomialBipartite: H is bipartite with an edge; G maps to H iff G
+	// is 2-colorable.
+	PolynomialBipartite
+	// NPComplete: H is loop-free, non-bipartite — CSP(H) is NP-complete.
+	NPComplete
+)
+
+func (s Side) String() string {
+	switch s {
+	case TrivialLoop:
+		return "trivial (loop)"
+	case TrivialEdgeless:
+		return "trivial (edgeless)"
+	case PolynomialBipartite:
+		return "polynomial (bipartite)"
+	case NPComplete:
+		return "NP-complete"
+	}
+	return fmt.Sprintf("Side(%d)", int(s))
+}
+
+// Classify places the template graph on its side of the dichotomy.
+func Classify(h *graph.Graph) Side {
+	if h.HasLoop() {
+		return TrivialLoop
+	}
+	if h.NumEdges() == 0 {
+		return TrivialEdgeless
+	}
+	if h.IsBipartite() {
+		return PolynomialBipartite
+	}
+	return NPComplete
+}
+
+// Result of an H-coloring attempt.
+type Result struct {
+	Exists  bool
+	Mapping []int // a homomorphism G -> H when Exists
+	Side    Side  // the dichotomy side of the template used
+}
+
+// Solve decides whether g maps homomorphically into h, dispatching on the
+// dichotomy side of h: the tractable cases avoid search entirely.
+func Solve(g, h *graph.Graph) (Result, error) {
+	side := Classify(h)
+	switch side {
+	case TrivialLoop:
+		loop := -1
+		for v := 0; v < h.N(); v++ {
+			if h.HasEdge(v, v) {
+				loop = v
+				break
+			}
+		}
+		m := make([]int, g.N())
+		for i := range m {
+			m[i] = loop
+		}
+		return Result{Exists: true, Mapping: m, Side: side}, nil
+
+	case TrivialEdgeless:
+		if g.NumEdges() > 0 {
+			return Result{Side: side}, nil
+		}
+		if h.N() == 0 {
+			if g.N() == 0 {
+				return Result{Exists: true, Mapping: []int{}, Side: side}, nil
+			}
+			return Result{Side: side}, nil
+		}
+		m := make([]int, g.N())
+		return Result{Exists: true, Mapping: m, Side: side}, nil
+
+	case PolynomialBipartite:
+		coloring, ok := g.TwoColor()
+		if !ok {
+			return Result{Side: side}, nil
+		}
+		// Map color classes to the endpoints of any H edge.
+		var a, b = -1, -1
+		for _, e := range h.Edges() {
+			a, b = e[0], e[1]
+			break
+		}
+		m := make([]int, g.N())
+		for v, c := range coloring {
+			if c == 0 {
+				m[v] = a
+			} else {
+				m[v] = b
+			}
+		}
+		return Result{Exists: true, Mapping: m, Side: side}, nil
+
+	default: // NPComplete: general search
+		gs, hs := ToStructure(g), ToStructure(h)
+		mapping, ok := csp.FindHomomorphism(gs, hs)
+		return Result{Exists: ok, Mapping: mapping, Side: side}, nil
+	}
+}
+
+// Verify checks that mapping is a homomorphism g -> h.
+func Verify(g, h *graph.Graph, mapping []int) bool {
+	if len(mapping) != g.N() {
+		return false
+	}
+	for _, m := range mapping {
+		if m < 0 || m >= h.N() {
+			return false
+		}
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(mapping[e[0]], mapping[e[1]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ToStructure converts an undirected graph to a symmetric graph structure.
+func ToStructure(g *graph.Graph) *structure.Structure {
+	s := structure.NewGraph(g.N())
+	for _, e := range g.Edges() {
+		s.MustAddTuple("E", e[0], e[1])
+		if e[0] != e[1] {
+			s.MustAddTuple("E", e[1], e[0])
+		}
+	}
+	return s
+}
+
+// KColorable reports whether g is k-colorable, as CSP(K_k) — the example the
+// paper uses for the Hell–Nešetřil theorem. For k = 2 the polynomial route
+// is used; for k >= 3 this is a search.
+func KColorable(g *graph.Graph, k int) (bool, []int, error) {
+	if k < 1 {
+		return false, nil, fmt.Errorf("hcolor: k must be >= 1, got %d", k)
+	}
+	res, err := Solve(g, graph.Clique(k))
+	if err != nil {
+		return false, nil, err
+	}
+	return res.Exists, res.Mapping, nil
+}

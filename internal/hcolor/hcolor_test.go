@@ -1,0 +1,219 @@
+package hcolor
+
+import (
+	"math/rand"
+	"testing"
+
+	"csdb/internal/graph"
+)
+
+func TestClassify(t *testing.T) {
+	loop := graph.New(2)
+	loop.AddEdge(0, 0)
+	cases := []struct {
+		name string
+		h    *graph.Graph
+		want Side
+	}{
+		{"loop", loop, TrivialLoop},
+		{"edgeless", graph.New(3), TrivialEdgeless},
+		{"K2", graph.Clique(2), PolynomialBipartite},
+		{"even cycle", graph.Cycle(6), PolynomialBipartite},
+		{"path", graph.Path(4), PolynomialBipartite},
+		{"K3", graph.Clique(3), NPComplete},
+		{"C5", graph.Cycle(5), NPComplete},
+		{"petersen", graph.Petersen(), NPComplete},
+	}
+	for _, c := range cases {
+		if got := Classify(c.h); got != c.want {
+			t.Fatalf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// bruteForceHom checks homomorphism existence by enumeration.
+func bruteForceHom(g, h *graph.Graph) bool {
+	if g.N() == 0 {
+		return true
+	}
+	if h.N() == 0 {
+		return false
+	}
+	m := make([]int, g.N())
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == g.N() {
+			return Verify(g, h, m)
+		}
+		for v := 0; v < h.N(); v++ {
+			m[i] = v
+			// Prune: check edges among assigned vertices.
+			ok := true
+			for j := 0; j <= i && ok; j++ {
+				if g.HasEdge(i, j) && !h.HasEdge(m[i], m[j]) {
+					ok = false
+				}
+			}
+			if ok && rec(i+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	loopy := graph.New(3)
+	loopy.AddEdge(0, 1)
+	loopy.AddEdge(2, 2)
+	templates := []*graph.Graph{
+		graph.Clique(2), graph.Clique(3), graph.Cycle(5), graph.Cycle(4),
+		graph.New(2), loopy, graph.Path(3),
+	}
+	for trial := 0; trial < 40; trial++ {
+		g := randomG(rng, 1+rng.Intn(6), 0.4)
+		for hi, h := range templates {
+			res, err := Solve(g, h)
+			if err != nil {
+				t.Fatalf("trial %d template %d: %v", trial, hi, err)
+			}
+			want := bruteForceHom(g, h)
+			if res.Exists != want {
+				t.Fatalf("trial %d template %d: solve=%v brute=%v", trial, hi, res.Exists, want)
+			}
+			if res.Exists && !Verify(g, h, res.Mapping) {
+				t.Fatalf("trial %d template %d: invalid mapping", trial, hi)
+			}
+		}
+	}
+}
+
+func TestSolveUsesDichotomySides(t *testing.T) {
+	g := graph.Cycle(6)
+	res, err := Solve(g, graph.Clique(2))
+	if err != nil || !res.Exists || res.Side != PolynomialBipartite {
+		t.Fatalf("C6->K2: %+v %v", res, err)
+	}
+	res, err = Solve(graph.Cycle(5), graph.Clique(2))
+	if err != nil || res.Exists {
+		t.Fatalf("C5->K2: %+v %v", res, err)
+	}
+	res, err = Solve(graph.Petersen(), graph.Clique(3))
+	if err != nil || !res.Exists || res.Side != NPComplete {
+		t.Fatalf("petersen->K3: %+v %v", res, err)
+	}
+}
+
+func TestKColorable(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+		want bool
+	}{
+		{"petersen 3-col", graph.Petersen(), 3, true},
+		{"petersen 2-col", graph.Petersen(), 2, false},
+		{"K4 3-col", graph.Clique(4), 3, false},
+		{"K4 4-col", graph.Clique(4), 4, true},
+		{"C7 2-col", graph.Cycle(7), 2, false},
+		{"C7 3-col", graph.Cycle(7), 3, true},
+		{"edgeless 1-col", graph.New(5), 1, true},
+	}
+	for _, c := range cases {
+		ok, m, err := KColorable(c.g, c.k)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if ok != c.want {
+			t.Fatalf("%s: %v, want %v", c.name, ok, c.want)
+		}
+		if ok && !Verify(c.g, graph.Clique(c.k), m) {
+			t.Fatalf("%s: invalid coloring", c.name)
+		}
+	}
+	if _, _, err := KColorable(graph.New(1), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestEdgelessTemplateCases(t *testing.T) {
+	res, err := Solve(graph.New(3), graph.New(2))
+	if err != nil || !res.Exists {
+		t.Fatalf("edgeless -> edgeless: %+v %v", res, err)
+	}
+	res, err = Solve(graph.Clique(2), graph.New(2))
+	if err != nil || res.Exists {
+		t.Fatalf("edge -> edgeless: %+v %v", res, err)
+	}
+	res, err = Solve(graph.New(0), graph.New(0))
+	if err != nil || !res.Exists {
+		t.Fatalf("empty -> empty: %+v %v", res, err)
+	}
+	res, err = Solve(graph.New(1), graph.New(0))
+	if err != nil || res.Exists {
+		t.Fatalf("vertex -> empty domain: %+v %v", res, err)
+	}
+}
+
+// The core dichotomy fact exercised empirically: for bipartite H with an
+// edge, G -> H iff G is 2-colorable.
+func TestBipartiteTemplateEquals2Colorability(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	h := graph.Cycle(8) // bipartite template, more complex than K2
+	for trial := 0; trial < 60; trial++ {
+		g := randomG(rng, 2+rng.Intn(6), 0.35)
+		res, err := Solve(g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exists != g.IsBipartite() {
+			t.Fatalf("trial %d: exists=%v bipartite=%v", trial, res.Exists, g.IsBipartite())
+		}
+	}
+}
+
+func randomG(rng *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestSideStrings(t *testing.T) {
+	for s, want := range map[Side]string{
+		TrivialLoop:         "trivial (loop)",
+		TrivialEdgeless:     "trivial (edgeless)",
+		PolynomialBipartite: "polynomial (bipartite)",
+		NPComplete:          "NP-complete",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if Side(42).String() != "Side(42)" {
+		t.Fatalf("unknown side = %q", Side(42).String())
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	g, h := graph.Cycle(4), graph.Clique(2)
+	if Verify(g, h, []int{0, 1, 0}) {
+		t.Fatal("short mapping accepted")
+	}
+	if Verify(g, h, []int{0, 1, 0, 5}) {
+		t.Fatal("out-of-range mapping accepted")
+	}
+	if Verify(g, h, []int{0, 1, 1, 0}) {
+		t.Fatal("non-homomorphism accepted")
+	}
+	if !Verify(g, h, []int{0, 1, 0, 1}) {
+		t.Fatal("valid mapping rejected")
+	}
+}

@@ -1,0 +1,286 @@
+// Package hypergraph implements query hypergraphs and the structural
+// machinery Section 6 of the paper surveys beyond treewidth: α-acyclicity
+// via GYO reduction, join trees, Yannakakis' semijoin algorithm for acyclic
+// joins, and (generalized) hypertree decompositions with a small-k width
+// search — "the most powerful way to obtain tractability results for
+// constraint satisfaction using the topology of the input instance".
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+
+	"csdb/internal/cq"
+	"csdb/internal/csp"
+)
+
+// Hypergraph has vertices 0..N-1 and hyperedges given as sorted vertex sets.
+type Hypergraph struct {
+	N     int
+	Edges [][]int
+	// VertexNames optionally labels vertices (e.g. CQ variable names).
+	VertexNames []string
+}
+
+// New creates a hypergraph with n vertices and no edges.
+func New(n int) *Hypergraph { return &Hypergraph{N: n} }
+
+// AddEdge appends a hyperedge (deduplicated, sorted).
+func (h *Hypergraph) AddEdge(vs ...int) error {
+	if len(vs) == 0 {
+		return fmt.Errorf("hypergraph: empty hyperedge")
+	}
+	set := make(map[int]bool)
+	for _, v := range vs {
+		if v < 0 || v >= h.N {
+			return fmt.Errorf("hypergraph: vertex %d outside [0,%d)", v, h.N)
+		}
+		set[v] = true
+	}
+	edge := make([]int, 0, len(set))
+	for v := range set {
+		edge = append(edge, v)
+	}
+	sort.Ints(edge)
+	h.Edges = append(h.Edges, edge)
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error.
+func (h *Hypergraph) MustAddEdge(vs ...int) {
+	if err := h.AddEdge(vs...); err != nil {
+		panic(err)
+	}
+}
+
+// FromQuery builds the hypergraph of a conjunctive query: vertices are the
+// query's variables, one hyperedge per subgoal. The returned variable index
+// maps names to vertices.
+func FromQuery(q *cq.Query) (*Hypergraph, map[string]int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	vars := q.Vars()
+	idx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	h := New(len(vars))
+	h.VertexNames = vars
+	for _, a := range q.Body {
+		vs := make([]int, len(a.Args))
+		for i, v := range a.Args {
+			vs[i] = idx[v]
+		}
+		if err := h.AddEdge(vs...); err != nil {
+			return nil, nil, err
+		}
+	}
+	return h, idx, nil
+}
+
+// FromInstance builds the constraint hypergraph of a CSP instance: vertices
+// are variables, one hyperedge per constraint scope.
+func FromInstance(p *csp.Instance) *Hypergraph {
+	h := New(p.Vars)
+	for _, con := range p.Constraints {
+		h.MustAddEdge(con.Scope...)
+	}
+	return h
+}
+
+// JoinTree is a join tree over the hyperedges of a hypergraph: Parent[i] is
+// the parent edge index of edge i (-1 for the root), with the connectedness
+// property: for any two edges, their shared vertices appear in every edge on
+// the tree path between them.
+type JoinTree struct {
+	Parent []int
+	Root   int
+}
+
+// GYO runs the Graham–Yu–Özsoyoğlu reduction and reports whether the
+// hypergraph is α-acyclic; when it is, a join tree over the original edge
+// indices is returned.
+//
+// The reduction repeatedly (a) removes vertices occurring in exactly one
+// edge ("ears' private vertices") and (b) removes an edge that becomes a
+// subset of another edge, attaching it to that edge in the join tree. The
+// hypergraph is acyclic iff everything reduces away.
+func (h *Hypergraph) GYO() (acyclic bool, jt *JoinTree) {
+	m := len(h.Edges)
+	if m == 0 {
+		return true, &JoinTree{Parent: nil, Root: -1}
+	}
+	// Working copies of edge vertex sets.
+	sets := make([]map[int]bool, m)
+	alive := make([]bool, m)
+	for i, e := range h.Edges {
+		sets[i] = make(map[int]bool, len(e))
+		for _, v := range e {
+			sets[i][v] = true
+		}
+		alive[i] = true
+	}
+	parent := make([]int, m)
+	for i := range parent {
+		parent[i] = -1
+	}
+	aliveCount := m
+
+	occurrences := func(v int) []int {
+		var occ []int
+		for i := range sets {
+			if alive[i] && sets[i][v] {
+				occ = append(occ, i)
+			}
+		}
+		return occ
+	}
+
+	for {
+		changed := false
+		// (a) Remove vertices in exactly one live edge.
+		for v := 0; v < h.N; v++ {
+			occ := occurrences(v)
+			if len(occ) == 1 {
+				if sets[occ[0]][v] {
+					delete(sets[occ[0]], v)
+					changed = true
+				}
+			}
+		}
+		// (b) Remove an edge contained in another live edge.
+		for i := 0; i < m; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if i == j || !alive[j] {
+					continue
+				}
+				if subset(sets[i], sets[j]) {
+					alive[i] = false
+					parent[i] = j
+					aliveCount--
+					changed = true
+					break
+				}
+			}
+		}
+		if aliveCount == 1 {
+			// Acyclic: the surviving edge is the root.
+			root := -1
+			for i := range alive {
+				if alive[i] {
+					root = i
+				}
+			}
+			// Compress parents of removed edges onto live ancestors: the
+			// recorded parents already point at edges that were alive at
+			// removal time, which may themselves have been removed later —
+			// that is fine, the pointers still form a tree rooted at root.
+			return true, &JoinTree{Parent: parent, Root: root}
+		}
+		if !changed {
+			return false, nil
+		}
+	}
+}
+
+// IsAcyclic reports α-acyclicity.
+func (h *Hypergraph) IsAcyclic() bool {
+	ac, _ := h.GYO()
+	return ac
+}
+
+func subset(a, b map[int]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateJoinTree checks the join-tree connectedness property against the
+// hypergraph: for every vertex, the edges containing it form a connected
+// subtree.
+func (h *Hypergraph) ValidateJoinTree(jt *JoinTree) error {
+	m := len(h.Edges)
+	if m == 0 {
+		return nil
+	}
+	if len(jt.Parent) != m {
+		return fmt.Errorf("hypergraph: join tree over %d edges for %d hyperedges", len(jt.Parent), m)
+	}
+	if jt.Root < 0 || jt.Root >= m || jt.Parent[jt.Root] != -1 {
+		return fmt.Errorf("hypergraph: bad join tree root")
+	}
+	// Check tree-ness: every edge reaches the root.
+	for i := 0; i < m; i++ {
+		seen := make(map[int]bool)
+		x := i
+		for x != jt.Root {
+			if x < 0 || x >= m || seen[x] {
+				return fmt.Errorf("hypergraph: join tree cycle or dangling parent at edge %d", i)
+			}
+			seen[x] = true
+			x = jt.Parent[x]
+		}
+	}
+	// Connectedness: for each vertex, edges containing it induce a subtree.
+	for v := 0; v < h.N; v++ {
+		var containing []int
+		inEdge := make(map[int]bool)
+		for i, e := range h.Edges {
+			if containsSorted(e, v) {
+				containing = append(containing, i)
+				inEdge[i] = true
+			}
+		}
+		if len(containing) <= 1 {
+			continue
+		}
+		// The induced subgraph of the tree on `containing` must be
+		// connected: count how many of them have their nearest containing
+		// ancestor... simpler: walk from each containing edge up to the
+		// root, recording the first containing ancestor; the subtree is
+		// connected iff exactly one containing edge has none, and every
+		// intermediate node on the path to that ancestor also contains v.
+		rootless := 0
+		for _, i := range containing {
+			x := jt.Parent[i]
+			for x != -1 && !inEdge[x] {
+				// v must not "leave and re-enter": if some ancestor on the
+				// path contains v we would have stopped; x does not contain
+				// v, keep climbing.
+				x = jt.Parent[x]
+			}
+			if x == -1 {
+				rootless++
+			} else {
+				// Path from i to x must consist of edges containing v for
+				// the classical join-tree property.
+				y := jt.Parent[i]
+				for y != x {
+					if !inEdge[y] {
+						return fmt.Errorf("hypergraph: vertex %d disconnected in join tree (edge %d to %d via %d)", v, i, x, y)
+					}
+					y = jt.Parent[y]
+				}
+			}
+		}
+		if rootless != 1 {
+			return fmt.Errorf("hypergraph: vertex %d appears in %d disconnected join-tree components", v, rootless)
+		}
+	}
+	return nil
+}
+
+func containsSorted(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}

@@ -1,0 +1,179 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+
+	"csdb/internal/graph"
+	"csdb/internal/treewidth"
+)
+
+// This file implements generalized hypertree decompositions (Gottlob, Leone,
+// Scarcello — discussed at the end of Section 6 as the most powerful
+// topology-based tractability criterion): a tree decomposition of the
+// hypergraph's vertices in which each bag additionally carries a cover by
+// hyperedges; the width is the maximum cover size. α-acyclicity coincides
+// with generalized hypertree width 1.
+
+// HypertreeDecomposition is a generalized hypertree decomposition: a tree
+// over nodes, each with a vertex bag Chi and a hyperedge cover Lambda
+// (indices into the hypergraph's edge list).
+type HypertreeDecomposition struct {
+	Chi    [][]int // sorted vertex bags
+	Lambda [][]int // hyperedge indices covering each bag
+	Adj    [][]int // tree adjacency
+}
+
+// Width returns the width: the maximum cover size over all nodes.
+func (d *HypertreeDecomposition) Width() int {
+	w := 0
+	for _, l := range d.Lambda {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w
+}
+
+// Validate checks the generalized hypertree decomposition conditions against
+// the hypergraph:
+//  1. for every hyperedge, some node's Chi contains all its vertices;
+//  2. for every vertex, the nodes whose Chi contains it form a subtree;
+//  3. every node's Chi is covered by the union of its Lambda edges.
+func (d *HypertreeDecomposition) Validate(h *Hypergraph) error {
+	// Conditions 1 and 2 are exactly the tree-decomposition conditions for
+	// the hypergraph's primal graph (plus full-edge coverage); reuse the
+	// graph validator on the primal graph and check hyperedge coverage
+	// directly.
+	td := &treewidth.Decomposition{Bags: d.Chi, Adj: d.Adj}
+	if err := td.Validate(PrimalGraph(h)); err != nil {
+		return err
+	}
+	for ei, e := range h.Edges {
+		if td.BagContaining(e) < 0 {
+			return fmt.Errorf("hypergraph: hyperedge %d covered by no node", ei)
+		}
+	}
+	if len(d.Lambda) != len(d.Chi) {
+		return fmt.Errorf("hypergraph: %d covers for %d bags", len(d.Lambda), len(d.Chi))
+	}
+	for i, bag := range d.Chi {
+		covered := make(map[int]bool)
+		for _, ei := range d.Lambda[i] {
+			if ei < 0 || ei >= len(h.Edges) {
+				return fmt.Errorf("hypergraph: node %d covers with out-of-range edge %d", i, ei)
+			}
+			for _, v := range h.Edges[ei] {
+				covered[v] = true
+			}
+		}
+		for _, v := range bag {
+			if !covered[v] {
+				return fmt.Errorf("hypergraph: vertex %d of bag %d not covered by lambda", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+// PrimalGraph returns the primal (Gaifman) graph of the hypergraph.
+func PrimalGraph(h *Hypergraph) *graph.Graph {
+	g := graph.New(h.N)
+	for _, e := range h.Edges {
+		for i := 0; i < len(e); i++ {
+			for j := i + 1; j < len(e); j++ {
+				g.AddEdge(e[i], e[j])
+			}
+		}
+	}
+	return g
+}
+
+// GreedyCover covers the vertex set with hyperedges by the classic greedy
+// set-cover heuristic (largest marginal coverage first, smallest index as
+// the tie-break), returning edge indices. Vertices contained in no hyperedge
+// are reported as an error.
+func (h *Hypergraph) GreedyCover(vertices []int) ([]int, error) {
+	remaining := make(map[int]bool, len(vertices))
+	for _, v := range vertices {
+		remaining[v] = true
+	}
+	var cover []int
+	for len(remaining) > 0 {
+		best, bestGain := -1, 0
+		for ei, e := range h.Edges {
+			gain := 0
+			for _, v := range e {
+				if remaining[v] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = ei, gain
+			}
+		}
+		if best < 0 {
+			uncovered := make([]int, 0, len(remaining))
+			for v := range remaining {
+				uncovered = append(uncovered, v)
+			}
+			sort.Ints(uncovered)
+			return nil, fmt.Errorf("hypergraph: vertices %v occur in no hyperedge", uncovered)
+		}
+		cover = append(cover, best)
+		for _, v := range h.Edges[best] {
+			delete(remaining, v)
+		}
+	}
+	sort.Ints(cover)
+	return cover, nil
+}
+
+// GHWUpperBound computes a generalized hypertree decomposition by taking the
+// best heuristic tree decomposition of the primal graph and covering each
+// bag greedily with hyperedges. Its width is an upper bound on the
+// generalized hypertree width.
+func (h *Hypergraph) GHWUpperBound() (*HypertreeDecomposition, error) {
+	td := treewidth.BestHeuristic(PrimalGraph(h))
+	d := &HypertreeDecomposition{Chi: td.Bags, Adj: td.Adj}
+	for _, bag := range td.Bags {
+		cover, err := h.GreedyCover(bag)
+		if err != nil {
+			return nil, err
+		}
+		d.Lambda = append(d.Lambda, cover)
+	}
+	return d, nil
+}
+
+// AcyclicDecomposition builds the width-1 generalized hypertree
+// decomposition of an α-acyclic hypergraph from its GYO join tree: one node
+// per hyperedge with Chi = the edge's vertices and Lambda = {edge}. Returns
+// an error when the hypergraph is cyclic. This realizes the equivalence
+// "α-acyclic ⇔ (generalized) hypertree width 1".
+func (h *Hypergraph) AcyclicDecomposition() (*HypertreeDecomposition, error) {
+	acyclic, jt := h.GYO()
+	if !acyclic {
+		return nil, fmt.Errorf("hypergraph: not α-acyclic")
+	}
+	m := len(h.Edges)
+	if m == 0 {
+		return &HypertreeDecomposition{}, nil
+	}
+	d := &HypertreeDecomposition{
+		Chi:    make([][]int, m),
+		Lambda: make([][]int, m),
+		Adj:    make([][]int, m),
+	}
+	for i, e := range h.Edges {
+		d.Chi[i] = append([]int(nil), e...)
+		d.Lambda[i] = []int{i}
+	}
+	for i, p := range jt.Parent {
+		if p >= 0 {
+			d.Adj[i] = append(d.Adj[i], p)
+			d.Adj[p] = append(d.Adj[p], i)
+		}
+	}
+	return d, nil
+}

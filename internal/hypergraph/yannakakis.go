@@ -1,0 +1,170 @@
+package hypergraph
+
+import (
+	"fmt"
+
+	"csdb/internal/cq"
+	"csdb/internal/relation"
+	"csdb/internal/structure"
+)
+
+// Yannakakis evaluates an α-acyclic conjunctive query on a database in
+// polynomial time: a full-reducer pass of semijoins up and down the join
+// tree eliminates all dangling tuples, after which the join can be computed
+// bottom-up with early projection and never blows up beyond the final
+// output. This is the classical algorithm behind the acyclic-joins line of
+// work the paper surveys in Section 6.
+func Yannakakis(q *cq.Query, db *structure.Structure) (*relation.Relation, error) {
+	h, _, err := FromQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	acyclic, jt := h.GYO()
+	if !acyclic {
+		return nil, fmt.Errorf("hypergraph: query is not α-acyclic")
+	}
+
+	rels := make([]*relation.Relation, len(q.Body))
+	for i, a := range q.Body {
+		r, err := cq.AtomRelation(a, db)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+
+	order := topoOrder(jt, len(q.Body)) // children before parents
+
+	// Upward semijoin pass.
+	for _, i := range order {
+		if p := jt.Parent[i]; p >= 0 {
+			rels[p] = rels[p].Semijoin(rels[i])
+		}
+	}
+	// Downward semijoin pass.
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		if p := jt.Parent[i]; p >= 0 {
+			rels[i] = rels[i].Semijoin(rels[p])
+		}
+	}
+
+	// Bottom-up join along the tree with early projection: the partial
+	// result at node i keeps only head variables and the variables shared
+	// with i's parent — by the join-tree connectedness property every
+	// variable of the subtree used elsewhere occurs in both i and its
+	// parent, so nothing needed is dropped.
+	children := make([][]int, len(q.Body))
+	for i, p := range jt.Parent {
+		if p >= 0 {
+			children[p] = append(children[p], i)
+		}
+	}
+	headSet := make(map[string]bool, len(q.Head))
+	for _, v := range q.Head {
+		headSet[v] = true
+	}
+	var joinUp func(i int) (*relation.Relation, error)
+	joinUp = func(i int) (*relation.Relation, error) {
+		cur := rels[i]
+		for _, c := range children[i] {
+			sub, err := joinUp(c)
+			if err != nil {
+				return nil, err
+			}
+			cur = cur.Join(sub)
+		}
+		// Project onto head vars plus vars shared with the parent.
+		sharedWithParent := make(map[string]bool)
+		if p := jt.Parent[i]; p >= 0 {
+			for _, v := range q.Body[p].Args {
+				sharedWithParent[v] = true
+			}
+		}
+		var keep []string
+		kept := make(map[string]bool)
+		for _, v := range cur.Attrs() {
+			if (headSet[v] || sharedWithParent[v]) && !kept[v] {
+				kept[v] = true
+				keep = append(keep, v)
+			}
+		}
+		return cur.Project(keep...)
+	}
+	result, err := joinUp(jt.Root)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(q.Head) == 0 {
+		out := relation.MustNew()
+		if !result.Empty() {
+			out.MustAdd(relation.Tuple{})
+		}
+		return out, nil
+	}
+	return result.Project(q.Head...)
+}
+
+// mustUnit returns the 0-ary relation containing the empty tuple (the join
+// identity).
+func mustUnit() *relation.Relation {
+	r := relation.MustNew()
+	r.MustAdd(relation.Tuple{})
+	return r
+}
+
+// topoOrder returns the edges of a join tree with children before parents.
+func topoOrder(jt *JoinTree, m int) []int {
+	children := make([][]int, m)
+	for i, p := range jt.Parent {
+		if p >= 0 {
+			children[p] = append(children[p], i)
+		}
+	}
+	var order []int
+	var rec func(i int)
+	rec = func(i int) {
+		for _, c := range children[i] {
+			rec(c)
+		}
+		order = append(order, i)
+	}
+	rec(jt.Root)
+	return order
+}
+
+// SemijoinReduce runs only the full-reducer passes and returns the reduced
+// per-atom relations, in the atom order of the query. Exposed for the
+// experiment that counts intermediate sizes against the naive join.
+func SemijoinReduce(q *cq.Query, db *structure.Structure) ([]*relation.Relation, error) {
+	h, _, err := FromQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	acyclic, jt := h.GYO()
+	if !acyclic {
+		return nil, fmt.Errorf("hypergraph: query is not α-acyclic")
+	}
+	rels := make([]*relation.Relation, len(q.Body))
+	for i, a := range q.Body {
+		r, err := cq.AtomRelation(a, db)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	order := topoOrder(jt, len(q.Body))
+	for _, i := range order {
+		if p := jt.Parent[i]; p >= 0 {
+			rels[p] = rels[p].Semijoin(rels[i])
+		}
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		if p := jt.Parent[i]; p >= 0 {
+			rels[i] = rels[i].Semijoin(rels[p])
+		}
+	}
+	return rels, nil
+}

@@ -1,0 +1,274 @@
+// Package logic implements the existential positive fragment ∃FO_{∧,+} of
+// first-order logic — formulas built from atoms with conjunction and
+// existential quantification only — and in particular its bounded-variable
+// fragments ∃FO^k_{∧,+} that Section 6 of the paper connects to treewidth:
+// a structure A has treewidth k iff its canonical query φ_A is expressible
+// with k+1 variables (Proposition 6.1), and evaluating a bounded-variable
+// formula has polynomial combined complexity, which yields the tractability
+// of CSP(A(k), F) (Theorem 6.2).
+//
+// Formulas are evaluated bottom-up by translating each subformula into the
+// relation of its satisfying assignments (over its free variables), using
+// natural join for conjunction and projection for quantification — the
+// standard poly-time evaluation that the paper's complexity claims rest on.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"csdb/internal/relation"
+	"csdb/internal/structure"
+)
+
+// Formula is a node of an ∃FO_{∧,+} formula.
+type Formula interface {
+	// FreeVars returns the free variables, sorted.
+	FreeVars() []string
+	// String renders the formula.
+	String() string
+}
+
+// Atom is an atomic formula R(x1,...,xn).
+type Atom struct {
+	Pred string
+	Args []string
+}
+
+// FreeVars implements Formula.
+func (a *Atom) FreeVars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, v := range a.Args {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *Atom) String() string {
+	return a.Pred + "(" + strings.Join(a.Args, ",") + ")"
+}
+
+// And is a conjunction of formulas. An empty conjunction is "true".
+type And struct {
+	Conjuncts []Formula
+}
+
+// FreeVars implements Formula.
+func (c *And) FreeVars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range c.Conjuncts {
+		for _, v := range f.FreeVars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *And) String() string {
+	if len(c.Conjuncts) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(c.Conjuncts))
+	for i, f := range c.Conjuncts {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, " & ") + ")"
+}
+
+// Exists is existential quantification over one variable.
+type Exists struct {
+	Var  string
+	Body Formula
+}
+
+// FreeVars implements Formula.
+func (e *Exists) FreeVars() []string {
+	var out []string
+	for _, v := range e.Body.FreeVars() {
+		if v != e.Var {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (e *Exists) String() string {
+	return "E" + e.Var + "." + e.Body.String()
+}
+
+// NumVariables returns the number of distinct variable names (free or
+// bound) occurring in the formula — the resource measured by the
+// bounded-variable fragments ∃FO^k.
+func NumVariables(f Formula) int {
+	seen := make(map[string]bool)
+	collectVars(f, seen)
+	return len(seen)
+}
+
+func collectVars(f Formula, seen map[string]bool) {
+	switch t := f.(type) {
+	case *Atom:
+		for _, v := range t.Args {
+			seen[v] = true
+		}
+	case *And:
+		for _, c := range t.Conjuncts {
+			collectVars(c, seen)
+		}
+	case *Exists:
+		seen[t.Var] = true
+		collectVars(t.Body, seen)
+	default:
+		panic(fmt.Sprintf("logic: unknown formula node %T", f))
+	}
+}
+
+// Size returns the number of nodes of the formula tree.
+func Size(f Formula) int {
+	switch t := f.(type) {
+	case *Atom:
+		return 1
+	case *And:
+		n := 1
+		for _, c := range t.Conjuncts {
+			n += Size(c)
+		}
+		return n
+	case *Exists:
+		return 1 + Size(t.Body)
+	default:
+		panic(fmt.Sprintf("logic: unknown formula node %T", f))
+	}
+}
+
+// SatRelation computes the relation of satisfying assignments of f over db:
+// a relation whose attributes are f's free variables, containing exactly
+// the assignments making f true. Atoms of predicates missing from db's
+// vocabulary denote empty relations; arity mismatches are errors.
+func SatRelation(f Formula, db *structure.Structure) (*relation.Relation, error) {
+	switch t := f.(type) {
+	case *Atom:
+		return atomRelation(t, db)
+	case *And:
+		rels := make([]*relation.Relation, 0, len(t.Conjuncts))
+		for _, c := range t.Conjuncts {
+			r, err := SatRelation(c, db)
+			if err != nil {
+				return nil, err
+			}
+			rels = append(rels, r)
+		}
+		if len(rels) == 0 {
+			// Empty conjunction: true, the 0-ary relation with one tuple.
+			r := relation.MustNew()
+			r.MustAdd(relation.Tuple{})
+			return r, nil
+		}
+		return relation.JoinAll(rels), nil
+	case *Exists:
+		body, err := SatRelation(t.Body, db)
+		if err != nil {
+			return nil, err
+		}
+		free := t.FreeVars()
+		if body.Pos(t.Var) < 0 {
+			// The quantified variable does not occur: ∃x φ ≡ φ when the
+			// domain is nonempty, false otherwise (empty-domain semantics:
+			// a quantifier over an empty domain yields false).
+			if db.Size() == 0 {
+				return relation.New(free...)
+			}
+			return body, nil
+		}
+		return body.Project(free...)
+	default:
+		return nil, fmt.Errorf("logic: unknown formula node %T", f)
+	}
+}
+
+// Holds reports whether a sentence (no free variables) is true in db.
+func Holds(f Formula, db *structure.Structure) (bool, error) {
+	if fv := f.FreeVars(); len(fv) != 0 {
+		return false, fmt.Errorf("logic: Holds on a formula with free variables %v", fv)
+	}
+	r, err := SatRelation(f, db)
+	if err != nil {
+		return false, err
+	}
+	return !r.Empty(), nil
+}
+
+// atomRelation renders one atom as a relation over its distinct variables,
+// with equality selection for repeated variables.
+func atomRelation(a *Atom, db *structure.Structure) (*relation.Relation, error) {
+	var attrs []string
+	firstPos := make(map[string]int)
+	for i, v := range a.Args {
+		if _, seen := firstPos[v]; !seen {
+			firstPos[v] = i
+			attrs = append(attrs, v)
+		}
+	}
+	out := relation.MustNew(attrs...)
+	arity, ok := db.Voc().Arity(a.Pred)
+	if !ok {
+		return out, nil
+	}
+	if arity != len(a.Args) {
+		return nil, fmt.Errorf("logic: predicate %s has arity %d, used with %d arguments", a.Pred, arity, len(a.Args))
+	}
+rows:
+	for _, row := range db.Rel(a.Pred).Tuples() {
+		for i, v := range a.Args {
+			if row[i] != row[firstPos[v]] {
+				continue rows
+			}
+		}
+		t := make(relation.Tuple, len(attrs))
+		for j, v := range attrs {
+			t[j] = row[firstPos[v]]
+		}
+		out.MustAdd(t)
+	}
+	return out, nil
+}
+
+// StructureSentence builds the canonical sentence φ_A of a structure
+// (Proposition 2.3): the existential closure of the conjunction of A's
+// facts, with one variable per domain element. It is true in B iff there is
+// a homomorphism A → B. Note: this naive form uses |A| variables; use
+// treewidth.BuildFormula for the (k+1)-variable form of Proposition 6.1.
+func StructureSentence(a *structure.Structure) Formula {
+	varName := func(i int) string { return fmt.Sprintf("x%d", i) }
+	var conj []Formula
+	for _, sym := range a.Voc().Symbols() {
+		for _, t := range a.Rel(sym.Name).Tuples() {
+			args := make([]string, len(t))
+			for i, v := range t {
+				args[i] = varName(v)
+			}
+			conj = append(conj, &Atom{Pred: sym.Name, Args: args})
+		}
+	}
+	var f Formula = &And{Conjuncts: conj}
+	// Close over the variables that actually occur.
+	seen := make(map[string]bool)
+	collectVars(f, seen)
+	for i := a.Size() - 1; i >= 0; i-- {
+		if seen[varName(i)] {
+			f = &Exists{Var: varName(i), Body: f}
+		}
+	}
+	return f
+}

@@ -1,0 +1,329 @@
+// Package pebble implements the existential k-pebble games of Section 4 of
+// the paper (Kolaitis–Vardi). Given two relational structures A and B over a
+// common vocabulary, it computes the largest winning strategy for the
+// Duplicator — the set H^k(A,B) of partial homomorphisms h_{ā,b̄} with
+// (ā,b̄) ∈ W^k(A,B) — as a greatest fixpoint, and thereby decides in
+// polynomial time (for fixed k) whether the Spoiler or the Duplicator wins
+// (Theorem 4.5).
+//
+// A winning strategy is represented as a family of partial homomorphisms
+// with domains of at most k elements that is closed under subfunctions and
+// has the k-forth extension property. The Duplicator wins iff the family is
+// nonempty (equivalently: iff it contains the empty function).
+package pebble
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"csdb/internal/structure"
+)
+
+// Pair is one pebble placement: element A of the left structure mapped to
+// element B of the right structure.
+type Pair struct {
+	A, B int
+}
+
+// PartialHom is a partial function from A's domain to B's domain given as
+// pairs sorted by the A component (each A component distinct).
+type PartialHom []Pair
+
+// Key returns the canonical encoding of the partial function.
+func (f PartialHom) Key() string {
+	b := make([]byte, 0, len(f)*6)
+	for i, p := range f {
+		if i > 0 {
+			b = append(b, ';')
+		}
+		b = strconv.AppendInt(b, int64(p.A), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(p.B), 10)
+	}
+	return string(b)
+}
+
+// Lookup returns the image of a and whether a is in the domain.
+func (f PartialHom) Lookup(a int) (int, bool) {
+	for _, p := range f {
+		if p.A == a {
+			return p.B, true
+		}
+	}
+	return 0, false
+}
+
+// Extend returns f ∪ {a ↦ b} with the pair inserted in sorted position.
+// It must only be called with a not in f's domain.
+func (f PartialHom) Extend(a, b int) PartialHom {
+	g := make(PartialHom, 0, len(f)+1)
+	inserted := false
+	for _, p := range f {
+		if !inserted && a < p.A {
+			g = append(g, Pair{a, b})
+			inserted = true
+		}
+		g = append(g, p)
+	}
+	if !inserted {
+		g = append(g, Pair{a, b})
+	}
+	return g
+}
+
+// Without returns f with the pair at index i removed.
+func (f PartialHom) Without(i int) PartialHom {
+	g := make(PartialHom, 0, len(f)-1)
+	g = append(g, f[:i]...)
+	g = append(g, f[i+1:]...)
+	return g
+}
+
+// AsMap renders the partial function as a map.
+func (f PartialHom) AsMap() map[int]int {
+	m := make(map[int]int, len(f))
+	for _, p := range f {
+		m[p.A] = p.B
+	}
+	return m
+}
+
+// FromMap builds a PartialHom from a map.
+func FromMap(m map[int]int) PartialHom {
+	f := make(PartialHom, 0, len(m))
+	for a, b := range m {
+		f = append(f, Pair{a, b})
+	}
+	sort.Slice(f, func(i, j int) bool { return f[i].A < f[j].A })
+	return f
+}
+
+// Strategy is a family of partial homomorphisms from A to B with domains of
+// size at most K. LargestStrategy returns families that are closed under
+// subfunctions and have the k-forth property (i.e. winning strategies for
+// the Duplicator, or the empty family when the Spoiler wins).
+type Strategy struct {
+	K    int
+	A, B *structure.Structure
+	fam  map[string]PartialHom
+}
+
+// Size returns the number of partial homomorphisms in the strategy
+// (including the empty function when nonempty).
+func (s *Strategy) Size() int { return len(s.fam) }
+
+// NonEmpty reports whether the family contains any function — by Theorem
+// 5.6 this is exactly W^k(A,B) ≠ ∅, i.e. the Duplicator wins.
+func (s *Strategy) NonEmpty() bool { return len(s.fam) > 0 }
+
+// Has reports whether the given partial function belongs to the strategy.
+func (s *Strategy) Has(f PartialHom) bool {
+	_, ok := s.fam[f.Key()]
+	return ok
+}
+
+// HasMap is Has for a map-represented partial function.
+func (s *Strategy) HasMap(m map[int]int) bool { return s.Has(FromMap(m)) }
+
+// Members returns all partial homomorphisms in the strategy in an
+// unspecified order.
+func (s *Strategy) Members() []PartialHom {
+	out := make([]PartialHom, 0, len(s.fam))
+	for _, f := range s.fam {
+		out = append(out, f)
+	}
+	return out
+}
+
+// checker incrementally validates partial homomorphisms: tuplesAt[a] lists
+// the (relation, tuple) pairs mentioning element a of A.
+type checker struct {
+	a, b     *structure.Structure
+	tuplesAt [][]structure.RelTuple
+}
+
+func newChecker(a, b *structure.Structure) *checker {
+	return &checker{a: a, b: b, tuplesAt: a.TuplesContaining()}
+}
+
+// extensionOK reports whether f ∪ {x ↦ y} is still a partial homomorphism,
+// assuming f already is. Only tuples mentioning x and otherwise inside
+// dom(f) need to be checked.
+func (c *checker) extensionOK(f PartialHom, x, y int) bool {
+	img := make([]int, 0, 8)
+tuples:
+	for _, rt := range c.tuplesAt[x] {
+		img = img[:0]
+		for _, v := range rt.Tuple {
+			var w int
+			if v == x {
+				w = y
+			} else if b, ok := f.Lookup(v); ok {
+				w = b
+			} else {
+				continue tuples // tuple not fully inside dom(f)+x
+			}
+			img = append(img, w)
+		}
+		if !c.b.Rel(rt.Rel).Has(img) {
+			return false
+		}
+	}
+	return true
+}
+
+// LargestStrategy computes the largest winning strategy for the Duplicator
+// in the existential k-pebble game on a and b (Proposition 5.1): the union
+// of all winning strategies. The returned strategy is empty iff the Spoiler
+// wins.
+func LargestStrategy(a, b *structure.Structure, k int) (*Strategy, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("pebble: k must be >= 1, got %d", k)
+	}
+	if !a.Voc().Equal(b.Voc()) {
+		return nil, fmt.Errorf("pebble: structures have different vocabularies")
+	}
+	s := &Strategy{K: k, A: a, B: b, fam: make(map[string]PartialHom)}
+	c := newChecker(a, b)
+
+	// Phase 1: generate all partial homomorphisms with |dom| <= k by
+	// extending over A-elements in increasing order.
+	var gen func(f PartialHom, next int)
+	gen = func(f PartialHom, next int) {
+		s.fam[f.Key()] = f
+		if len(f) == k {
+			return
+		}
+		for x := next; x < a.Size(); x++ {
+			for y := 0; y < b.Size(); y++ {
+				if c.extensionOK(f, x, y) {
+					gen(f.Extend(x, y), x+1)
+				}
+			}
+		}
+	}
+	gen(PartialHom{}, 0)
+
+	// Phase 2: greatest fixpoint. Remove functions violating the k-forth
+	// property; removal cascades upward (closure under subfunctions) and
+	// re-enqueues restrictions for re-checking.
+	work := make([]PartialHom, 0, len(s.fam))
+	for _, f := range s.fam {
+		if len(f) < k {
+			work = append(work, f)
+		}
+	}
+	var removeClosure func(f PartialHom)
+	removeClosure = func(f PartialHom) {
+		key := f.Key()
+		if _, ok := s.fam[key]; !ok {
+			return
+		}
+		delete(s.fam, key)
+		// Cascade to all one-point extensions present in the family.
+		if len(f) < k {
+			for x := 0; x < a.Size(); x++ {
+				if _, defined := f.Lookup(x); defined {
+					continue
+				}
+				for y := 0; y < b.Size(); y++ {
+					removeClosure(f.Extend(x, y))
+				}
+			}
+		}
+		// Restrictions may now fail forth: re-check them.
+		for i := range f {
+			r := f.Without(i)
+			if _, ok := s.fam[r.Key()]; ok {
+				work = append(work, r)
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		if _, ok := s.fam[f.Key()]; !ok {
+			continue
+		}
+		if s.forthOK(f) {
+			continue
+		}
+		removeClosure(f)
+	}
+	return s, nil
+}
+
+// forthOK reports whether f (with |f| < K) can be extended within the
+// current family to cover every element of A outside its domain.
+func (s *Strategy) forthOK(f PartialHom) bool {
+	for x := 0; x < s.A.Size(); x++ {
+		if _, defined := f.Lookup(x); defined {
+			continue
+		}
+		found := false
+		for y := 0; y < s.B.Size(); y++ {
+			if _, ok := s.fam[f.Extend(x, y).Key()]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// DuplicatorWins reports whether the Duplicator wins the existential
+// k-pebble game on a and b.
+func DuplicatorWins(a, b *structure.Structure, k int) (bool, error) {
+	s, err := LargestStrategy(a, b, k)
+	if err != nil {
+		return false, err
+	}
+	return s.NonEmpty(), nil
+}
+
+// SpoilerWins reports whether the Spoiler wins the existential k-pebble game
+// on a and b. By Theorem 4.6, for structures B whose ¬CSP(B) is expressible
+// in k-Datalog, this coincides with the nonexistence of a homomorphism.
+func SpoilerWins(a, b *structure.Structure, k int) (bool, error) {
+	d, err := DuplicatorWins(a, b, k)
+	return !d, err
+}
+
+// ConfigurationsOf returns, for a given tuple ā over A's domain (repetitions
+// allowed, 1 <= len(ā) <= K), the set R_ā = { b̄ : (ā, b̄) ∈ W^k(A,B) } of
+// Theorem 5.6 step 2: all value tuples whose induced correspondence is a
+// partial function belonging to the strategy.
+func (s *Strategy) ConfigurationsOf(abar []int) [][]int {
+	if len(abar) == 0 || len(abar) > s.K {
+		return nil
+	}
+	var out [][]int
+	bbar := make([]int, len(abar))
+	var rec func(i int, f PartialHom)
+	rec = func(i int, f PartialHom) {
+		if i == len(abar) {
+			if s.Has(f) {
+				out = append(out, append([]int(nil), bbar...))
+			}
+			return
+		}
+		a := abar[i]
+		if b, defined := f.Lookup(a); defined {
+			// Repeated element: the correspondence must stay functional.
+			bbar[i] = b
+			rec(i+1, f)
+			return
+		}
+		for b := 0; b < s.B.Size(); b++ {
+			bbar[i] = b
+			rec(i+1, f.Extend(a, b))
+		}
+	}
+	rec(0, PartialHom{})
+	return out
+}

@@ -1,0 +1,254 @@
+package pebble
+
+import (
+	"math/rand"
+	"testing"
+
+	"csdb/internal/csp"
+	"csdb/internal/structure"
+)
+
+func TestPartialHomHelpers(t *testing.T) {
+	f := PartialHom{{0, 1}, {2, 0}}
+	if f.Key() != "0:1;2:0" {
+		t.Fatalf("Key = %q", f.Key())
+	}
+	if b, ok := f.Lookup(2); !ok || b != 0 {
+		t.Fatal("Lookup broken")
+	}
+	if _, ok := f.Lookup(1); ok {
+		t.Fatal("phantom Lookup")
+	}
+	g := f.Extend(1, 5)
+	if g.Key() != "0:1;1:5;2:0" {
+		t.Fatalf("Extend not sorted: %q", g.Key())
+	}
+	if f.Key() != "0:1;2:0" {
+		t.Fatal("Extend mutated receiver")
+	}
+	r := g.Without(1)
+	if r.Key() != f.Key() {
+		t.Fatalf("Without = %q", r.Key())
+	}
+	m := FromMap(map[int]int{3: 1, 0: 2})
+	if m.Key() != "0:2;3:1" {
+		t.Fatalf("FromMap = %q", m.Key())
+	}
+	if got := m.AsMap(); got[3] != 1 || got[0] != 2 || len(got) != 2 {
+		t.Fatalf("AsMap = %v", got)
+	}
+}
+
+func TestLargestStrategyValidation(t *testing.T) {
+	a := structure.Cycle(3)
+	if _, err := LargestStrategy(a, a, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	other := structure.MustNew(structure.MustVocabulary(structure.Symbol{Name: "F", Arity: 2}), 2)
+	if _, err := LargestStrategy(a, other, 2); err == nil {
+		t.Fatal("vocabulary mismatch accepted")
+	}
+}
+
+// If a homomorphism A -> B exists, the Duplicator wins the k-pebble game for
+// every k: the restrictions of the homomorphism form a winning strategy.
+func TestHomomorphismImpliesDuplicatorWins(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		a := randomGraph(rng, 3+rng.Intn(3), 0.4)
+		b := randomGraph(rng, 2+rng.Intn(3), 0.5)
+		if !csp.HomomorphismExists(a, b) {
+			continue
+		}
+		for k := 1; k <= 3; k++ {
+			win, err := DuplicatorWins(a, b, k)
+			if err != nil {
+				t.Fatalf("DuplicatorWins: %v", err)
+			}
+			if !win {
+				t.Fatalf("trial %d: hom exists but Spoiler wins %d-pebble game", trial, k)
+			}
+		}
+	}
+}
+
+// Spoiler winning with k pebbles implies Spoiler wins with more pebbles.
+func TestMonotonicityInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		a := randomGraph(rng, 3+rng.Intn(3), 0.5)
+		b := randomGraph(rng, 2+rng.Intn(2), 0.5)
+		prevDupWins := true
+		for k := 1; k <= 4; k++ {
+			win, err := DuplicatorWins(a, b, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if win && !prevDupWins {
+				t.Fatalf("trial %d: Duplicator wins k=%d after losing k=%d", trial, k, k-1)
+			}
+			prevDupWins = win
+		}
+	}
+}
+
+// The classical 2-colorability case: on A vs K2, the Spoiler wins the
+// 3-pebble game exactly when A is not 2-colorable (¬CSP(K2) is expressible
+// in Datalog with few variables; odd cycles are the witnesses).
+func TestK2GameMatchesBipartiteness(t *testing.T) {
+	k2 := structure.Clique(2)
+	cases := []struct {
+		name      string
+		a         *structure.Structure
+		bipartite bool
+	}{
+		{"C4", structure.Cycle(4), true},
+		{"C5", structure.Cycle(5), false},
+		{"C6", structure.Cycle(6), true},
+		{"C7", structure.Cycle(7), false},
+		{"P5", structure.Path(5), true},
+		{"K3", structure.Clique(3), false},
+	}
+	for _, c := range cases {
+		spoiler, err := SpoilerWins(c.a, k2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spoiler == c.bipartite {
+			t.Fatalf("%s: SpoilerWins(3) = %v, bipartite = %v", c.name, spoiler, c.bipartite)
+		}
+	}
+}
+
+// With only 2 pebbles the Duplicator survives on odd cycles vs K2 (2-pebble
+// games cannot detect odd cycles of length > 3: the Duplicator can always
+// keep the two pebbled images adjacent).
+func TestTwoPebblesTooWeakForOddCycles(t *testing.T) {
+	k2 := structure.Clique(2)
+	win, err := DuplicatorWins(structure.Cycle(5), k2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win {
+		t.Fatal("Duplicator should win the 2-pebble game on C5 vs K2")
+	}
+}
+
+// Spoiler wins implies no homomorphism (the contrapositive of
+// TestHomomorphismImpliesDuplicatorWins), checked exhaustively.
+func TestSpoilerWinsImpliesNoHomomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		a := randomGraph(rng, 3+rng.Intn(3), 0.5)
+		b := randomGraph(rng, 2+rng.Intn(2), 0.4)
+		for k := 1; k <= 3; k++ {
+			spoiler, err := SpoilerWins(a, b, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spoiler && csp.HomomorphismExists(a, b) {
+				t.Fatalf("trial %d k=%d: Spoiler wins but homomorphism exists", trial, k)
+			}
+		}
+	}
+}
+
+// The strategy family is closed under subfunctions and has the forth
+// property — the definition of a winning strategy.
+func TestStrategyClosureProperties(t *testing.T) {
+	a, b := structure.Cycle(6), structure.Clique(2)
+	s, err := LargestStrategy(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.NonEmpty() {
+		t.Fatal("C6 vs K2: expected Duplicator win")
+	}
+	if !s.Has(PartialHom{}) {
+		t.Fatal("strategy misses the empty function")
+	}
+	for _, f := range s.Members() {
+		// Closure under subfunctions.
+		for i := range f {
+			if !s.Has(f.Without(i)) {
+				t.Fatalf("restriction of %q missing", f.Key())
+			}
+		}
+		// Forth property.
+		if len(f) < s.K && !s.forthOK(f) {
+			t.Fatalf("member %q fails forth", f.Key())
+		}
+		// Every member is a partial homomorphism.
+		h := make([]int, a.Size())
+		for i := range h {
+			h[i] = -1
+		}
+		for _, p := range f {
+			h[p.A] = p.B
+		}
+		if !structure.IsPartialHomomorphism(a, b, h) {
+			t.Fatalf("member %q is not a partial homomorphism", f.Key())
+		}
+	}
+}
+
+func TestConfigurationsOf(t *testing.T) {
+	a, b := structure.Cycle(4), structure.Clique(2)
+	s, err := LargestStrategy(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjacent pair (0,1): images must be the two distinct K2 vertices.
+	r01 := s.ConfigurationsOf([]int{0, 1})
+	if len(r01) != 2 {
+		t.Fatalf("R_(0,1) = %v", r01)
+	}
+	for _, bb := range r01 {
+		if bb[0] == bb[1] {
+			t.Fatalf("adjacent pair mapped to equal values: %v", bb)
+		}
+	}
+	// Repeated tuple (0,0): images must repeat.
+	r00 := s.ConfigurationsOf([]int{0, 0})
+	for _, bb := range r00 {
+		if bb[0] != bb[1] {
+			t.Fatalf("repeated element mapped to distinct values: %v", bb)
+		}
+	}
+	if len(r00) != 2 {
+		t.Fatalf("R_(0,0) = %v", r00)
+	}
+	// Out-of-range lengths yield nil.
+	if s.ConfigurationsOf(nil) != nil || s.ConfigurationsOf([]int{0, 1, 2}) != nil {
+		t.Fatal("length validation broken")
+	}
+}
+
+// W^k characterizes solvability exactly on structures where A itself is
+// small enough: if |A| <= k then Duplicator wins iff a homomorphism exists.
+func TestGameExactWhenKCoversA(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		a := randomGraph(rng, 3, 0.6)
+		b := randomGraph(rng, 2+rng.Intn(2), 0.4)
+		win, err := DuplicatorWins(a, b, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if win != csp.HomomorphismExists(a, b) {
+			t.Fatalf("trial %d: k=|A| game disagrees with homomorphism", trial)
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, n int, p float64) *structure.Structure {
+	g := structure.NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				g.MustAddTuple("E", i, j)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,537 @@
+// Package relation implements attribute-named finite relations and the
+// relational-algebra operators needed by the rest of the library: natural
+// join, projection, selection, semijoin, rename, union and intersection.
+//
+// It is the substrate for Proposition 2.1 of the paper (a CSP instance is
+// solvable iff the natural join of its constraint relations is nonempty) and
+// for the Yannakakis acyclic-join algorithm in package hypergraph.
+//
+// Values are small non-negative integers; attributes are strings. Relations
+// are set-semantics: duplicate tuples are eliminated on construction and by
+// every operator.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tuple is a single row of a relation. Its length always equals the arity of
+// the relation that owns it.
+type Tuple []int
+
+// Key returns a canonical string encoding of the tuple, usable as a map key.
+func (t Tuple) Key() string {
+	b := make([]byte, 0, len(t)*3)
+	for i, v := range t {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return string(b)
+}
+
+// Equal reports whether two tuples have the same length and components.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Relation is a finite relation over a named list of attributes.
+// The attribute order is significant for tuple layout but natural join and
+// set operations are attribute-name driven.
+type Relation struct {
+	attrs  []string
+	pos    map[string]int // attribute name -> column index
+	tuples []Tuple
+	index  map[string]struct{} // tuple key set, for O(1) membership
+}
+
+// New creates a relation with the given attributes and no tuples.
+// Attribute names must be distinct and nonempty.
+func New(attrs ...string) (*Relation, error) {
+	pos := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation: empty attribute name at position %d", i)
+		}
+		if _, dup := pos[a]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute %q", a)
+		}
+		pos[a] = i
+	}
+	return &Relation{
+		attrs: append([]string(nil), attrs...),
+		pos:   pos,
+		index: make(map[string]struct{}),
+	}, nil
+}
+
+// MustNew is New but panics on error. Intended for statically known schemas.
+func MustNew(attrs ...string) *Relation {
+	r, err := New(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// FromTuples creates a relation with the given attributes and rows.
+func FromTuples(attrs []string, rows []Tuple) (*Relation, error) {
+	r, err := New(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range rows {
+		if err := r.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MustFromTuples is FromTuples but panics on error.
+func MustFromTuples(attrs []string, rows []Tuple) *Relation {
+	r, err := FromTuples(attrs, rows)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Attrs returns the relation's attribute names in column order.
+// The returned slice must not be modified.
+func (r *Relation) Attrs() []string { return r.attrs }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+
+// Tuples returns the relation's rows. The returned slice and its tuples must
+// not be modified.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// HasAttr reports whether the relation has an attribute with the given name.
+func (r *Relation) HasAttr(name string) bool {
+	_, ok := r.pos[name]
+	return ok
+}
+
+// Pos returns the column index of the named attribute, or -1 if absent.
+func (r *Relation) Pos(name string) int {
+	if i, ok := r.pos[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Add inserts a tuple. Duplicates are silently ignored.
+func (r *Relation) Add(t Tuple) error {
+	if len(t) != len(r.attrs) {
+		return fmt.Errorf("relation: tuple arity %d does not match schema arity %d", len(t), len(r.attrs))
+	}
+	k := t.Key()
+	if _, dup := r.index[k]; dup {
+		return nil
+	}
+	r.index[k] = struct{}{}
+	r.tuples = append(r.tuples, t.Clone())
+	return nil
+}
+
+// MustAdd is Add but panics on error.
+func (r *Relation) MustAdd(t Tuple) {
+	if err := r.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether the tuple is a member of the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != len(r.attrs) {
+		return false
+	}
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := MustNew(r.attrs...)
+	for _, t := range r.tuples {
+		c.MustAdd(t)
+	}
+	return c
+}
+
+// String renders the relation as attrs followed by its tuples, for debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(strings.Join(r.attrs, ","))
+	b.WriteString("){")
+	for i, t := range r.tuples {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('[')
+		b.WriteString(t.Key())
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Project returns the projection of r onto the given attributes, in the given
+// order. Duplicate result tuples are eliminated.
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, ok := r.pos[a]
+		if !ok {
+			return nil, fmt.Errorf("relation: project on unknown attribute %q", a)
+		}
+		cols[i] = j
+	}
+	out, err := New(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range r.tuples {
+		p := make(Tuple, len(cols))
+		for i, j := range cols {
+			p[i] = t[j]
+		}
+		out.MustAdd(p)
+	}
+	return out, nil
+}
+
+// Select returns the tuples of r for which pred returns true.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := MustNew(r.attrs...)
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.MustAdd(t)
+		}
+	}
+	return out
+}
+
+// SelectEq returns the tuples whose named attribute equals v.
+func (r *Relation) SelectEq(attr string, v int) (*Relation, error) {
+	j, ok := r.pos[attr]
+	if !ok {
+		return nil, fmt.Errorf("relation: select on unknown attribute %q", attr)
+	}
+	return r.Select(func(t Tuple) bool { return t[j] == v }), nil
+}
+
+// Rename returns a copy of r with attributes renamed according to mapping.
+// Attributes absent from the mapping keep their names.
+func (r *Relation) Rename(mapping map[string]string) (*Relation, error) {
+	attrs := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		if n, ok := mapping[a]; ok {
+			attrs[i] = n
+		} else {
+			attrs[i] = a
+		}
+	}
+	out, err := New(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range r.tuples {
+		out.MustAdd(t)
+	}
+	return out, nil
+}
+
+// sharedAttrs returns the attribute names common to r and s (in r's order)
+// and the names of s not in r (in s's order).
+func sharedAttrs(r, s *Relation) (common []string, sOnly []string) {
+	for _, a := range r.attrs {
+		if s.HasAttr(a) {
+			common = append(common, a)
+		}
+	}
+	for _, a := range s.attrs {
+		if !r.HasAttr(a) {
+			sOnly = append(sOnly, a)
+		}
+	}
+	return common, sOnly
+}
+
+// Join returns the natural join of r and s: the schema is r's attributes
+// followed by the attributes of s that do not occur in r, and a result tuple
+// exists for every pair of r/s tuples that agree on all shared attributes.
+// Implemented as a hash join on the shared attributes.
+func (r *Relation) Join(s *Relation) *Relation {
+	common, sOnly := sharedAttrs(r, s)
+
+	outAttrs := make([]string, 0, len(r.attrs)+len(sOnly))
+	outAttrs = append(outAttrs, r.attrs...)
+	outAttrs = append(outAttrs, sOnly...)
+	out := MustNew(outAttrs...)
+
+	// Build side: hash s on the common attributes.
+	sCommonPos := make([]int, len(common))
+	for i, a := range common {
+		sCommonPos[i] = s.pos[a]
+	}
+	sOnlyPos := make([]int, len(sOnly))
+	for i, a := range sOnly {
+		sOnlyPos[i] = s.pos[a]
+	}
+	build := make(map[string][]Tuple, s.Len())
+	for _, t := range s.tuples {
+		k := joinKey(t, sCommonPos)
+		build[k] = append(build[k], t)
+	}
+
+	rCommonPos := make([]int, len(common))
+	for i, a := range common {
+		rCommonPos[i] = r.pos[a]
+	}
+	for _, t := range r.tuples {
+		k := joinKey(t, rCommonPos)
+		for _, u := range build[k] {
+			row := make(Tuple, 0, len(outAttrs))
+			row = append(row, t...)
+			for _, j := range sOnlyPos {
+				row = append(row, u[j])
+			}
+			out.MustAdd(row)
+		}
+	}
+	return out
+}
+
+// Semijoin returns the tuples of r that join with at least one tuple of s on
+// the shared attributes (r ⋉ s). If r and s share no attributes, the result
+// is r when s is nonempty and empty when s is empty (consistent with the
+// Cartesian-product reading of natural join).
+func (r *Relation) Semijoin(s *Relation) *Relation {
+	common, _ := sharedAttrs(r, s)
+	if len(common) == 0 {
+		if s.Empty() {
+			return MustNew(r.attrs...)
+		}
+		return r.Clone()
+	}
+	sPos := make([]int, len(common))
+	for i, a := range common {
+		sPos[i] = s.pos[a]
+	}
+	seen := make(map[string]struct{}, s.Len())
+	for _, t := range s.tuples {
+		seen[joinKey(t, sPos)] = struct{}{}
+	}
+	rPos := make([]int, len(common))
+	for i, a := range common {
+		rPos[i] = r.pos[a]
+	}
+	out := MustNew(r.attrs...)
+	for _, t := range r.tuples {
+		if _, ok := seen[joinKey(t, rPos)]; ok {
+			out.MustAdd(t)
+		}
+	}
+	return out
+}
+
+// Union returns r ∪ s. The schemas must contain the same attribute names
+// (possibly in different orders); the result uses r's order.
+func (r *Relation) Union(s *Relation) (*Relation, error) {
+	perm, err := alignSchemas(r, s)
+	if err != nil {
+		return nil, err
+	}
+	out := r.Clone()
+	for _, t := range s.tuples {
+		out.MustAdd(applyPerm(t, perm))
+	}
+	return out, nil
+}
+
+// Intersect returns r ∩ s. The schemas must contain the same attribute names.
+func (r *Relation) Intersect(s *Relation) (*Relation, error) {
+	perm, err := alignSchemas(r, s)
+	if err != nil {
+		return nil, err
+	}
+	out := MustNew(r.attrs...)
+	for _, t := range s.tuples {
+		u := applyPerm(t, perm)
+		if r.Contains(u) {
+			out.MustAdd(u)
+		}
+	}
+	return out, nil
+}
+
+// Equal reports whether r and s have the same attribute set and the same
+// tuples (order-insensitive, after aligning attribute order).
+func (r *Relation) Equal(s *Relation) bool {
+	perm, err := alignSchemas(r, s)
+	if err != nil {
+		return false
+	}
+	if r.Len() != s.Len() {
+		return false
+	}
+	for _, t := range s.tuples {
+		if !r.Contains(applyPerm(t, perm)) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedTuples returns the tuples in lexicographic order (a fresh slice).
+func (r *Relation) SortedTuples() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// alignSchemas checks the attribute sets are equal and returns, for each
+// column of s, the column of r holding the same attribute... specifically
+// perm[i] = position in r's schema of s's attribute i's value when
+// re-laid-out, such that applyPerm(sTuple, perm) is in r's column order.
+func alignSchemas(r, s *Relation) ([]int, error) {
+	if len(r.attrs) != len(s.attrs) {
+		return nil, fmt.Errorf("relation: schema mismatch %v vs %v", r.attrs, s.attrs)
+	}
+	perm := make([]int, len(r.attrs))
+	for i, a := range r.attrs {
+		j, ok := s.pos[a]
+		if !ok {
+			return nil, fmt.Errorf("relation: schema mismatch, %q missing from %v", a, s.attrs)
+		}
+		perm[i] = j
+	}
+	return perm, nil
+}
+
+// applyPerm lays out tuple t (in s's column order) into r's column order,
+// given perm as produced by alignSchemas.
+func applyPerm(t Tuple, perm []int) Tuple {
+	u := make(Tuple, len(perm))
+	for i, j := range perm {
+		u[i] = t[j]
+	}
+	return u
+}
+
+func joinKey(t Tuple, cols []int) string {
+	b := make([]byte, 0, len(cols)*3)
+	for i, j := range cols {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(t[j]), 10)
+	}
+	return string(b)
+}
+
+// JoinAll computes the natural join of all relations, joining smallest
+// intermediate results first (a greedy cost heuristic). It returns the empty
+// 0-ary relation... more precisely, with no inputs it returns the relation
+// over no attributes containing the empty tuple (the join identity).
+func JoinAll(rels []*Relation) *Relation {
+	if len(rels) == 0 {
+		id := MustNew()
+		id.MustAdd(Tuple{})
+		return id
+	}
+	work := make([]*Relation, len(rels))
+	copy(work, rels)
+	for len(work) > 1 {
+		// Pick the pair whose estimated output is smallest. A full pairwise
+		// scan is quadratic in the number of relations, which is fine at the
+		// scale of constraint sets.
+		bi, bj, best := -1, -1, int64(-1)
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				est := estimateJoin(work[i], work[j])
+				if best < 0 || est < best {
+					bi, bj, best = i, j, est
+				}
+			}
+		}
+		joined := work[bi].Join(work[bj])
+		if joined.Empty() {
+			// Early exit: the full join is empty. Return an empty relation
+			// over the union of all remaining attributes so callers can
+			// still project onto any attribute of the join schema.
+			var attrs []string
+			seen := make(map[string]struct{})
+			add := func(r *Relation) {
+				for _, a := range r.Attrs() {
+					if _, ok := seen[a]; !ok {
+						seen[a] = struct{}{}
+						attrs = append(attrs, a)
+					}
+				}
+			}
+			add(joined)
+			for idx, r := range work {
+				if idx != bi && idx != bj {
+					add(r)
+				}
+			}
+			return MustNew(attrs...)
+		}
+		work[bi] = joined
+		work = append(work[:bj], work[bj+1:]...)
+	}
+	return work[0]
+}
+
+// estimateJoin is a crude cardinality estimate used for greedy join ordering:
+// the product of sizes shrunk by a factor per shared attribute.
+func estimateJoin(r, s *Relation) int64 {
+	common, _ := sharedAttrs(r, s)
+	est := int64(r.Len()) * int64(s.Len())
+	for range common {
+		est /= 4
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}

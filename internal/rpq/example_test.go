@@ -1,0 +1,53 @@
+package rpq_test
+
+import (
+	"fmt"
+
+	"csdb/internal/automata"
+	"csdb/internal/rpq"
+)
+
+// Certain answers of a regular-path query through sound views
+// (Theorem 7.5's constraint-template reduction).
+func ExampleCertainAnswer() {
+	q := automata.MustParseRegex("ab")
+	views := []rpq.View{{Name: 'v', Def: "a"}, {Name: 'w', Def: "b"}}
+	ext := rpq.Extension{
+		'v': {{X: "x", Y: "y"}},
+		'w': {{X: "y", Y: "z"}},
+	}
+	tpl, err := rpq.ConstraintTemplate(q, views)
+	if err != nil {
+		panic(err)
+	}
+	cert, err := rpq.CertainAnswer(tpl, ext, "x", "z")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("(x,z) certain:", cert)
+	cert, err = rpq.CertainAnswer(tpl, ext, "x", "y")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("(x,y) certain:", cert)
+	// Output:
+	// (x,z) certain: true
+	// (x,y) certain: false
+}
+
+// The maximal RPQ rewriting over the view alphabet (PODS'99).
+func ExampleMaximalRewriting() {
+	views := []rpq.View{{Name: 'v', Def: "a"}, {Name: 'w', Def: "aa"}}
+	rw, err := rpq.MaximalRewriting("a*", views)
+	if err != nil {
+		panic(err)
+	}
+	for _, word := range []string{"", "v", "w", "vw"} {
+		fmt.Printf("%q accepted: %v\n", word, rw.AcceptsString(word))
+	}
+	// Output:
+	// "" accepted: true
+	// "v" accepted: true
+	// "w" accepted: true
+	// "vw" accepted: true
+}

@@ -1,0 +1,208 @@
+package rpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"csdb/internal/automata"
+	"csdb/internal/csp"
+	"csdb/internal/structure"
+)
+
+// Theorem 7.3 composed with Theorem 7.5: deciding CSP(A, B) through the
+// view-based query answering reduction agrees with the direct homomorphism
+// search, on the classical 2-coloring template.
+func TestReductionRoundTripK2(t *testing.T) {
+	k2 := structure.Clique(2)
+	cases := []struct {
+		name string
+		a    *structure.Structure
+	}{
+		{"C4", structure.Cycle(4)},
+		{"C3", structure.Cycle(3)},
+		{"C5", structure.Cycle(5)},
+		{"P4", structure.Path(4)},
+	}
+	for _, c := range cases {
+		want := csp.HomomorphismExists(c.a, k2)
+		got, err := SolveViaViews(c.a, k2)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: via views = %v, direct = %v", c.name, got, want)
+		}
+	}
+}
+
+func TestReductionRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		a := randomDigraph(rng, 2+rng.Intn(3), 0.5)
+		b := randomDigraph(rng, 2, 0.6)
+		want := csp.HomomorphismExists(a, b)
+		got, err := SolveViaViews(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: via views = %v, direct = %v", trial, got, want)
+		}
+	}
+}
+
+func TestReduceCSPValidation(t *testing.T) {
+	big := structure.NewGraph(11)
+	if _, err := ReduceCSP(structure.Cycle(3), big); err == nil {
+		t.Fatal("oversized template accepted")
+	}
+	other := structure.MustNew(structure.MustVocabulary(structure.Symbol{Name: "F", Arity: 2}), 2)
+	if _, err := ReduceCSP(other, structure.Clique(2)); err == nil {
+		t.Fatal("non-digraph accepted")
+	}
+}
+
+// --- Maximal rewriting (PODS'99) ---
+
+func TestMaximalRewritingHandCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		query  string
+		views  []View
+		accept []string // view words (over view names) that must be accepted
+		reject []string
+	}{
+		{
+			name:   "sequential composition",
+			query:  "ab",
+			views:  []View{{'v', "a"}, {'w', "b"}},
+			accept: []string{"vw"},
+			reject: []string{"", "v", "w", "wv", "vv", "vwv"},
+		},
+		{
+			name:   "kleene star",
+			query:  "a*",
+			views:  []View{{'v', "a"}, {'w', "aa"}},
+			accept: []string{"", "v", "w", "vv", "vw", "wv", "ww", "vvv"},
+			reject: nil,
+		},
+		{
+			name:   "view too weak",
+			query:  "a",
+			views:  []View{{'v', "a|b"}},
+			accept: nil,
+			reject: []string{"v", "vv"},
+		},
+		{
+			name:   "disjunctive query",
+			query:  "a|b",
+			views:  []View{{'v', "a|b"}, {'w', "b"}},
+			accept: []string{"v", "w"},
+			reject: []string{"", "vv", "vw"},
+		},
+		{
+			name:   "nontrivial combination",
+			query:  "(ab)*",
+			views:  []View{{'v', "ab"}, {'w', "a"}, {'u', "b"}},
+			accept: []string{"", "v", "wu", "vv", "vwu", "wuv"},
+			reject: []string{"w", "u", "uw", "vw"},
+		},
+	}
+	for _, c := range cases {
+		rw, err := MaximalRewriting(c.query, c.views)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, w := range c.accept {
+			if !rw.AcceptsString(w) {
+				t.Fatalf("%s: rewriting rejects %q", c.name, w)
+			}
+		}
+		for _, w := range c.reject {
+			if rw.AcceptsString(w) {
+				t.Fatalf("%s: rewriting accepts %q", c.name, w)
+			}
+		}
+	}
+}
+
+// The defining property, checked exhaustively on short view words: the
+// rewriting accepts a view word iff ALL of its expansions are in L(Q).
+func TestMaximalRewritingCharacterization(t *testing.T) {
+	configs := []struct {
+		query string
+		views []View
+	}{
+		{"ab", []View{{'v', "a"}, {'w', "b"}}},
+		{"a*", []View{{'v', "a"}, {'w', "aa"}}},
+		{"(ab)*", []View{{'v', "ab"}, {'w', "a"}, {'u', "b"}}},
+		{"a(b|c)", []View{{'v', "a"}, {'w', "b|c"}, {'u', "c"}}},
+		{"(a|b)*b", []View{{'v', "a|b"}, {'w', "b"}}},
+		{"aa|bb", []View{{'v', "a"}, {'w', "b"}}},
+	}
+	for _, cfg := range configs {
+		rw, err := MaximalRewriting(cfg.query, cfg.views)
+		if err != nil {
+			t.Fatalf("%q: %v", cfg.query, err)
+		}
+		var viewAlpha []byte
+		for _, v := range cfg.views {
+			viewAlpha = append(viewAlpha, v.Name)
+		}
+		for _, w := range automata.WordsUpTo(viewAlpha, 3) {
+			want, err := ExpansionsContained(w, cfg.views, cfg.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rw.Accepts(w); got != want {
+				t.Fatalf("query %q word %q: rewriting=%v expansions-contained=%v", cfg.query, w, got, want)
+			}
+		}
+	}
+}
+
+// Soundness of evaluating the rewriting over view extensions: the result is
+// contained in the certain answers.
+func TestRewritingEvaluationSound(t *testing.T) {
+	query := "ab"
+	views := []View{{'v', "a"}, {'w', "b"}}
+	ext := Extension{
+		'v': {{"x", "y"}, {"p", "q"}},
+		'w': {{"y", "z"}, {"q", "r"}, {"x", "x"}},
+	}
+	rw, err := MaximalRewriting(query, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EvaluateRewriting(rw, views, ext)
+	tpl := mustTemplate(t, query, views)
+	for _, p := range got {
+		cert, err := CertainAnswer(tpl, ext, p.X, p.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cert {
+			t.Fatalf("rewriting produced %v outside the certain answers", p)
+		}
+	}
+	// And the obvious pairs are found.
+	found := map[Pair]bool{}
+	for _, p := range got {
+		found[p] = true
+	}
+	if !found[Pair{"x", "z"}] || !found[Pair{"p", "r"}] {
+		t.Fatalf("rewriting evaluation missed chain pairs: %v", got)
+	}
+}
+
+func randomDigraph(rng *rand.Rand, n int, p float64) *structure.Structure {
+	g := structure.NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				g.MustAddTuple("E", i, j)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,175 @@
+package rpq
+
+import (
+	"fmt"
+	"sort"
+
+	"csdb/internal/automata"
+)
+
+// This file implements maximal RPQ rewritings (Calvanese, De Giacomo,
+// Lenzerini, Vardi, PODS'99), which Section 7 of the paper discusses: given
+// a query Q and view definitions over the database alphabet Σ, compute the
+// automaton over the *view alphabet* accepting exactly the view words all of
+// whose expansions (substituting each view symbol by any word of its
+// definition) belong to L(Q). Evaluating that automaton over the view
+// extensions yields a sound (and RPQ-maximal) rewriting.
+//
+// Construction: let D be a (total) DFA for Q over Σ. Build the NFA B' over
+// the view alphabet with the states of D, where q --V--> q' iff some word of
+// L(def(V)) drives D from q to q'; its accepting states are the
+// NON-accepting states of D. B' accepts the view words with some expansion
+// outside L(Q); the maximal rewriting is the complement of B'.
+
+// MaximalRewriting returns a DFA over the view-name alphabet accepting the
+// maximal rewriting of the query wrt the views.
+func MaximalRewriting(queryRegex string, views []View) (*automata.DFA, error) {
+	if err := ValidateViews(views); err != nil {
+		return nil, err
+	}
+	qNFA, err := automata.ParseRegex(queryRegex)
+	if err != nil {
+		return nil, fmt.Errorf("rpq: query: %w", err)
+	}
+	// Σ: union of query and view symbols, so expansions stepping outside the
+	// query's own alphabet are accounted for.
+	alphaSet := make(map[byte]bool)
+	for _, s := range automata.RegexAlphabet(queryRegex) {
+		alphaSet[s] = true
+	}
+	viewAutomata := make([]*automata.ENFA, len(views))
+	for i, v := range views {
+		viewAutomata[i] = automata.MustParseRegex(v.Def).EpsFree()
+		for _, s := range automata.RegexAlphabet(v.Def) {
+			alphaSet[s] = true
+		}
+	}
+	var alphabet []byte
+	for s := range alphaSet {
+		alphabet = append(alphabet, s)
+	}
+	sort.Slice(alphabet, func(i, j int) bool { return alphabet[i] < alphabet[j] })
+
+	d := qNFA.Determinize(alphabet) // total over Σ by construction
+
+	// badExpansion over the view alphabet.
+	bad := automata.NewNFA(d.N)
+	bad.Start = d.Start
+	for q := 0; q < d.N; q++ {
+		bad.Accept[q] = !d.Accept[q]
+	}
+	for vi, va := range viewAutomata {
+		sym := views[vi].Name
+		for q := 0; q < d.N; q++ {
+			for _, target := range dfaTargets(d, q, va, alphabet) {
+				bad.AddTransition(q, sym, target)
+			}
+		}
+	}
+	viewAlphabet := make([]byte, len(views))
+	for i, v := range views {
+		viewAlphabet[i] = v.Name
+	}
+	sort.Slice(viewAlphabet, func(i, j int) bool { return viewAlphabet[i] < viewAlphabet[j] })
+	return bad.Determinize(viewAlphabet).Complement(), nil
+}
+
+// dfaTargets returns the DFA states reachable from q by reading some word
+// of the view automaton's language: BFS on the product (DFA state, view
+// state set).
+func dfaTargets(d *automata.DFA, q int, va *automata.ENFA, alphabet []byte) []int {
+	type pstate struct {
+		dq int
+		vs string // canonical key of the view state set
+	}
+	key := func(set []int) string {
+		b := make([]byte, 0, len(set)*3)
+		for _, s := range set {
+			b = append(b, fmt.Sprintf("%d,", s)...)
+		}
+		return string(b)
+	}
+	start := append([]int(nil), va.Starts...)
+	visited := map[pstate]bool{{q, key(start)}: true}
+	type node struct {
+		dq  int
+		set []int
+	}
+	queue := []node{{q, start}}
+	targetSet := make(map[int]bool)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, s := range n.set {
+			if va.Accept[s] {
+				targetSet[n.dq] = true
+				break
+			}
+		}
+		for _, sym := range alphabet {
+			nset := va.Move(n.set, sym)
+			if len(nset) == 0 {
+				continue
+			}
+			ndq := d.Trans[n.dq][sym]
+			ps := pstate{ndq, key(nset)}
+			if !visited[ps] {
+				visited[ps] = true
+				queue = append(queue, node{ndq, nset})
+			}
+		}
+	}
+	out := make([]int, 0, len(targetSet))
+	for t := range targetSet {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ExpansionsContained reports whether every expansion of the view word
+// belongs to L(Q): L(def(w[0])) · ... · L(def(w[k-1])) ⊆ L(Q). Used to
+// verify soundness and maximality of rewritings.
+func ExpansionsContained(viewWord []byte, views []View, queryRegex string) (bool, error) {
+	defs := make(map[byte]string, len(views))
+	for _, v := range views {
+		defs[v.Name] = v.Def
+	}
+	parts := make([]string, 0, len(viewWord))
+	for _, sym := range viewWord {
+		def, ok := defs[sym]
+		if !ok {
+			return false, fmt.Errorf("rpq: unknown view symbol %q", sym)
+		}
+		parts = append(parts, "("+def+")")
+	}
+	concat := ""
+	for _, p := range parts {
+		concat += p
+	}
+	expNFA, err := automata.ParseRegex(concat)
+	if err != nil {
+		return false, err
+	}
+	qNFA, err := automata.ParseRegex(queryRegex)
+	if err != nil {
+		return false, err
+	}
+	alpha := automata.RegexAlphabet(concat + queryRegex)
+	contained, _ := automata.Contained(expNFA.Determinize(alpha), qNFA.Determinize(alpha))
+	return contained, nil
+}
+
+// EvaluateRewriting evaluates a rewriting automaton over the view
+// extensions, treated as a database whose edges are labeled by view names.
+// The result is a set of object pairs contained in cert(Q, V) (soundness of
+// rewritings).
+func EvaluateRewriting(rw *automata.DFA, views []View, ext Extension) []Pair {
+	db := NewDB()
+	for _, v := range views {
+		for _, p := range ext[v.Name] {
+			db.AddEdge(p.X, v.Name, p.Y)
+		}
+	}
+	return db.Eval(rw.ToNFA())
+}

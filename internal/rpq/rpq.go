@@ -1,0 +1,217 @@
+// Package rpq implements regular-path queries over edge-labeled graph
+// databases and the view-based query processing of Section 7 of the paper:
+//
+//   - RPQ evaluation (product of database and query automaton);
+//   - view-based certain answers via the constraint-template reduction to
+//     CSP of Theorem 7.5;
+//   - the converse reduction from CSP over directed graphs to view-based
+//     query answering (Theorem 7.3);
+//   - maximal RPQ rewritings over view alphabets (Calvanese, De Giacomo,
+//     Lenzerini, Vardi, PODS'99).
+//
+// Edge labels and view names are single bytes, matching package automata.
+package rpq
+
+import (
+	"fmt"
+	"sort"
+
+	"csdb/internal/automata"
+)
+
+// DB is an edge-labeled directed graph database. Objects are interned
+// strings.
+type DB struct {
+	names []string
+	ids   map[string]int
+	// adj[node][label] = successor nodes
+	adj []map[byte][]int
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{ids: make(map[string]int)}
+}
+
+// Node interns an object name and returns its id.
+func (db *DB) Node(name string) int {
+	if id, ok := db.ids[name]; ok {
+		return id
+	}
+	id := len(db.names)
+	db.ids[name] = id
+	db.names = append(db.names, name)
+	db.adj = append(db.adj, make(map[byte][]int))
+	return id
+}
+
+// AddEdge inserts the labeled edge x --label--> y (objects interned).
+func (db *DB) AddEdge(x string, label byte, y string) {
+	xi, yi := db.Node(x), db.Node(y)
+	for _, t := range db.adj[xi][label] {
+		if t == yi {
+			return
+		}
+	}
+	db.adj[xi][label] = append(db.adj[xi][label], yi)
+}
+
+// NumNodes returns the number of objects.
+func (db *DB) NumNodes() int { return len(db.names) }
+
+// Name returns the name of node id.
+func (db *DB) Name(id int) string { return db.names[id] }
+
+// Has reports whether the object name is known.
+func (db *DB) Has(name string) bool {
+	_, ok := db.ids[name]
+	return ok
+}
+
+// Pair is an ordered pair of object names.
+type Pair struct {
+	X, Y string
+}
+
+// Eval computes ans(Q, DB) for the query automaton q: all pairs (x, y) with
+// a path from x to y spelling a word of L(q). Implemented as reachability
+// in the product of the database with the ε-free query automaton, from each
+// start node.
+func (db *DB) Eval(q *automata.NFA) []Pair {
+	e := q.EpsFree()
+	var out []Pair
+	for x := 0; x < db.NumNodes(); x++ {
+		for _, y := range db.evalFrom(e, x) {
+			out = append(out, Pair{db.names[x], db.names[y]})
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// EvalRegex evaluates a regular expression query.
+func (db *DB) EvalRegex(expr string) ([]Pair, error) {
+	q, err := automata.ParseRegex(expr)
+	if err != nil {
+		return nil, err
+	}
+	return db.Eval(q), nil
+}
+
+// evalFrom returns the nodes y reachable from x via a word in L(e), sorted.
+func (db *DB) evalFrom(e *automata.ENFA, x int) []int {
+	type state struct{ node, q int }
+	visited := make(map[state]bool)
+	var queue []state
+	push := func(s state) {
+		if !visited[s] {
+			visited[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for _, s := range e.Starts {
+		push(state{x, s})
+	}
+	accepted := make(map[int]bool)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if e.Accept[s.q] {
+			accepted[s.node] = true
+		}
+		for label, nexts := range db.adj[s.node] {
+			qNexts := e.Trans[s.q][label]
+			for _, nn := range nexts {
+				for _, nq := range qNexts {
+					push(state{nn, nq})
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(accepted))
+	for y := range accepted {
+		out = append(out, y)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasPath reports whether ans(Q, DB) contains the pair (x, y).
+func (db *DB) HasPath(q *automata.NFA, x, y string) bool {
+	xi, ok := db.ids[x]
+	if !ok {
+		return false
+	}
+	yi, ok := db.ids[y]
+	if !ok {
+		return false
+	}
+	e := q.EpsFree()
+	for _, t := range db.evalFrom(e, xi) {
+		if t == yi {
+			return true
+		}
+	}
+	return false
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+}
+
+// Contained reports whether ans(Q1, DB) ⊆ ans(Q2, DB) for every database —
+// for RPQs this is exactly regular-language containment L(Q1) ⊆ L(Q2).
+// When not contained, a witness word of L(Q1) \ L(Q2) is returned.
+func Contained(q1, q2 string) (bool, string, error) {
+	n1, err := automata.ParseRegex(q1)
+	if err != nil {
+		return false, "", fmt.Errorf("rpq: query 1: %w", err)
+	}
+	n2, err := automata.ParseRegex(q2)
+	if err != nil {
+		return false, "", fmt.Errorf("rpq: query 2: %w", err)
+	}
+	alpha := automata.RegexAlphabet(q1 + q2)
+	ok, witness := automata.Contained(n1.Determinize(alpha), n2.Determinize(alpha))
+	return ok, string(witness), nil
+}
+
+// Equivalent reports whether two RPQs denote the same language.
+func Equivalent(q1, q2 string) (bool, error) {
+	a, _, err := Contained(q1, q2)
+	if err != nil || !a {
+		return false, err
+	}
+	b, _, err := Contained(q2, q1)
+	return b, err
+}
+
+// View is a named view with an RPQ definition.
+type View struct {
+	Name byte   // the view's symbol in rewriting alphabets
+	Def  string // regular expression over the database alphabet
+}
+
+// Extension maps view names to the known pairs ext(V).
+type Extension map[byte][]Pair
+
+// Validate checks that view names are distinct symbols and definitions
+// parse.
+func ValidateViews(views []View) error {
+	seen := make(map[byte]bool)
+	for _, v := range views {
+		if seen[v.Name] {
+			return fmt.Errorf("rpq: duplicate view name %q", v.Name)
+		}
+		seen[v.Name] = true
+		if _, err := automata.ParseRegex(v.Def); err != nil {
+			return fmt.Errorf("rpq: view %q: %w", v.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,375 @@
+package rpq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"csdb/internal/automata"
+)
+
+func TestDBBasics(t *testing.T) {
+	db := NewDB()
+	db.AddEdge("x", 'a', "y")
+	db.AddEdge("x", 'a', "y") // duplicate ignored
+	db.AddEdge("y", 'b', "z")
+	if db.NumNodes() != 3 || !db.Has("x") || db.Has("w") {
+		t.Fatalf("node bookkeeping wrong")
+	}
+	if len(db.adj[db.Node("x")]['a']) != 1 {
+		t.Fatal("duplicate edge stored")
+	}
+}
+
+func TestEvalSimplePaths(t *testing.T) {
+	db := NewDB()
+	db.AddEdge("x", 'a', "y")
+	db.AddEdge("y", 'b', "z")
+	db.AddEdge("z", 'a', "w")
+
+	pairs, err := db.EvalRegex("ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0] != (Pair{"x", "z"}) {
+		t.Fatalf("ab pairs = %v", pairs)
+	}
+
+	pairs, err = db.EvalRegex("a(ba)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Pair]bool{{"x", "y"}: true, {"z", "w"}: true, {"x", "w"}: true}
+	if len(pairs) != len(want) {
+		t.Fatalf("a(ba)* pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if !want[p] {
+			t.Fatalf("unexpected pair %v", p)
+		}
+	}
+}
+
+func TestEvalEpsilonQuery(t *testing.T) {
+	db := NewDB()
+	db.AddEdge("x", 'a', "y")
+	pairs, err := db.EvalRegex("a?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε matches every node with itself; 'a' adds (x,y).
+	want := map[Pair]bool{{"x", "x"}: true, {"y", "y"}: true, {"x", "y"}: true}
+	if len(pairs) != len(want) {
+		t.Fatalf("a? pairs = %v", pairs)
+	}
+}
+
+// Eval agrees with brute-force path enumeration on random databases.
+func TestEvalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	exprs := []string{"a", "ab", "a*", "(a|b)*b", "ab|ba", "a+b?"}
+	for trial := 0; trial < 30; trial++ {
+		db := randomDB(rng, 4, 8)
+		for _, expr := range exprs {
+			got, err := db.EvalRegex(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForcePairs(t, db, expr, 6)
+			gotSet := map[Pair]bool{}
+			for _, p := range got {
+				gotSet[p] = true
+			}
+			// Brute force bounded by path length 6: got must contain all
+			// brute pairs; and every got pair must be witnessed by some path
+			// (possibly longer — recheck with HasPath which is exact).
+			for p := range want {
+				if !gotSet[p] {
+					t.Fatalf("trial %d %q: missing pair %v", trial, expr, p)
+				}
+			}
+			nfa := automata.MustParseRegex(expr)
+			for p := range gotSet {
+				if !db.HasPath(nfa, p.X, p.Y) {
+					t.Fatalf("trial %d %q: HasPath denies %v", trial, expr, p)
+				}
+			}
+		}
+	}
+}
+
+// bruteForcePairs enumerates labeled walks up to maxLen and checks words.
+func bruteForcePairs(t *testing.T, db *DB, expr string, maxLen int) map[Pair]bool {
+	t.Helper()
+	nfa := automata.MustParseRegex(expr)
+	out := map[Pair]bool{}
+	type walk struct {
+		node int
+		word []byte
+	}
+	for x := 0; x < db.NumNodes(); x++ {
+		queue := []walk{{x, nil}}
+		for len(queue) > 0 {
+			w := queue[0]
+			queue = queue[1:]
+			if nfa.Accepts(w.word) {
+				out[Pair{db.Name(x), db.Name(w.node)}] = true
+			}
+			if len(w.word) == maxLen {
+				continue
+			}
+			for label, nexts := range db.adj[w.node] {
+				for _, n := range nexts {
+					nw := append(append([]byte(nil), w.word...), label)
+					queue = append(queue, walk{n, nw})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func randomDB(rng *rand.Rand, nodes, edges int) *DB {
+	db := NewDB()
+	for i := 0; i < nodes; i++ {
+		db.Node(fmt.Sprintf("n%d", i))
+	}
+	labels := []byte("ab")
+	for e := 0; e < edges; e++ {
+		x := fmt.Sprintf("n%d", rng.Intn(nodes))
+		y := fmt.Sprintf("n%d", rng.Intn(nodes))
+		db.AddEdge(x, labels[rng.Intn(len(labels))], y)
+	}
+	return db
+}
+
+func TestValidateViews(t *testing.T) {
+	if err := ValidateViews([]View{{'v', "a*"}, {'v', "b"}}); err == nil {
+		t.Fatal("duplicate view names accepted")
+	}
+	if err := ValidateViews([]View{{'v', "a)("}}); err == nil {
+		t.Fatal("bad view regex accepted")
+	}
+	if err := ValidateViews([]View{{'v', "a"}, {'w', "b*"}}); err != nil {
+		t.Fatalf("valid views rejected: %v", err)
+	}
+}
+
+// --- Certain answers (Theorem 7.5) ---
+
+func mustTemplate(t *testing.T, queryRegex string, views []View) *Template {
+	t.Helper()
+	q := automata.MustParseRegex(queryRegex)
+	tpl, err := ConstraintTemplate(q, views)
+	if err != nil {
+		t.Fatalf("ConstraintTemplate(%q): %v", queryRegex, err)
+	}
+	return tpl
+}
+
+func TestCertainAnswerHandCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+		views []View
+		ext   Extension
+		c, d  string
+		want  bool
+	}{
+		{
+			name:  "single view matching query",
+			query: "a",
+			views: []View{{'v', "a"}},
+			ext:   Extension{'v': {{"x", "y"}}},
+			c:     "x", d: "y", want: true,
+		},
+		{
+			name:  "composition of two views",
+			query: "ab",
+			views: []View{{'v', "a"}, {'w', "b"}},
+			ext:   Extension{'v': {{"x", "y"}}, 'w': {{"y", "z"}}},
+			c:     "x", d: "z", want: true,
+		},
+		{
+			name:  "query is a disjunction",
+			query: "a|b",
+			views: []View{{'v', "a"}},
+			ext:   Extension{'v': {{"x", "y"}}},
+			c:     "x", d: "y", want: true,
+		},
+		{
+			name:  "view weaker than query",
+			query: "a",
+			views: []View{{'v', "a|b"}},
+			ext:   Extension{'v': {{"x", "y"}}},
+			c:     "x", d: "y", want: false,
+		},
+		{
+			name:  "wrong pair",
+			query: "a",
+			views: []View{{'v', "a"}},
+			ext:   Extension{'v': {{"x", "y"}}},
+			c:     "y", d: "x", want: false,
+		},
+		{
+			name:  "chain via one view iterated",
+			query: "aa",
+			views: []View{{'v', "a"}},
+			ext:   Extension{'v': {{"x", "y"}, {"y", "z"}}},
+			c:     "x", d: "z", want: true,
+		},
+		{
+			name:  "kleene query covered by chain",
+			query: "a*",
+			views: []View{{'v', "a"}},
+			ext:   Extension{'v': {{"x", "y"}, {"y", "z"}}},
+			c:     "x", d: "z", want: true,
+		},
+		{
+			name:  "gap in the chain",
+			query: "aa",
+			views: []View{{'v', "a"}},
+			ext:   Extension{'v': {{"x", "y"}}},
+			c:     "x", d: "z", want: false,
+		},
+	}
+	for _, c := range cases {
+		tpl := mustTemplate(t, c.query, c.views)
+		got, err := CertainAnswer(tpl, c.ext, c.c, c.d)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Fatalf("%s: cert = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Soundness: for any database consistent with the views, every certain
+// answer is an answer.
+func TestCertainAnswerSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	queries := []string{"ab", "a*", "a|b", "a(a|b)"}
+	views := []View{{'v', "a"}, {'w', "b"}, {'u', "ab"}}
+	templates := make(map[string]*Template, len(queries))
+	for _, q := range queries {
+		templates[q] = mustTemplate(t, q, views)
+	}
+	for trial := 0; trial < 10; trial++ {
+		db := randomDB(rng, 4, 7)
+		// Build a consistent extension: a random subset of each view's
+		// answer set over db.
+		ext := Extension{}
+		for _, v := range views {
+			pairs, err := db.EvalRegex(v.Def)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pairs {
+				if rng.Float64() < 0.6 {
+					ext[v.Name] = append(ext[v.Name], p)
+				}
+			}
+		}
+		for _, query := range queries {
+			tpl := templates[query]
+			cert, err := CertainAnswers(tpl, ext)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qNFA := automata.MustParseRegex(query)
+			for _, p := range cert {
+				if !db.HasPath(qNFA, p.X, p.Y) {
+					t.Fatalf("trial %d query %q: certain answer %v not in ans over a consistent db", trial, query, p)
+				}
+			}
+		}
+	}
+}
+
+// Monotonicity: adding extension pairs can only grow the certain answers
+// (more constraints on the databases).
+func TestCertainAnswerMonotonicity(t *testing.T) {
+	views := []View{{'v', "a"}}
+	tpl := mustTemplate(t, "aa", views)
+	small := Extension{'v': {{"x", "y"}}}
+	big := Extension{'v': {{"x", "y"}, {"y", "z"}}}
+	certSmall, err := CertainAnswers(tpl, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certBig, err := CertainAnswers(tpl, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigSet := map[Pair]bool{}
+	for _, p := range certBig {
+		bigSet[p] = true
+	}
+	for _, p := range certSmall {
+		if !bigSet[p] {
+			t.Fatalf("certain answer %v lost after adding extension pairs", p)
+		}
+	}
+}
+
+func TestConstraintTemplateCaps(t *testing.T) {
+	// A query automaton with too many states is rejected.
+	long := ""
+	for i := 0; i < 20; i++ {
+		long += "a"
+	}
+	q := automata.MustParseRegex(long)
+	if _, err := ConstraintTemplate(q, []View{{'v', "a"}}); err == nil {
+		t.Fatal("oversized query accepted")
+	}
+}
+
+func TestRPQContainment(t *testing.T) {
+	ok, _, err := Contained("ab", "a(b|c)")
+	if err != nil || !ok {
+		t.Fatalf("ab ⊆ a(b|c): %v %v", ok, err)
+	}
+	ok, witness, err := Contained("a(b|c)", "ab")
+	if err != nil || ok {
+		t.Fatalf("a(b|c) ⊆ ab: %v %v", ok, err)
+	}
+	if witness != "ac" {
+		t.Fatalf("witness = %q, want ac", witness)
+	}
+	eq, err := Equivalent("a*", "()|aa*")
+	if err != nil || !eq {
+		t.Fatalf("a* ≡ ε|aa*: %v %v", eq, err)
+	}
+	eq, err = Equivalent("a", "b")
+	if err != nil || eq {
+		t.Fatalf("a ≡ b: %v %v", eq, err)
+	}
+	if _, _, err := Contained("a)(", "a"); err == nil {
+		t.Fatal("bad regex accepted")
+	}
+	if _, _, err := Contained("a", "b)("); err == nil {
+		t.Fatal("bad regex accepted")
+	}
+	// Containment is monotone under answers: spot-check on a database.
+	db := NewDB()
+	db.AddEdge("x", 'a', "y")
+	db.AddEdge("y", 'b', "z")
+	small, err := db.EvalRegex("ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := db.EvalRegex("a(b|c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigSet := map[Pair]bool{}
+	for _, p := range big {
+		bigSet[p] = true
+	}
+	for _, p := range small {
+		if !bigSet[p] {
+			t.Fatalf("containment violated on db at %v", p)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package rpq
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"csdb/internal/automata"
+	"csdb/internal/csp"
+	"csdb/internal/structure"
+)
+
+// This file implements view-based query answering (certain answers) via the
+// constraint-template reduction of Theorem 7.5, and the converse reduction
+// from CSP over directed graphs to view-based query answering
+// (Theorem 7.3).
+//
+// The constraint template of a query Q wrt views V is the structure B with
+// domain 2^S (S the states of an automaton A_Q for Q) and
+//
+//	(σ1, σ2) ∈ V_i^B  iff  ∃w ∈ L(def(V_i)) with ρ(σ1, w) ⊆ σ2
+//	σ ∈ U_c^B         iff  S0 ⊆ σ
+//	σ ∈ U_d^B         iff  σ ∩ F = ∅
+//
+// and (c, d) ∉ cert(Q, V) iff the structure A built from ext(V) (edges V_i,
+// markers U_c, U_d) has a homomorphism into B.
+
+// maxTemplateStates bounds the query automaton size: the template domain is
+// 2^states (the construction is inherently exponential in the query — the
+// problem is PSPACE-complete in expression complexity per Theorem 7.1 — but
+// polynomial in the data, which is what the experiments measure).
+const maxTemplateStates = 14
+
+// Template is the constraint template B of a query wrt a set of views.
+type Template struct {
+	B     *structure.Structure
+	Views []View
+	// Q is the ε-free automaton of the query whose state sets index B's
+	// domain: element σ of B is the bitmask over Q's states.
+	Q *automata.ENFA
+}
+
+// viewRel names the relation symbol of a view in template structures.
+func viewRel(name byte) string { return fmt.Sprintf("V_%c", name) }
+
+// ConstraintTemplate builds the constraint template of q wrt the views
+// (Theorem 7.5). The alphabet is the union of the query's and the views'
+// symbols.
+func ConstraintTemplate(q *automata.NFA, views []View) (*Template, error) {
+	if err := ValidateViews(views); err != nil {
+		return nil, err
+	}
+	e := q.EpsFree()
+	n := e.N
+	if n > maxTemplateStates {
+		return nil, fmt.Errorf("rpq: query automaton has %d states; template construction capped at %d", n, maxTemplateStates)
+	}
+
+	// Alphabet: union over query and view definitions.
+	alphaSet := make(map[byte]bool)
+	for _, s := range e.Alphabet() {
+		alphaSet[s] = true
+	}
+	viewAutomata := make([]*automata.ENFA, len(views))
+	for i, v := range views {
+		va := automata.MustParseRegex(v.Def).EpsFree()
+		viewAutomata[i] = va
+		for _, s := range va.Alphabet() {
+			alphaSet[s] = true
+		}
+	}
+	var alphabet []byte
+	for s := range alphaSet {
+		alphabet = append(alphabet, s)
+	}
+	sort.Slice(alphabet, func(i, j int) bool { return alphabet[i] < alphabet[j] })
+
+	// Per-state transition masks of the query automaton.
+	qstep := make([]map[byte]uint32, n)
+	for s := 0; s < n; s++ {
+		qstep[s] = make(map[byte]uint32)
+		for sym, ts := range e.Trans[s] {
+			var m uint32
+			for _, t := range ts {
+				m |= 1 << uint(t)
+			}
+			qstep[s][sym] = m
+		}
+	}
+	stepT := func(T uint32, sym byte) uint32 {
+		var out uint32
+		for rest := T; rest != 0; {
+			s := bits.TrailingZeros32(rest)
+			rest &^= 1 << uint(s)
+			out |= qstep[s][sym]
+		}
+		return out
+	}
+
+	var s0, fMask uint32
+	for _, s := range e.Starts {
+		s0 |= 1 << uint(s)
+	}
+	for s := 0; s < n; s++ {
+		if e.Accept[s] {
+			fMask |= 1 << uint(s)
+		}
+	}
+
+	// Build the vocabulary and structure.
+	voc := structure.MustVocabulary()
+	for _, v := range views {
+		if err := voc.Add(structure.Symbol{Name: viewRel(v.Name), Arity: 2}); err != nil {
+			return nil, err
+		}
+	}
+	if err := voc.Add(structure.Symbol{Name: "Uc", Arity: 1}); err != nil {
+		return nil, err
+	}
+	if err := voc.Add(structure.Symbol{Name: "Ud", Arity: 1}); err != nil {
+		return nil, err
+	}
+	domain := 1 << uint(n)
+	b, err := structure.New(voc, domain)
+	if err != nil {
+		return nil, err
+	}
+
+	for vi, va := range viewAutomata {
+		// Per-state transition masks of the view automaton.
+		m := va.N
+		if m > 30 {
+			return nil, fmt.Errorf("rpq: view %q automaton too large (%d states)", views[vi].Name, m)
+		}
+		vstep := make([]map[byte]uint32, m)
+		for s := 0; s < m; s++ {
+			vstep[s] = make(map[byte]uint32)
+			for sym, ts := range va.Trans[s] {
+				var mask uint32
+				for _, t := range ts {
+					mask |= 1 << uint(t)
+				}
+				vstep[s][sym] = mask
+			}
+		}
+		stepU := func(U uint32, sym byte) uint32 {
+			var out uint32
+			for rest := U; rest != 0; {
+				s := bits.TrailingZeros32(rest)
+				rest &^= 1 << uint(s)
+				out |= vstep[s][sym]
+			}
+			return out
+		}
+		var u0, vAcc uint32
+		for _, s := range va.Starts {
+			u0 |= 1 << uint(s)
+		}
+		for s := 0; s < m; s++ {
+			if va.Accept[s] {
+				vAcc |= 1 << uint(s)
+			}
+		}
+
+		relName := viewRel(views[vi].Name)
+		for sigma1 := 0; sigma1 < domain; sigma1++ {
+			// Deterministic product reachability from (σ1, U0); collect the
+			// minimal T-masks at accepting U's.
+			type pstate struct{ T, U uint32 }
+			start := pstate{uint32(sigma1), u0}
+			visited := map[pstate]bool{start: true}
+			queue := []pstate{start}
+			var acc []uint32
+			for len(queue) > 0 {
+				ps := queue[0]
+				queue = queue[1:]
+				if ps.U&vAcc != 0 {
+					acc = append(acc, ps.T)
+				}
+				for _, sym := range alphabet {
+					nu := stepU(ps.U, sym)
+					if nu == 0 {
+						continue // no view word can complete
+					}
+					np := pstate{stepT(ps.T, sym), nu}
+					if !visited[np] {
+						visited[np] = true
+						queue = append(queue, np)
+					}
+				}
+			}
+			// Keep only minimal masks (T ⊆ σ2 is monotone in T).
+			minimal := minimalMasks(acc)
+			for sigma2 := 0; sigma2 < domain; sigma2++ {
+				for _, T := range minimal {
+					if T&^uint32(sigma2) == 0 {
+						if err := b.AddTuple(relName, sigma1, sigma2); err != nil {
+							return nil, err
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+
+	for sigma := 0; sigma < domain; sigma++ {
+		if s0&^uint32(sigma) == 0 {
+			if err := b.AddTuple("Uc", sigma); err != nil {
+				return nil, err
+			}
+		}
+		if uint32(sigma)&fMask == 0 {
+			if err := b.AddTuple("Ud", sigma); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Template{B: b, Views: views, Q: e}, nil
+}
+
+// minimalMasks returns the ⊆-minimal bitmasks of the input.
+func minimalMasks(masks []uint32) []uint32 {
+	var out []uint32
+	for i, m := range masks {
+		minimal := true
+		for j, o := range masks {
+			if j == i {
+				continue
+			}
+			if o&^m == 0 && (o != m || j < i) { // o ⊆ m (ties keep first)
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ExtensionStructure builds the structure A of Theorem 7.5 from view
+// extensions and the marked pair (c, d): objects of the extension plus c
+// and d, with V_i edges and unary markers. It returns the structure and the
+// object-name index.
+func ExtensionStructure(tpl *Template, ext Extension, c, d string) (*structure.Structure, map[string]int, error) {
+	idx := make(map[string]int)
+	var names []string
+	intern := func(name string) int {
+		if id, ok := idx[name]; ok {
+			return id
+		}
+		id := len(names)
+		idx[name] = id
+		names = append(names, name)
+		return id
+	}
+	intern(c)
+	intern(d)
+	for _, v := range tpl.Views {
+		for _, p := range ext[v.Name] {
+			intern(p.X)
+			intern(p.Y)
+		}
+	}
+	a, err := structure.New(tpl.B.Voc(), len(names))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := a.SetNames(names); err != nil {
+		return nil, nil, err
+	}
+	for _, v := range tpl.Views {
+		rel := viewRel(v.Name)
+		for _, p := range ext[v.Name] {
+			if err := a.AddTuple(rel, idx[p.X], idx[p.Y]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := a.AddTuple("Uc", idx[c]); err != nil {
+		return nil, nil, err
+	}
+	if err := a.AddTuple("Ud", idx[d]); err != nil {
+		return nil, nil, err
+	}
+	return a, idx, nil
+}
+
+// CertainAnswer decides (c, d) ∈ cert(Q, V): true iff the pair (c, d) is in
+// ans(Q, DB) for every database DB consistent with the view extensions. Per
+// Theorem 7.5 this holds iff the extension structure has no homomorphism
+// into the constraint template.
+func CertainAnswer(tpl *Template, ext Extension, c, d string) (bool, error) {
+	a, _, err := ExtensionStructure(tpl, ext, c, d)
+	if err != nil {
+		return false, err
+	}
+	return !csp.HomomorphismExists(a, tpl.B), nil
+}
+
+// CertainAnswers computes cert(Q, V) ⊆ D_V × D_V over the objects of the
+// extension.
+func CertainAnswers(tpl *Template, ext Extension) ([]Pair, error) {
+	objSet := make(map[string]bool)
+	for _, v := range tpl.Views {
+		for _, p := range ext[v.Name] {
+			objSet[p.X] = true
+			objSet[p.Y] = true
+		}
+	}
+	objs := make([]string, 0, len(objSet))
+	for o := range objSet {
+		objs = append(objs, o)
+	}
+	sort.Strings(objs)
+	var out []Pair
+	for _, c := range objs {
+		for _, d := range objs {
+			ok, err := CertainAnswer(tpl, ext, c, d)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, Pair{c, d})
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- Theorem 7.3: CSP over digraphs reduces to view-based answering ---
+
+// CSPReduction is the output of ReduceCSP: a query and views depending only
+// on the template digraph B, and extensions/objects depending only on the
+// instance digraph A, such that (c, d) ∉ cert(Q, V) iff A → B.
+type CSPReduction struct {
+	Query *automata.NFA
+	Views []View
+	Ext   Extension
+	C, D  string
+}
+
+// digraph edge representation for the reduction: a structure over {E/2}.
+
+// ReduceCSP implements the reduction of Theorem 7.3. Objects are the nodes
+// of a plus fresh anchors "c!" and "d!"; the database alphabet has one
+// color symbol per node of b ('0'+i, at most 10 nodes), an edge symbol 'e',
+// and anchor symbols 's', 't'.
+//
+// Views (dependent on b only): V_k ("colors", one symbol per b-node,
+// extension = self-pairs of a-nodes), V_e (edge symbol, extension = a's
+// edges), V_s and V_t (anchors). The query accepts the violation words
+// s·σ_u·e·σ_v·t for every NON-edge (u, v) of b; a consistent database
+// avoiding all violations between the anchors encodes a homomorphism a → b.
+func ReduceCSP(a, b *structure.Structure) (*CSPReduction, error) {
+	if !a.Voc().Has("E") || !b.Voc().Has("E") {
+		return nil, fmt.Errorf("rpq: ReduceCSP expects digraph structures over {E/2}")
+	}
+	m := b.Size()
+	if m > 10 {
+		return nil, fmt.Errorf("rpq: ReduceCSP supports at most 10 template nodes, got %d", m)
+	}
+	colorSym := func(u int) byte { return byte('0' + u) }
+
+	// Query NFA: q0 -s-> q1; q1 -σ_u-> au; au -e-> bu; bu -σ_v-> pre when
+	// (u,v) is a non-edge of b; pre -t-> acc.
+	nStates := 2 + 2*m + 2
+	q := automata.NewNFA(nStates)
+	q.Start = 0
+	q1 := 1
+	aState := func(u int) int { return 2 + u }
+	bState := func(u int) int { return 2 + m + u }
+	pre := 2 + 2*m
+	acc := pre + 1
+	q.Accept[acc] = true
+	q.AddTransition(0, 's', q1)
+	for u := 0; u < m; u++ {
+		q.AddTransition(q1, colorSym(u), aState(u))
+		q.AddTransition(aState(u), 'e', bState(u))
+		for v := 0; v < m; v++ {
+			if !b.HasTuple("E", u, v) {
+				q.AddTransition(bState(u), colorSym(v), pre)
+			}
+		}
+	}
+	q.AddTransition(pre, 't', acc)
+
+	// Views.
+	colorAlts := make([]string, m)
+	for u := 0; u < m; u++ {
+		colorAlts[u] = string([]byte{colorSym(u)})
+	}
+	views := []View{
+		{Name: 'C', Def: automata.UnionRegex(colorAlts...)},
+		{Name: 'E', Def: "e"},
+		{Name: 'S', Def: "s"},
+		{Name: 'T', Def: "t"},
+	}
+	if m == 0 {
+		views[0].Def = "" // degenerate: no colors
+	}
+
+	// Extensions from a.
+	nodeName := func(x int) string { return fmt.Sprintf("n%d", x) }
+	cName, dName := "c!", "d!"
+	ext := Extension{}
+	for x := 0; x < a.Size(); x++ {
+		ext['C'] = append(ext['C'], Pair{nodeName(x), nodeName(x)})
+		ext['S'] = append(ext['S'], Pair{cName, nodeName(x)})
+		ext['T'] = append(ext['T'], Pair{nodeName(x), dName})
+	}
+	for _, t := range a.Rel("E").Tuples() {
+		ext['E'] = append(ext['E'], Pair{nodeName(t[0]), nodeName(t[1])})
+	}
+	return &CSPReduction{Query: q, Views: views, Ext: ext, C: cName, D: dName}, nil
+}
+
+// SolveViaViews decides CSP(a, b) through the Theorem 7.3 reduction and the
+// Theorem 7.5 certain-answer procedure: a → b iff (c, d) is NOT a certain
+// answer of the reduced view-answering instance.
+func SolveViaViews(a, b *structure.Structure) (bool, error) {
+	red, err := ReduceCSP(a, b)
+	if err != nil {
+		return false, err
+	}
+	tpl, err := ConstraintTemplate(red.Query, red.Views)
+	if err != nil {
+		return false, err
+	}
+	cert, err := CertainAnswer(tpl, red.Ext, red.C, red.D)
+	if err != nil {
+		return false, err
+	}
+	return !cert, nil
+}

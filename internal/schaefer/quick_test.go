@@ -1,0 +1,169 @@
+package schaefer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomRel(rng *rand.Rand, arity int) *BoolRel {
+	r := MustBoolRel(arity)
+	for code := 0; code < 1<<uint(arity); code++ {
+		if rng.Float64() < 0.5 {
+			r.rows[code] = true
+		}
+	}
+	return r
+}
+
+// Property: Horn and dual-Horn are exchanged by complementing values
+// (x ↦ 1-x), as are 0-valid and 1-valid.
+func TestFlipDualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRel(rng, 2+rng.Intn(3))
+		fl := flipRel(r)
+		if r.IsHorn() != fl.IsDualHorn() || r.IsDualHorn() != fl.IsHorn() {
+			return false
+		}
+		if r.IsZeroValid() != fl.IsOneValid() || r.IsOneValid() != fl.IsZeroValid() {
+			return false
+		}
+		// Bijunctive and affine are self-dual under flipping.
+		return r.IsBijunctive() == fl.IsBijunctive() && r.IsAffine() == fl.IsAffine()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compiled Horn clauses define exactly the relation (when
+// compilation succeeds): a tuple is in the relation iff it satisfies every
+// compiled clause.
+func TestCompileHornExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRel(rng, 2+rng.Intn(2))
+		clauses, err := CompileHorn(r)
+		if err != nil {
+			return !r.IsHorn()
+		}
+		for code := 0; code < 1<<uint(r.arity); code++ {
+			tup := r.decode(code)
+			sat := true
+			for _, c := range clauses {
+				if !satisfiesHorn(tup, c) {
+					sat = false
+					break
+				}
+			}
+			if sat != r.rows[code] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same exactness for 2-CNF compilation on bijunctive
+// relations.
+func TestCompileTwoSatExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRel(rng, 2+rng.Intn(2))
+		clauses, err := CompileTwoSat(r)
+		if err != nil {
+			return !r.IsBijunctive()
+		}
+		for code := 0; code < 1<<uint(r.arity); code++ {
+			tup := r.decode(code)
+			sat := true
+			for _, c := range clauses {
+				if !satisfiesTwo(tup, c) {
+					sat = false
+					break
+				}
+			}
+			if sat != r.rows[code] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: affine compilation yields a system whose solution set is the
+// relation.
+func TestCompileAffineExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRel(rng, 2+rng.Intn(2))
+		rows, err := CompileAffine(r)
+		if err != nil {
+			return !r.IsAffine()
+		}
+		for code := 0; code < 1<<uint(r.arity); code++ {
+			tup := r.decode(code)
+			sat := true
+			for _, row := range rows {
+				parity := 0
+				for _, pos := range row.coeffs {
+					parity ^= tup[pos]
+				}
+				if parity != row.rhs {
+					sat = false
+					break
+				}
+			}
+			if sat != r.rows[code] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: closure of a relation under a class's operation always yields a
+// relation in that class, and closure is monotone (superset of the seed).
+func TestClosureChecksAreDecidableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRel(rng, 2)
+		// The full relation is in every closure class except 0/1-validity
+		// edge cases; spot-check consistency of the checks themselves:
+		// Horn relations are closed under AND of any two tuples.
+		if r.IsHorn() {
+			for a := range r.rows {
+				for b := range r.rows {
+					if !r.rows[a&b] {
+						return false
+					}
+				}
+			}
+		}
+		if r.IsAffine() {
+			for a := range r.rows {
+				for b := range r.rows {
+					for c := range r.rows {
+						if !r.rows[a^b^c] {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package schaefer implements Schaefer's dichotomy machinery for Boolean
+// constraint-satisfaction problems CSP(B) over a two-element domain
+// (Section 3 of the paper): classification of a constraint template into
+// Schaefer's six polynomial classes via the characteristic closure
+// properties (polymorphisms), together with a dedicated polynomial solver
+// per class and a DPLL-style baseline for templates outside all six
+// classes, where CSP(B) is NP-complete.
+//
+// The six classes and their closure characterizations:
+//
+//	0-valid:    every relation contains the all-zero tuple
+//	1-valid:    every relation contains the all-one tuple
+//	Horn:       every relation is closed under coordinatewise AND
+//	dual Horn:  every relation is closed under coordinatewise OR
+//	bijunctive: every relation is closed under coordinatewise majority
+//	affine:     every relation is closed under x ⊕ y ⊕ z
+package schaefer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BoolRel is a Boolean relation: a set of {0,1}-tuples of fixed arity,
+// stored as a bitset over tuple codes (the code of a tuple is its binary
+// value, first coordinate most significant).
+type BoolRel struct {
+	arity int
+	rows  map[int]bool
+}
+
+// NewBoolRel creates an empty relation of the given arity (1..16).
+func NewBoolRel(arity int) (*BoolRel, error) {
+	if arity < 1 || arity > 16 {
+		return nil, fmt.Errorf("schaefer: arity %d outside [1,16]", arity)
+	}
+	return &BoolRel{arity: arity, rows: make(map[int]bool)}, nil
+}
+
+// MustBoolRel builds a relation from tuples, panicking on error.
+func MustBoolRel(arity int, tuples ...[]int) *BoolRel {
+	r, err := NewBoolRel(arity)
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range tuples {
+		if err := r.Add(t); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Arity returns the relation's arity.
+func (r *BoolRel) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *BoolRel) Len() int { return len(r.rows) }
+
+// Add inserts a tuple of 0/1 values.
+func (r *BoolRel) Add(t []int) error {
+	code, err := r.encode(t)
+	if err != nil {
+		return err
+	}
+	r.rows[code] = true
+	return nil
+}
+
+// Has reports membership of a 0/1 tuple.
+func (r *BoolRel) Has(t []int) bool {
+	code, err := r.encode(t)
+	if err != nil {
+		return false
+	}
+	return r.rows[code]
+}
+
+func (r *BoolRel) encode(t []int) (int, error) {
+	if len(t) != r.arity {
+		return 0, fmt.Errorf("schaefer: tuple arity %d for relation arity %d", len(t), r.arity)
+	}
+	code := 0
+	for _, v := range t {
+		if v != 0 && v != 1 {
+			return 0, fmt.Errorf("schaefer: non-Boolean value %d", v)
+		}
+		code = code<<1 | v
+	}
+	return code, nil
+}
+
+func (r *BoolRel) decode(code int) []int {
+	t := make([]int, r.arity)
+	for i := r.arity - 1; i >= 0; i-- {
+		t[i] = code & 1
+		code >>= 1
+	}
+	return t
+}
+
+// Tuples returns all tuples in ascending code order.
+func (r *BoolRel) Tuples() [][]int {
+	codes := make([]int, 0, len(r.rows))
+	for c := range r.rows {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	out := make([][]int, len(codes))
+	for i, c := range codes {
+		out[i] = r.decode(c)
+	}
+	return out
+}
+
+func (r *BoolRel) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range r.Tuples() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		for _, v := range t {
+			fmt.Fprintf(&b, "%d", v)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Closure properties (pointwise applications of Boolean operations).
+
+// IsZeroValid reports whether the relation contains the all-zero tuple.
+func (r *BoolRel) IsZeroValid() bool { return r.rows[0] }
+
+// IsOneValid reports whether the relation contains the all-one tuple.
+func (r *BoolRel) IsOneValid() bool { return r.rows[(1<<r.arity)-1] }
+
+// closedUnderBinary checks closure under a coordinatewise binary operation
+// given as a function on tuple codes (bitwise AND/OR work directly).
+func (r *BoolRel) closedUnderBinary(op func(a, b int) int) bool {
+	for a := range r.rows {
+		for b := range r.rows {
+			if !r.rows[op(a, b)] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsHorn reports closure under coordinatewise AND.
+func (r *BoolRel) IsHorn() bool {
+	return r.closedUnderBinary(func(a, b int) int { return a & b })
+}
+
+// IsDualHorn reports closure under coordinatewise OR.
+func (r *BoolRel) IsDualHorn() bool {
+	return r.closedUnderBinary(func(a, b int) int { return a | b })
+}
+
+// IsBijunctive reports closure under the coordinatewise majority operation.
+func (r *BoolRel) IsBijunctive() bool {
+	for a := range r.rows {
+		for b := range r.rows {
+			for c := range r.rows {
+				maj := (a & b) | (a & c) | (b & c)
+				if !r.rows[maj] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsAffine reports closure under x ⊕ y ⊕ z, i.e. the relation is the
+// solution set of a system of linear equations over GF(2).
+func (r *BoolRel) IsAffine() bool {
+	for a := range r.rows {
+		for b := range r.rows {
+			for c := range r.rows {
+				if !r.rows[a^b^c] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Class identifies one of Schaefer's tractable classes.
+type Class int
+
+const (
+	ZeroValid Class = iota
+	OneValid
+	Horn
+	DualHorn
+	Bijunctive
+	Affine
+)
+
+func (c Class) String() string {
+	switch c {
+	case ZeroValid:
+		return "0-valid"
+	case OneValid:
+		return "1-valid"
+	case Horn:
+		return "Horn"
+	case DualHorn:
+		return "dual-Horn"
+	case Bijunctive:
+		return "bijunctive"
+	case Affine:
+		return "affine"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Template is a Boolean constraint language: a named set of relations. The
+// non-uniform problem CSP(B) fixes the template and takes conjunctions of
+// its relations applied to variables as input.
+type Template struct {
+	Rels []*BoolRel
+}
+
+// Classify returns the Schaefer classes containing every relation of the
+// template. An empty result means CSP(B) is NP-complete (Schaefer's
+// dichotomy); a nonempty result certifies polynomial-time solvability.
+func (t *Template) Classify() []Class {
+	checks := []struct {
+		class Class
+		ok    func(*BoolRel) bool
+	}{
+		{ZeroValid, (*BoolRel).IsZeroValid},
+		{OneValid, (*BoolRel).IsOneValid},
+		{Horn, (*BoolRel).IsHorn},
+		{DualHorn, (*BoolRel).IsDualHorn},
+		{Bijunctive, (*BoolRel).IsBijunctive},
+		{Affine, (*BoolRel).IsAffine},
+	}
+	var out []Class
+	for _, ch := range checks {
+		all := true
+		for _, r := range t.Rels {
+			if !ch.ok(r) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, ch.class)
+		}
+	}
+	return out
+}
+
+// IsTractable reports whether the template falls in at least one Schaefer
+// class.
+func (t *Template) IsTractable() bool { return len(t.Classify()) > 0 }
+
+// Application is one constraint of a template instance: relation index into
+// the template and the variable scope.
+type Application struct {
+	Rel   int
+	Scope []int
+}
+
+// Instance is an instance of CSP(B) for a Boolean template B.
+type Instance struct {
+	Template *Template
+	NumVars  int
+	Cons     []Application
+}
+
+// Validate checks scopes and relation indices.
+func (p *Instance) Validate() error {
+	for ci, c := range p.Cons {
+		if c.Rel < 0 || c.Rel >= len(p.Template.Rels) {
+			return fmt.Errorf("schaefer: constraint %d uses unknown relation %d", ci, c.Rel)
+		}
+		if len(c.Scope) != p.Template.Rels[c.Rel].Arity() {
+			return fmt.Errorf("schaefer: constraint %d scope length %d for arity %d", ci, len(c.Scope), p.Template.Rels[c.Rel].Arity())
+		}
+		for _, v := range c.Scope {
+			if v < 0 || v >= p.NumVars {
+				return fmt.Errorf("schaefer: constraint %d variable %d outside [0,%d)", ci, v, p.NumVars)
+			}
+		}
+	}
+	return nil
+}
+
+// Satisfies reports whether the 0/1 assignment satisfies the instance.
+func (p *Instance) Satisfies(assign []int) bool {
+	if len(assign) != p.NumVars {
+		return false
+	}
+	row := make([]int, 16)
+	for _, c := range p.Cons {
+		rel := p.Template.Rels[c.Rel]
+		r := row[:len(c.Scope)]
+		for i, v := range c.Scope {
+			r[i] = assign[v]
+		}
+		if !rel.Has(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Named standard relations.
+
+// RelOneInThree is the positive 1-in-3-SAT relation {100,010,001}: in none
+// of Schaefer's classes, so CSP over it is NP-complete.
+func RelOneInThree() *BoolRel {
+	return MustBoolRel(3, []int{1, 0, 0}, []int{0, 1, 0}, []int{0, 0, 1})
+}
+
+// RelNAE3 is the not-all-equal relation of arity 3.
+func RelNAE3() *BoolRel {
+	r := MustBoolRel(3)
+	for code := 1; code < 7; code++ {
+		r.rows[code] = true
+	}
+	return r
+}
+
+// RelClause builds the relation of a disjunctive clause over the given
+// literal signs: signs[i] true means the i-th position appears positively.
+// E.g. signs (true,false) is (x ∨ ¬y).
+func RelClause(signs ...bool) *BoolRel {
+	r := MustBoolRel(len(signs))
+	for code := 0; code < 1<<len(signs); code++ {
+		t := r.decode(code)
+		sat := false
+		for i, s := range signs {
+			if (t[i] == 1) == s {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			r.rows[code] = true
+		}
+	}
+	return r
+}
+
+// RelXor is the binary relation x ⊕ y = 1.
+func RelXor() *BoolRel {
+	return MustBoolRel(2, []int{0, 1}, []int{1, 0})
+}
+
+// RelEq is the binary equality relation.
+func RelEq() *BoolRel {
+	return MustBoolRel(2, []int{0, 0}, []int{1, 1})
+}

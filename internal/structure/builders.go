@@ -1,0 +1,59 @@
+package structure
+
+// Builders for the structures that recur throughout the paper's examples:
+// graphs as structures with a single binary edge relation, cliques (whose
+// CSP is k-colorability, Section 3), cycles, and paths.
+
+// GraphVoc is the vocabulary of digraph structures: one binary symbol E.
+func GraphVoc() *Vocabulary {
+	return MustVocabulary(Symbol{Name: "E", Arity: 2})
+}
+
+// NewGraph creates a structure over GraphVoc with n elements and no edges.
+func NewGraph(n int) *Structure {
+	return MustNew(GraphVoc(), n)
+}
+
+// AddEdge adds the directed edge (u,v) to a graph structure.
+func AddEdge(g *Structure, u, v int) {
+	g.MustAddTuple("E", u, v)
+}
+
+// AddUndirectedEdge adds both (u,v) and (v,u).
+func AddUndirectedEdge(g *Structure, u, v int) {
+	g.MustAddTuple("E", u, v)
+	g.MustAddTuple("E", v, u)
+}
+
+// Clique returns K_k as a symmetric loop-free graph structure. CSP(K_k) is
+// the k-colorability problem.
+func Clique(k int) *Structure {
+	g := NewGraph(k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i != j {
+				g.MustAddTuple("E", i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Cycle returns the undirected n-cycle as a symmetric graph structure.
+// Odd cycles are the canonical non-2-colorable inputs of Section 4.
+func Cycle(n int) *Structure {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		AddUndirectedEdge(g, i, (i+1)%n)
+	}
+	return g
+}
+
+// Path returns the undirected path with n vertices (n-1 edges).
+func Path(n int) *Structure {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		AddUndirectedEdge(g, i, i+1)
+	}
+	return g
+}

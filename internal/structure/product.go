@@ -1,0 +1,60 @@
+package structure
+
+import "fmt"
+
+// Product computes the categorical (direct) product A × B of two structures
+// over the same vocabulary: the domain is the set of pairs, and a tuple of
+// pairs is in a relation iff both projections are. The product is the
+// meet in the homomorphism order — hom(C, A×B) iff hom(C, A) and hom(C, B)
+// — a basic tool of the homomorphism-based CSP theory the paper builds on.
+func Product(a, b *Structure) (*Structure, error) {
+	if !a.Voc().Equal(b.Voc()) {
+		return nil, fmt.Errorf("structure: Product requires a common vocabulary")
+	}
+	n := a.Size() * b.Size()
+	p, err := New(a.Voc(), n)
+	if err != nil {
+		return nil, err
+	}
+	pair := func(x, y int) int { return x*b.Size() + y }
+	names := make([]string, n)
+	for x := 0; x < a.Size(); x++ {
+		for y := 0; y < b.Size(); y++ {
+			names[pair(x, y)] = fmt.Sprintf("(%s,%s)", a.Name(x), b.Name(y))
+		}
+	}
+	if err := p.SetNames(names); err != nil {
+		return nil, err
+	}
+	for _, sym := range a.Voc().Symbols() {
+		at := a.Rel(sym.Name).Tuples()
+		bt := b.Rel(sym.Name).Tuples()
+		buf := make([]int, sym.Arity)
+		for _, ta := range at {
+			for _, tb := range bt {
+				for i := range buf {
+					buf[i] = pair(ta[i], tb[i])
+				}
+				if err := p.AddTuple(sym.Name, buf...); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Projections returns the two projection homomorphisms of a product built
+// by Product (domain sizes must match a.Size()*b.Size()).
+func Projections(aSize, bSize int) (toA, toB []int) {
+	n := aSize * bSize
+	toA = make([]int, n)
+	toB = make([]int, n)
+	for x := 0; x < aSize; x++ {
+		for y := 0; y < bSize; y++ {
+			toA[x*bSize+y] = x
+			toB[x*bSize+y] = y
+		}
+	}
+	return toA, toB
+}

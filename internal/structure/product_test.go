@@ -1,0 +1,92 @@
+package structure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestProductShape(t *testing.T) {
+	p, err := Product(Cycle(3), Clique(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 6 {
+		t.Fatalf("product size = %d, want 6", p.Size())
+	}
+	// Edge counts multiply: |E(C3)| * |E(K2)| = 6 * 2 = 12 directed tuples.
+	if p.Rel("E").Len() != 12 {
+		t.Fatalf("product edges = %d, want 12", p.Rel("E").Len())
+	}
+	other := MustNew(MustVocabulary(Symbol{Name: "F", Arity: 2}), 2)
+	if _, err := Product(Cycle(3), other); err == nil {
+		t.Fatal("vocabulary mismatch accepted")
+	}
+}
+
+func TestProjectionsAreHomomorphisms(t *testing.T) {
+	a, b := Cycle(4), Clique(3)
+	p, err := Product(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toA, toB := Projections(a.Size(), b.Size())
+	if !IsHomomorphism(p, a, toA) {
+		t.Fatal("projection to A is not a homomorphism")
+	}
+	if !IsHomomorphism(p, b, toB) {
+		t.Fatal("projection to B is not a homomorphism")
+	}
+}
+
+// The universal property on the homomorphism-existence level:
+// hom(C, A×B) iff hom(C, A) and hom(C, B), checked by brute force on small
+// random graphs.
+func TestProductUniversalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	homExists := func(c, d *Structure) bool {
+		if c.Size() == 0 {
+			return true
+		}
+		if d.Size() == 0 {
+			return false
+		}
+		h := make([]int, c.Size())
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if i == c.Size() {
+				return IsHomomorphism(c, d, h)
+			}
+			for v := 0; v < d.Size(); v++ {
+				h[i] = v
+				if rec(i + 1) {
+					return true
+				}
+			}
+			return false
+		}
+		return rec(0)
+	}
+	rand2Graph := func(n int) *Structure {
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.5 {
+					g.MustAddTuple("E", i, j)
+				}
+			}
+		}
+		return g
+	}
+	for trial := 0; trial < 25; trial++ {
+		a, b, c := rand2Graph(2+rng.Intn(2)), rand2Graph(2+rng.Intn(2)), rand2Graph(2+rng.Intn(2))
+		p, err := Product(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		both := homExists(c, a) && homExists(c, b)
+		viaProduct := homExists(c, p)
+		if both != viaProduct {
+			t.Fatalf("trial %d: universal property violated: both=%v product=%v", trial, both, viaProduct)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package structure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVocabularyValidation(t *testing.T) {
+	if _, err := NewVocabulary(Symbol{Name: "", Arity: 1}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewVocabulary(Symbol{Name: "R", Arity: 0}); err == nil {
+		t.Fatal("zero arity accepted")
+	}
+	if _, err := NewVocabulary(Symbol{Name: "R", Arity: 2}, Symbol{Name: "R", Arity: 2}); err == nil {
+		t.Fatal("duplicate symbol accepted")
+	}
+	v := MustVocabulary(Symbol{Name: "R", Arity: 2}, Symbol{Name: "S", Arity: 3})
+	if a, ok := v.Arity("S"); !ok || a != 3 {
+		t.Fatalf("Arity(S) = %d,%v", a, ok)
+	}
+	if v.Has("T") {
+		t.Fatal("phantom symbol")
+	}
+	if !v.Equal(v.Clone()) {
+		t.Fatal("clone not equal")
+	}
+}
+
+func TestStructureAddTupleValidation(t *testing.T) {
+	s := MustNew(GraphVoc(), 3)
+	if err := s.AddTuple("F", 0, 1); err == nil {
+		t.Fatal("unknown symbol accepted")
+	}
+	if err := s.AddTuple("E", 0); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+	if err := s.AddTuple("E", 0, 3); err == nil {
+		t.Fatal("out-of-domain element accepted")
+	}
+	if err := s.AddTuple("E", 0, 1); err != nil {
+		t.Fatalf("AddTuple: %v", err)
+	}
+	s.MustAddTuple("E", 0, 1) // duplicate is fine
+	if s.Rel("E").Len() != 1 {
+		t.Fatalf("dedup failed: %d tuples", s.Rel("E").Len())
+	}
+	if !s.HasTuple("E", 0, 1) || s.HasTuple("E", 1, 0) {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestNames(t *testing.T) {
+	s := NewGraph(2)
+	if err := s.SetNames([]string{"only-one"}); err == nil {
+		t.Fatal("wrong-length names accepted")
+	}
+	if err := s.SetNames([]string{"a", "b"}); err != nil {
+		t.Fatalf("SetNames: %v", err)
+	}
+	if s.Name(1) != "b" {
+		t.Fatalf("Name(1) = %q", s.Name(1))
+	}
+}
+
+func TestIsHomomorphismOnCycles(t *testing.T) {
+	// C4 maps onto K2 (it is 2-colorable); C3 does not.
+	c4, c3, k2 := Cycle(4), Cycle(3), Clique(2)
+	if !IsHomomorphism(c4, k2, []int{0, 1, 0, 1}) {
+		t.Fatal("C4 -> K2 alternating map rejected")
+	}
+	if IsHomomorphism(c4, k2, []int{0, 1, 1, 0}) {
+		t.Fatal("non-homomorphism accepted")
+	}
+	// Exhaustive: no map C3 -> K2 is a homomorphism.
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 2; c++ {
+				if IsHomomorphism(c3, k2, []int{a, b, c}) {
+					t.Fatalf("C3 -> K2 via %v accepted", []int{a, b, c})
+				}
+			}
+		}
+	}
+}
+
+func TestIsHomomorphismRejectsBadShapes(t *testing.T) {
+	g, k2 := Cycle(4), Clique(2)
+	if IsHomomorphism(g, k2, []int{0, 1, 0}) {
+		t.Fatal("short map accepted")
+	}
+	if IsHomomorphism(g, k2, []int{0, 1, 0, 5}) {
+		t.Fatal("out-of-range image accepted")
+	}
+	other := MustNew(MustVocabulary(Symbol{Name: "F", Arity: 2}), 2)
+	if IsHomomorphism(g, other, []int{0, 1, 0, 1}) {
+		t.Fatal("vocabulary mismatch accepted")
+	}
+}
+
+func TestIsPartialHomomorphism(t *testing.T) {
+	c4, k2 := Cycle(4), Clique(2)
+	// Only vertices 0,1 assigned; the edge (0,1) must map to an edge.
+	if !IsPartialHomomorphism(c4, k2, []int{0, 1, -1, -1}) {
+		t.Fatal("valid partial map rejected")
+	}
+	if IsPartialHomomorphism(c4, k2, []int{0, 0, -1, -1}) {
+		t.Fatal("edge collapsed to loop accepted")
+	}
+	// Non-adjacent pair may collide.
+	if !IsPartialHomomorphism(c4, k2, []int{0, -1, 0, -1}) {
+		t.Fatal("valid partial map on non-adjacent pair rejected")
+	}
+}
+
+func TestSumEncoding(t *testing.T) {
+	a, b := Cycle(3), Clique(2)
+	sum, err := Sum(a, b)
+	if err != nil {
+		t.Fatalf("Sum: %v", err)
+	}
+	if sum.Size() != 5 {
+		t.Fatalf("sum domain = %d, want 5", sum.Size())
+	}
+	if !sum.HasTuple("E_1", 0, 1) {
+		t.Fatal("A-edge missing from E_1")
+	}
+	if !sum.HasTuple("E_2", 3, 4) || sum.HasTuple("E_2", 0, 1) {
+		t.Fatal("B-edges not shifted correctly")
+	}
+	if !sum.HasTuple("D1", 2) || sum.HasTuple("D1", 3) {
+		t.Fatal("D1 marker wrong")
+	}
+	if !sum.HasTuple("D2", 3) || sum.HasTuple("D2", 2) {
+		t.Fatal("D2 marker wrong")
+	}
+	// Mismatched vocabularies are rejected.
+	other := MustNew(MustVocabulary(Symbol{Name: "F", Arity: 1}), 1)
+	if _, err := Sum(a, other); err == nil {
+		t.Fatal("Sum across vocabularies accepted")
+	}
+}
+
+func TestGaifmanEdges(t *testing.T) {
+	voc := MustVocabulary(Symbol{Name: "R", Arity: 3})
+	s := MustNew(voc, 5)
+	s.MustAddTuple("R", 0, 1, 2)
+	s.MustAddTuple("R", 2, 3, 3)
+	edges := s.GaifmanEdges()
+	want := [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edges[%d] = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestTuplesContaining(t *testing.T) {
+	s := Cycle(3)
+	per := s.TuplesContaining()
+	// Each vertex of C3 appears in 4 directed edge tuples.
+	for v, lst := range per {
+		if len(lst) != 4 {
+			t.Fatalf("vertex %d appears in %d tuples, want 4", v, len(lst))
+		}
+	}
+}
+
+func TestCliqueAndCycleShapes(t *testing.T) {
+	k4 := Clique(4)
+	if k4.Rel("E").Len() != 12 {
+		t.Fatalf("K4 has %d directed edges, want 12", k4.Rel("E").Len())
+	}
+	if k4.HasTuple("E", 2, 2) {
+		t.Fatal("clique has a loop")
+	}
+	c5 := Cycle(5)
+	if c5.Rel("E").Len() != 10 {
+		t.Fatalf("C5 has %d directed edges, want 10", c5.Rel("E").Len())
+	}
+	p4 := Path(4)
+	if p4.Rel("E").Len() != 6 {
+		t.Fatalf("P4 has %d directed edges, want 6", p4.Rel("E").Len())
+	}
+}
+
+// Property: the identity is always a homomorphism from a structure to itself,
+// and homomorphisms compose.
+func TestHomomorphismCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomGraph(rng, 4, 0.4)
+		id := []int{0, 1, 2, 3}
+		if !IsHomomorphism(a, a, id) {
+			return false
+		}
+		// A random homomorphic image: collapse under a random map, then the
+		// map into the image structure is a homomorphism by construction.
+		h := make([]int, a.Size())
+		for i := range h {
+			h[i] = rng.Intn(3)
+		}
+		img := NewGraph(3)
+		for _, tp := range a.Rel("E").Tuples() {
+			img.MustAddTuple("E", h[tp[0]], h[tp[1]])
+		}
+		return IsHomomorphism(a, img, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := Cycle(3)
+	c := a.Clone()
+	c.MustAddTuple("E", 0, 0)
+	if a.HasTuple("E", 0, 0) {
+		t.Fatal("clone shares relation storage")
+	}
+}
+
+func randomGraph(rng *rand.Rand, n int, p float64) *Structure {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				g.MustAddTuple("E", i, j)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,145 @@
+package treewidth
+
+import (
+	"fmt"
+	"math/big"
+
+	"csdb/internal/csp"
+)
+
+// CountDecomposed counts the solutions of the instance by dynamic
+// programming over a tree decomposition of its primal graph — the counting
+// extension of Theorem 6.2: #CSP is computable in polynomial time on
+// bounded-treewidth instances (whereas it is #P-hard in general). Counts
+// are exact big integers, since solution counts grow as d^n.
+func CountDecomposed(p *csp.Instance, d *Decomposition) (*big.Int, error) {
+	q := p.NormalizeDistinct()
+	if q.Vars == 0 {
+		return big.NewInt(1), nil
+	}
+	if err := d.Validate(PrimalGraph(q)); err != nil {
+		return nil, fmt.Errorf("treewidth: invalid decomposition: %w", err)
+	}
+
+	consAt := make([][]*csp.Constraint, d.NumBags())
+	for _, con := range q.Constraints {
+		bi := d.BagContaining(con.Scope)
+		if bi < 0 {
+			return nil, fmt.Errorf("treewidth: no bag contains scope %v", con.Scope)
+		}
+		consAt[bi] = append(consAt[bi], con)
+	}
+
+	parent, order := d.Rooted(0)
+	children := make([][]int, d.NumBags())
+	for b, pa := range parent {
+		if pa >= 0 {
+			children[pa] = append(children[pa], b)
+		}
+	}
+
+	// sharedWithParent[b]: positions (in bag b) of variables shared with
+	// the parent bag.
+	sharedWithParent := make([][]int, d.NumBags())
+	for b, pa := range parent {
+		if pa < 0 {
+			continue
+		}
+		paSet := make(map[int]bool)
+		for _, v := range d.Bags[pa] {
+			paSet[v] = true
+		}
+		for i, v := range d.Bags[b] {
+			if paSet[v] {
+				sharedWithParent[b] = append(sharedWithParent[b], i)
+			}
+		}
+	}
+
+	// For each bag, after processing: counts keyed by the projection of the
+	// bag assignment onto the shared-with-parent variables. Each count
+	// already excludes double counting: variables shared with the parent
+	// are "owned" by the parent, so the child's contribution divides out...
+	// more precisely, the child table maps shared-projection -> number of
+	// assignments of (subtree variables \ shared variables) consistent
+	// below, and the parent multiplies them in.
+	childTables := make([]map[string]*big.Int, d.NumBags())
+
+	for _, b := range order { // bottom-up
+		bag := d.Bags[b]
+		table := make(map[string]*big.Int)
+
+		assign := make([]int, len(bag))
+		var enumerate func(i int)
+		enumerate = func(i int) {
+			if i == len(bag) {
+				for _, con := range consAt[b] {
+					row := make([]int, len(con.Scope))
+					for k, v := range con.Scope {
+						row[k] = assign[indexOf(bag, v)]
+					}
+					if !con.Table.Has(row) {
+						return
+					}
+				}
+				total := big.NewInt(1)
+				for ci, c := range children[b] {
+					_ = ci
+					key := childKeyFromParent(assign, bag, d.Bags[c], sharedWithParent[c])
+					sub, ok := childTables[c][key]
+					if !ok {
+						return // some child has no consistent extension
+					}
+					total.Mul(total, sub)
+				}
+				key := projKeyPositions(assign, sharedWithParent[b])
+				if acc, ok := table[key]; ok {
+					acc.Add(acc, total)
+				} else {
+					table[key] = total
+				}
+				return
+			}
+			v := bag[i]
+			for _, val := range q.DomainOf(v) {
+				assign[i] = val
+				enumerate(i + 1)
+			}
+		}
+		enumerate(0)
+		childTables[b] = table
+		if len(table) == 0 && parent[b] >= 0 {
+			return big.NewInt(0), nil
+		}
+	}
+
+	root := order[len(order)-1]
+	total := big.NewInt(0)
+	for _, c := range childTables[root] {
+		total.Add(total, c)
+	}
+	// Variables in no bag cannot exist (Validate guarantees coverage), so
+	// the root sum is the full solution count... except that the bag-level
+	// counting above counts each root-bag assignment once per projection
+	// key: keys at the root project onto sharedWithParent[root], which is
+	// empty, so all assignments accumulate under one key. Correct as is.
+	return total, nil
+}
+
+// childKeyFromParent computes the child's shared-projection key from the
+// parent bag's assignment.
+func childKeyFromParent(assign []int, parentBag, childBag []int, childSharedPos []int) string {
+	b := make([]byte, 0, len(childSharedPos)*3)
+	for _, cpos := range childSharedPos {
+		v := childBag[cpos]
+		b = appendInt(b, assign[indexOf(parentBag, v)])
+	}
+	return string(b)
+}
+
+// Count computes the exact number of solutions using the best heuristic
+// decomposition of the primal graph.
+func Count(p *csp.Instance) (*big.Int, error) {
+	d := BestHeuristic(PrimalGraph(p))
+	return CountDecomposed(p, d)
+}

@@ -1,0 +1,116 @@
+package treewidth
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"csdb/internal/csp"
+	"csdb/internal/structure"
+)
+
+func TestCountOnKnownChromaticPolynomials(t *testing.T) {
+	// Proper k-colorings: path P_n has k(k-1)^(n-1); cycle C_n has
+	// (k-1)^n + (-1)^n (k-1).
+	cases := []struct {
+		name string
+		p    *csp.Instance
+		want int64
+	}{
+		{"P4 2-col", csp.MustFromStructures(structure.Path(4), structure.Clique(2)), 2},
+		{"P4 3-col", csp.MustFromStructures(structure.Path(4), structure.Clique(3)), 24},
+		{"C5 3-col", csp.MustFromStructures(structure.Cycle(5), structure.Clique(3)), 30},
+		{"C6 3-col", csp.MustFromStructures(structure.Cycle(6), structure.Clique(3)), 66},
+		{"C5 2-col", csp.MustFromStructures(structure.Cycle(5), structure.Clique(2)), 0},
+		{"C6 2-col", csp.MustFromStructures(structure.Cycle(6), structure.Clique(2)), 2},
+	}
+	for _, c := range cases {
+		got, err := Count(c.p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got.Cmp(big.NewInt(c.want)) != 0 {
+			t.Fatalf("%s: count = %v, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCountMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 80; trial++ {
+		p := randomInstance(rng, 3+rng.Intn(4), 2+rng.Intn(2))
+		want := csp.CountSolutions(p, 0)
+		got, err := Count(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Cmp(big.NewInt(want)) != 0 {
+			t.Fatalf("trial %d: DP count %v, enumeration %d", trial, got, want)
+		}
+	}
+}
+
+func TestCountWithDomainsAndUnary(t *testing.T) {
+	p := csp.NewInstance(3, 3)
+	p.Domains = [][]int{{0, 1}, nil, {2}}
+	p.MustAddConstraint([]int{0, 1}, csp.TableOf(2, []int{0, 0}, []int{0, 1}, []int{1, 2}))
+	want := csp.CountSolutions(p, 0)
+	got, err := Count(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(want)) != 0 {
+		t.Fatalf("count %v, enumeration %d", got, want)
+	}
+}
+
+func TestCountEmptyAndUnconstrained(t *testing.T) {
+	empty := csp.NewInstance(0, 5)
+	got, err := Count(empty)
+	if err != nil || got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty instance count = %v, %v", got, err)
+	}
+	free := csp.NewInstance(3, 4) // 4^3 = 64
+	got, err = Count(free)
+	if err != nil || got.Cmp(big.NewInt(64)) != 0 {
+		t.Fatalf("unconstrained count = %v, %v", got, err)
+	}
+}
+
+func TestCountLargeTreewidthBoundedInstance(t *testing.T) {
+	// 2-colorings of a path with 64 vertices: exactly 2, computed without
+	// enumerating the 2^64 assignment space.
+	p := csp.MustFromStructures(structure.Path(64), structure.Clique(2))
+	got, err := Count(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("P64 2-colorings = %v, want 2", got)
+	}
+	// 3-colorings of the same path: 3 * 2^63 — needs big integers.
+	p3 := csp.MustFromStructures(structure.Path(64), structure.Clique(3))
+	got3, err := Count(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Lsh(big.NewInt(3), 63)
+	if got3.Cmp(want) != 0 {
+		t.Fatalf("P64 3-colorings = %v, want %v", got3, want)
+	}
+}
+
+func TestCountTernaryConstraints(t *testing.T) {
+	p := csp.NewInstance(4, 2)
+	exactlyOne := csp.TableOf(3, []int{1, 0, 0}, []int{0, 1, 0}, []int{0, 0, 1})
+	p.MustAddConstraint([]int{0, 1, 2}, exactlyOne)
+	p.MustAddConstraint([]int{1, 2, 3}, exactlyOne)
+	want := csp.CountSolutions(p, 0)
+	got, err := Count(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(want)) != 0 {
+		t.Fatalf("count %v, enumeration %d", got, want)
+	}
+}

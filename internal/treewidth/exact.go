@@ -1,0 +1,114 @@
+package treewidth
+
+import (
+	"fmt"
+	"math/bits"
+
+	"csdb/internal/graph"
+)
+
+// Exact computes the exact treewidth of g by branch-and-bound over
+// elimination orderings with memoization on eliminated vertex sets (the
+// graph after eliminating a set does not depend on the elimination order of
+// the set). Practical up to roughly 20 vertices; the practical substitute
+// for Bodlaender's fixed-k linear-time algorithm the paper cites.
+func Exact(g *graph.Graph) (int, error) {
+	n := g.N()
+	if n > 24 {
+		return 0, fmt.Errorf("treewidth: exact solver limited to 24 vertices, got %d", n)
+	}
+	if n == 0 {
+		return -1, nil // conventional: empty graph
+	}
+	// Upper bound from the heuristics.
+	ub := BestHeuristic(g).Width()
+	if ub <= 0 {
+		return ub, nil
+	}
+	adj := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if u != v {
+				adj[v] |= 1 << uint(u)
+			}
+		}
+	}
+	// Binary search the optimum: find smallest k with an ordering of width
+	// <= k. A direct BnB on the best achievable width is equivalent; use
+	// decision checks which memoize well.
+	lo, hi := 0, ub
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if decideWidth(adj, n, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// IsAtMost reports whether tw(g) <= k, exactly (small graphs only).
+func IsAtMost(g *graph.Graph, k int) (bool, error) {
+	w, err := Exact(g)
+	if err != nil {
+		return false, err
+	}
+	return w <= k, nil
+}
+
+// decideWidth checks whether there is an elimination ordering of width <= k,
+// memoizing on the set of eliminated vertices.
+func decideWidth(adj []uint32, n, k int) bool {
+	memo := make(map[uint32]bool)
+	full := uint32(1)<<uint(n) - 1
+
+	// neighborsAfter returns the neighborhood of v in the graph where the
+	// vertex set `gone` has been eliminated: the set of vertices outside
+	// gone reachable from v through eliminated vertices only.
+	neighborsAfter := func(v int, gone uint32) uint32 {
+		visited := uint32(1 << uint(v))
+		frontier := adj[v]
+		result := uint32(0)
+		for frontier != 0 {
+			u := bits.TrailingZeros32(frontier)
+			frontier &^= 1 << uint(u)
+			if visited&(1<<uint(u)) != 0 {
+				continue
+			}
+			visited |= 1 << uint(u)
+			if gone&(1<<uint(u)) != 0 {
+				frontier |= adj[u] &^ visited
+			} else {
+				result |= 1 << uint(u)
+			}
+		}
+		return result
+	}
+
+	var rec func(gone uint32) bool
+	rec = func(gone uint32) bool {
+		if gone == full {
+			return true
+		}
+		if v, ok := memo[gone]; ok {
+			return v
+		}
+		ok := false
+		for v := 0; v < n; v++ {
+			if gone&(1<<uint(v)) != 0 {
+				continue
+			}
+			nb := neighborsAfter(v, gone)
+			if bits.OnesCount32(nb) <= k {
+				if rec(gone | 1<<uint(v)) {
+					ok = true
+					break
+				}
+			}
+		}
+		memo[gone] = ok
+		return ok
+	}
+	return rec(0)
+}

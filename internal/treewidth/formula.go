@@ -1,0 +1,158 @@
+package treewidth
+
+import (
+	"fmt"
+	"sort"
+
+	"csdb/internal/graph"
+	"csdb/internal/logic"
+	"csdb/internal/structure"
+)
+
+// This file implements the constructive direction of Proposition 6.1: from a
+// width-k tree decomposition of (the Gaifman graph of) a structure A, build
+// an ∃FO_{∧,+} sentence equivalent to the canonical query φ_A that uses at
+// most k+1 distinct variable names. Variable names are registers reused
+// across branches of the decomposition; the connectedness property
+// guarantees reuse never captures an outer occurrence.
+
+// GaifmanGraph returns the Gaifman (primal) graph of a structure.
+func GaifmanGraph(a *structure.Structure) *graph.Graph {
+	g := graph.New(a.Size())
+	for _, e := range a.GaifmanEdges() {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// BuildFormula builds the bounded-variable sentence φ_A from a tree
+// decomposition d of a's Gaifman graph. The result uses at most
+// d.Width()+1 distinct variables and is true in a structure B iff there is
+// a homomorphism A → B (Proposition 6.1 together with Proposition 2.3).
+func BuildFormula(a *structure.Structure, d *Decomposition) (logic.Formula, error) {
+	g := GaifmanGraph(a)
+	if a.Size() == 0 {
+		return &logic.And{}, nil
+	}
+	if err := d.Validate(g); err != nil {
+		return nil, fmt.Errorf("treewidth: invalid decomposition: %w", err)
+	}
+
+	// Assign every fact of A to a bag containing all its elements.
+	type fact struct {
+		pred string
+		args []int
+	}
+	factsAt := make([][]fact, d.NumBags())
+	for _, sym := range a.Voc().Symbols() {
+		for _, t := range a.Rel(sym.Name).Tuples() {
+			distinct := dedupInts(t)
+			bi := d.BagContaining(distinct)
+			if bi < 0 {
+				return nil, fmt.Errorf("treewidth: no bag contains the elements of fact %s%v", sym.Name, t)
+			}
+			factsAt[bi] = append(factsAt[bi], fact{pred: sym.Name, args: t})
+		}
+	}
+
+	parent, order := d.Rooted(0)
+	children := make([][]int, d.NumBags())
+	for b, pa := range parent {
+		if pa >= 0 {
+			children[pa] = append(children[pa], b)
+		}
+	}
+
+	// Register allocation, top-down (order is bottom-up, so walk it in
+	// reverse). reg[elem] is the variable register of the element.
+	maxRegs := 0
+	for _, b := range d.Bags {
+		if len(b) > maxRegs {
+			maxRegs = len(b)
+		}
+	}
+	reg := make([]int, a.Size())
+	for i := range reg {
+		reg[i] = -1
+	}
+	newIn := make([][]int, d.NumBags()) // elements introduced at each bag
+	for i := len(order) - 1; i >= 0; i-- {
+		b := order[i]
+		used := make([]bool, maxRegs)
+		var fresh []int
+		for _, v := range d.Bags[b] {
+			if reg[v] >= 0 {
+				used[reg[v]] = true
+			} else {
+				fresh = append(fresh, v)
+			}
+		}
+		for _, v := range fresh {
+			r := 0
+			for used[r] {
+				r++
+			}
+			if r >= maxRegs {
+				return nil, fmt.Errorf("treewidth: register allocation overflow at bag %d", b)
+			}
+			used[r] = true
+			reg[v] = r
+			newIn[b] = append(newIn[b], v)
+		}
+	}
+
+	regName := func(r int) string { return fmt.Sprintf("x%d", r) }
+
+	// Build formulas bottom-up.
+	sub := make([]logic.Formula, d.NumBags())
+	for _, b := range order {
+		var conj []logic.Formula
+		for _, f := range factsAt[b] {
+			args := make([]string, len(f.args))
+			for i, e := range f.args {
+				args[i] = regName(reg[e])
+			}
+			conj = append(conj, &logic.Atom{Pred: f.pred, Args: args})
+		}
+		for _, c := range children[b] {
+			body := sub[c]
+			// Quantify the variables introduced at c.
+			for _, v := range newIn[c] {
+				body = &logic.Exists{Var: regName(reg[v]), Body: body}
+			}
+			conj = append(conj, body)
+		}
+		sub[b] = &logic.And{Conjuncts: conj}
+	}
+
+	root := order[len(order)-1] // Rooted returns bottom-up order; last is root
+	f := sub[root]
+	for _, v := range newIn[root] {
+		f = &logic.Exists{Var: regName(reg[v]), Body: f}
+	}
+	return f, nil
+}
+
+// FormulaForStructure decomposes a's Gaifman graph with the best heuristic
+// and builds the bounded-variable sentence. It returns the formula and the
+// decomposition width used (so callers can report the k+1 variable bound).
+func FormulaForStructure(a *structure.Structure) (logic.Formula, int, error) {
+	d := BestHeuristic(GaifmanGraph(a))
+	f, err := BuildFormula(a, d)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, d.Width(), nil
+}
+
+func dedupInts(t []int) []int {
+	c := append([]int(nil), t...)
+	sort.Ints(c)
+	out := c[:0]
+	for i, v := range c {
+		if i == 0 || v != c[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

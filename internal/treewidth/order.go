@@ -1,0 +1,241 @@
+package treewidth
+
+import (
+	"sort"
+
+	"csdb/internal/graph"
+)
+
+// Heuristic selects an elimination-ordering heuristic.
+type Heuristic int
+
+const (
+	// MinFill eliminates the vertex adding the fewest fill edges. Usually
+	// the best widths of the three.
+	MinFill Heuristic = iota
+	// MinDegree eliminates the vertex of minimum degree.
+	MinDegree
+	// MCS orders vertices by maximum cardinality search and eliminates in
+	// reverse.
+	MCS
+)
+
+func (h Heuristic) String() string {
+	switch h {
+	case MinFill:
+		return "min-fill"
+	case MinDegree:
+		return "min-degree"
+	case MCS:
+		return "mcs"
+	}
+	return "unknown"
+}
+
+// elimGraph is a mutable adjacency-set view used during elimination.
+type elimGraph struct {
+	n   int
+	adj []map[int]bool
+}
+
+func newElimGraph(g *graph.Graph) *elimGraph {
+	e := &elimGraph{n: g.N(), adj: make([]map[int]bool, g.N())}
+	for v := 0; v < g.N(); v++ {
+		e.adj[v] = make(map[int]bool)
+		for _, u := range g.Neighbors(v) {
+			if u != v { // loops are irrelevant for treewidth
+				e.adj[v][u] = true
+			}
+		}
+	}
+	return e
+}
+
+// eliminate removes v, turning its neighborhood into a clique; it returns
+// the neighborhood at elimination time.
+func (e *elimGraph) eliminate(v int) []int {
+	nb := make([]int, 0, len(e.adj[v]))
+	for u := range e.adj[v] {
+		nb = append(nb, u)
+	}
+	sort.Ints(nb)
+	for i := 0; i < len(nb); i++ {
+		for j := i + 1; j < len(nb); j++ {
+			e.adj[nb[i]][nb[j]] = true
+			e.adj[nb[j]][nb[i]] = true
+		}
+	}
+	for _, u := range nb {
+		delete(e.adj[u], v)
+	}
+	e.adj[v] = nil
+	return nb
+}
+
+// fillCount returns the number of fill edges eliminating v would add.
+func (e *elimGraph) fillCount(v int) int {
+	nb := make([]int, 0, len(e.adj[v]))
+	for u := range e.adj[v] {
+		nb = append(nb, u)
+	}
+	fill := 0
+	for i := 0; i < len(nb); i++ {
+		for j := i + 1; j < len(nb); j++ {
+			if !e.adj[nb[i]][nb[j]] {
+				fill++
+			}
+		}
+	}
+	return fill
+}
+
+// Ordering computes an elimination ordering of g with the given heuristic.
+func Ordering(g *graph.Graph, h Heuristic) []int {
+	if h == MCS {
+		return mcsOrdering(g)
+	}
+	e := newElimGraph(g)
+	remaining := make(map[int]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		remaining[v] = true
+	}
+	order := make([]int, 0, g.N())
+	for len(remaining) > 0 {
+		best, bestScore := -1, 1<<30
+		// Deterministic iteration: ascending vertex ids.
+		for v := 0; v < g.N(); v++ {
+			if !remaining[v] {
+				continue
+			}
+			var score int
+			if h == MinDegree {
+				score = len(e.adj[v])
+			} else {
+				score = e.fillCount(v)
+			}
+			if score < bestScore {
+				best, bestScore = v, score
+			}
+		}
+		e.eliminate(best)
+		delete(remaining, best)
+		order = append(order, best)
+	}
+	return order
+}
+
+// mcsOrdering runs maximum cardinality search and returns the reverse visit
+// order (a perfect elimination ordering on chordal graphs).
+func mcsOrdering(g *graph.Graph) []int {
+	n := g.N()
+	weight := make([]int, n)
+	visited := make([]bool, n)
+	visit := make([]int, 0, n)
+	for step := 0; step < n; step++ {
+		best, bestW := -1, -1
+		for v := 0; v < n; v++ {
+			if !visited[v] && weight[v] > bestW {
+				best, bestW = v, weight[v]
+			}
+		}
+		visited[best] = true
+		visit = append(visit, best)
+		for _, u := range g.Neighbors(best) {
+			if !visited[u] {
+				weight[u]++
+			}
+		}
+	}
+	// Eliminate in reverse visit order.
+	order := make([]int, n)
+	for i, v := range visit {
+		order[n-1-i] = v
+	}
+	return order
+}
+
+// WidthOfOrdering returns the width induced by eliminating g in the given
+// order: the maximum neighborhood size at elimination time.
+func WidthOfOrdering(g *graph.Graph, order []int) int {
+	e := newElimGraph(g)
+	w := 0
+	for _, v := range order {
+		if d := len(e.adj[v]); d > w {
+			w = d
+		}
+		e.eliminate(v)
+	}
+	return w
+}
+
+// FromOrdering builds a tree decomposition from an elimination ordering by
+// the standard construction: the bag of v is {v} ∪ N(v) at elimination
+// time, and it is attached to the bag of the earliest-eliminated later
+// neighbor. Isolated pieces are stitched to keep the bag graph a tree.
+func FromOrdering(g *graph.Graph, order []int) *Decomposition {
+	n := g.N()
+	if n == 0 {
+		return &Decomposition{}
+	}
+	e := newElimGraph(g)
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	bagOf := make([]int, n) // vertex -> its bag index (same order as order)
+	d := &Decomposition{}
+	for i, v := range order {
+		nb := e.eliminate(v)
+		bag := append([]int{v}, nb...)
+		sort.Ints(bag)
+		d.Bags = append(d.Bags, bag)
+		d.Adj = append(d.Adj, nil)
+		bagOf[v] = i
+	}
+	// Attach bag(v) to bag(u) where u is the neighbor of v (in v's bag)
+	// eliminated soonest after v.
+	attach := func(a, b int) {
+		d.Adj[a] = append(d.Adj[a], b)
+		d.Adj[b] = append(d.Adj[b], a)
+	}
+	var roots []int
+	for i, v := range order {
+		next, nextPos := -1, 1<<30
+		for _, u := range d.Bags[i] {
+			if u == v {
+				continue
+			}
+			if pos[u] > pos[v] && pos[u] < nextPos {
+				next, nextPos = u, pos[u]
+			}
+		}
+		if next >= 0 {
+			attach(i, bagOf[next])
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	// Stitch multiple components into one tree.
+	for i := 1; i < len(roots); i++ {
+		attach(roots[0], roots[i])
+	}
+	return d
+}
+
+// Decompose computes a tree decomposition of g with the given heuristic.
+func Decompose(g *graph.Graph, h Heuristic) *Decomposition {
+	return FromOrdering(g, Ordering(g, h))
+}
+
+// BestHeuristic runs all three heuristics and returns the decomposition of
+// smallest width.
+func BestHeuristic(g *graph.Graph) *Decomposition {
+	var best *Decomposition
+	for _, h := range []Heuristic{MinFill, MinDegree, MCS} {
+		d := Decompose(g, h)
+		if best == nil || d.Width() < best.Width() {
+			best = d
+		}
+	}
+	return best
+}
