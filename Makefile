@@ -1,0 +1,30 @@
+# Build/verify entry points. `make verify` is the tier-1 gate from
+# ROADMAP.md; `make race` is the concurrency gate added with the parallel
+# portfolio engine — it must run on every change that touches
+# internal/csp, internal/consistency or internal/relation.
+
+GO ?= go
+
+.PHONY: build test verify race race-engine bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verification (ROADMAP.md): the module builds and all tests pass.
+verify: build test
+
+# Race-check the whole module. The concurrent solver paths (portfolio,
+# parallel search, cancellation) live in internal/csp, but the full module
+# runs under the detector so future concurrency is covered automatically.
+race:
+	$(GO) test -race -count=1 ./...
+
+# The fast subset: just the packages with goroutines on the hot path.
+race-engine:
+	$(GO) test -race -count=1 ./internal/csp/ ./internal/consistency/ ./internal/relation/
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -6,17 +6,24 @@
 // Usage:
 //
 //	csolve [-strategy auto|search|join|treewidth|schaefer] [-explain]
-//	       [-all max] instance.csp
+//	       [-all max] [-timeout d] instance.csp
 //	csolve -coloring k graph.col
+//	csolve -portfolio [-timeout 2s] instance.csp
+//	csolve -parallel [-workers n] instance.csp
 //
 // With no file argument the instance is read from standard input.
+// -portfolio races the MAC, FC, CBJ and join solvers and reports the first
+// verdict; -parallel splits the root domain across a worker pool; -timeout
+// bounds the solve wall-clock (the search reports UNKNOWN when it expires).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"csdb/internal/core"
 	"csdb/internal/csp"
@@ -24,27 +31,51 @@ import (
 	"csdb/internal/gen"
 )
 
+// config carries the parsed command-line options.
+type config struct {
+	strategy  string
+	coloring  int
+	explain   bool
+	all       int64
+	count     bool
+	timeout   time.Duration
+	portfolio bool
+	parallel  bool
+	workers   int
+	args      []string
+}
+
 func main() {
 	strategy := flag.String("strategy", "auto", "solving strategy: auto, search, join, treewidth, schaefer, tree")
 	coloring := flag.Int("coloring", 0, "treat the input as a DIMACS graph and solve k-coloring")
 	explain := flag.Bool("explain", false, "print the auto-strategy rationale before solving")
 	all := flag.Int64("all", 0, "enumerate up to this many solutions (search strategy)")
 	count := flag.Bool("count", false, "count solutions exactly via decomposition DP")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for solving (0 = none)")
+	portfolio := flag.Bool("portfolio", false, "race MAC, FC, CBJ and join solvers; first verdict wins")
+	parallel := flag.Bool("parallel", false, "split the root variable's domain across a parallel worker pool")
+	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*strategy, *coloring, *explain, *all, *count, flag.Args()); err != nil {
+	cfg := config{
+		strategy: *strategy, coloring: *coloring, explain: *explain,
+		all: *all, count: *count, timeout: *timeout,
+		portfolio: *portfolio, parallel: *parallel, workers: *workers,
+		args: flag.Args(),
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "csolve:", err)
 		os.Exit(2)
 	}
 }
 
-func run(strategyName string, coloring int, explain bool, all int64, count bool, args []string) error {
+func run(cfg config) error {
 	in := os.Stdin
-	if len(args) > 1 {
+	if len(cfg.args) > 1 {
 		return fmt.Errorf("at most one input file expected")
 	}
-	if len(args) == 1 {
-		f, err := os.Open(args[0])
+	if len(cfg.args) == 1 {
+		f, err := os.Open(cfg.args[0])
 		if err != nil {
 			return err
 		}
@@ -53,12 +84,12 @@ func run(strategyName string, coloring int, explain bool, all int64, count bool,
 	}
 
 	var inst *csp.Instance
-	if coloring > 0 {
+	if cfg.coloring > 0 {
 		g, err := cspio.ParseDIMACS(in)
 		if err != nil {
 			return err
 		}
-		inst = gen.Coloring(g, coloring)
+		inst = gen.Coloring(g, cfg.coloring)
 	} else {
 		var err error
 		inst, err = cspio.Parse(in)
@@ -67,16 +98,33 @@ func run(strategyName string, coloring int, explain bool, all int64, count bool,
 		}
 	}
 
-	strategy, err := parseStrategy(strategyName)
+	strategy, err := parseStrategy(cfg.strategy)
 	if err != nil {
 		return err
 	}
+	if cfg.portfolio && cfg.parallel {
+		return fmt.Errorf("-portfolio and -parallel are mutually exclusive")
+	}
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
+	if cfg.portfolio {
+		return runPortfolio(ctx, inst)
+	}
+	if cfg.parallel {
+		return runParallel(ctx, inst, cfg.workers)
+	}
+
 	problem := core.FromCSP(inst)
-	if explain {
+	if cfg.explain {
 		fmt.Println("strategy:", problem.Explain(core.Options{}))
 	}
 
-	if count {
+	if cfg.count {
 		n, err := problem.Count()
 		if err != nil {
 			return err
@@ -85,12 +133,20 @@ func run(strategyName string, coloring int, explain bool, all int64, count bool,
 		return nil
 	}
 
-	if all > 0 {
-		count, _ := csp.SolveAll(inst, csp.Options{}, all, func(sol []int) bool {
+	if cfg.all > 0 {
+		count, _ := csp.SolveAllCtx(ctx, inst, csp.Options{}, cfg.all, func(sol []int) bool {
 			fmt.Println(formatSolution(inst, sol))
 			return true
 		})
 		fmt.Printf("%d solution(s)\n", count)
+		return nil
+	}
+
+	if cfg.timeout > 0 {
+		// A wall-clock limit routes the solve through the context-aware
+		// search engine (the decomposition strategies are not cancellable).
+		res := csp.SolveCtx(ctx, inst, csp.Options{})
+		printSearchResult(inst, res)
 		return nil
 	}
 
@@ -135,4 +191,54 @@ func formatSolution(inst *csp.Instance, sol []int) string {
 		parts[v] = fmt.Sprintf("%s=%d", inst.VarName(v), val)
 	}
 	return strings.Join(parts, " ")
+}
+
+// printSearchResult renders a context-aware search outcome: SAT with the
+// assignment, UNSAT, or UNKNOWN when the search was cancelled or limited.
+func printSearchResult(inst *csp.Instance, res csp.Result) {
+	switch {
+	case res.Found:
+		fmt.Printf("SAT (%s, %d nodes, %v)\n", res.Stats.Strategy, res.Stats.Nodes,
+			res.Stats.Duration.Round(time.Microsecond))
+		fmt.Println(formatSolution(inst, res.Solution))
+	case res.Aborted:
+		fmt.Printf("UNKNOWN (aborted after %d nodes, %v)\n", res.Stats.Nodes,
+			res.Stats.Duration.Round(time.Microsecond))
+	default:
+		fmt.Printf("UNSAT (%s, %d nodes, %v)\n", res.Stats.Strategy, res.Stats.Nodes,
+			res.Stats.Duration.Round(time.Microsecond))
+	}
+}
+
+func runPortfolio(ctx context.Context, inst *csp.Instance) error {
+	res := csp.Portfolio(ctx, inst, csp.PortfolioOptions{})
+	switch {
+	case res.Found:
+		fmt.Printf("SAT (portfolio winner %s, %v)\n", res.Winner,
+			res.Total.Duration.Round(time.Microsecond))
+		fmt.Println(formatSolution(inst, res.Solution))
+	case res.Aborted:
+		fmt.Printf("UNKNOWN (portfolio aborted, %v)\n", res.Total.Duration.Round(time.Microsecond))
+	default:
+		fmt.Printf("UNSAT (portfolio winner %s, %v)\n", res.Winner,
+			res.Total.Duration.Round(time.Microsecond))
+	}
+	for _, rep := range res.Reports {
+		status := "completed"
+		if rep.Cancelled {
+			status = "cancelled"
+		} else if rep.Aborted {
+			status = "aborted"
+		}
+		fmt.Printf("  %-8s %-9s nodes=%-8d depth=%-3d %v\n", rep.Name, status,
+			rep.Stats.Nodes, rep.Stats.MaxDepth, rep.Stats.Duration.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func runParallel(ctx context.Context, inst *csp.Instance, workers int) error {
+	res := csp.SolveParallel(ctx, inst, csp.ParallelOptions{Workers: workers})
+	fmt.Printf("split into %d subtrees on %d workers\n", res.Subtrees, res.Workers)
+	printSearchResult(inst, res.Result)
+	return nil
 }

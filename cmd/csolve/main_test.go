@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	"csdb/internal/core"
 )
@@ -22,34 +23,55 @@ func TestParseStrategy(t *testing.T) {
 }
 
 func TestRunOnInstanceFile(t *testing.T) {
-	if err := run("auto", 0, true, 0, false, []string{"../../testdata/sample.csp"}); err != nil {
+	sample := []string{"../../testdata/sample.csp"}
+	if err := run(config{strategy: "auto", explain: true, args: sample}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("search", 0, false, 3, false, []string{"../../testdata/sample.csp"}); err != nil {
+	if err := run(config{strategy: "search", all: 3, args: sample}); err != nil {
 		t.Fatalf("run -all: %v", err)
 	}
-	if err := run("auto", 0, false, 0, true, []string{"../../testdata/sample.csp"}); err != nil {
+	if err := run(config{strategy: "auto", count: true, args: sample}); err != nil {
 		t.Fatalf("run -count: %v", err)
 	}
 }
 
+func TestRunEngineFlags(t *testing.T) {
+	sample := []string{"../../testdata/sample.csp"}
+	if err := run(config{strategy: "auto", portfolio: true, timeout: 5 * time.Second, args: sample}); err != nil {
+		t.Fatalf("run -portfolio: %v", err)
+	}
+	if err := run(config{strategy: "auto", parallel: true, workers: 2, args: sample}); err != nil {
+		t.Fatalf("run -parallel: %v", err)
+	}
+	if err := run(config{strategy: "auto", timeout: 5 * time.Second, args: sample}); err != nil {
+		t.Fatalf("run -timeout: %v", err)
+	}
+	if err := run(config{strategy: "auto", portfolio: true, parallel: true, args: sample}); err == nil {
+		t.Fatal("-portfolio with -parallel accepted")
+	}
+}
+
 func TestRunOnDIMACS(t *testing.T) {
-	if err := run("auto", 3, false, 0, false, []string{"../../testdata/triangle.col"}); err != nil {
+	triangle := []string{"../../testdata/triangle.col"}
+	if err := run(config{strategy: "auto", coloring: 3, args: triangle}); err != nil {
 		t.Fatalf("3-coloring: %v", err)
 	}
-	if err := run("search", 2, false, 0, false, []string{"../../testdata/triangle.col"}); err != nil {
+	if err := run(config{strategy: "search", coloring: 2, args: triangle}); err != nil {
 		t.Fatalf("2-coloring (UNSAT path): %v", err)
+	}
+	if err := run(config{strategy: "auto", coloring: 3, portfolio: true, args: triangle}); err != nil {
+		t.Fatalf("3-coloring -portfolio: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("auto", 0, false, 0, false, []string{"/nonexistent/file"}); err == nil {
+	if err := run(config{strategy: "auto", args: []string{"/nonexistent/file"}}); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	if err := run("auto", 0, false, 0, false, []string{"a", "b"}); err == nil {
+	if err := run(config{strategy: "auto", args: []string{"a", "b"}}); err == nil {
 		t.Fatal("two files accepted")
 	}
-	if err := run("bogus", 0, false, 0, false, []string{"../../testdata/sample.csp"}); err == nil {
+	if err := run(config{strategy: "bogus", args: []string{"../../testdata/sample.csp"}}); err == nil {
 		t.Fatal("bad strategy accepted")
 	}
 }

@@ -1,6 +1,16 @@
 package consistency
 
-import "csdb/internal/csp"
+import (
+	"context"
+
+	"csdb/internal/csp"
+)
+
+// gacCheckInterval is the number of constraint revisions between context
+// polls in GACCtx: one revision scans one constraint table, so the interval
+// keeps the poll cost negligible while bounding how long a cancelled
+// propagation keeps running.
+const gacCheckInterval = 64
 
 // GAC establishes generalized arc consistency (GAC-3) on the instance as a
 // standalone preprocessing step: for every constraint and every variable in
@@ -12,6 +22,22 @@ import "csdb/internal/csp"
 // It returns the pruned per-variable domains and whether the instance
 // remains consistent (no domain wiped out). The input is not modified.
 func GAC(p *csp.Instance) (domains [][]int, consistent bool) {
+	domains, consistent, err := GACCtx(context.Background(), p)
+	if err != nil {
+		// Unreachable: the background context is never cancelled.
+		panic(err)
+	}
+	return domains, consistent
+}
+
+// GACCtx is GAC under a context: the propagation loop polls ctx every
+// gacCheckInterval constraint revisions and returns its error once the
+// context is cancelled or its deadline passes, in which case the returned
+// domains are nil and no consistency verdict is implied.
+func GACCtx(ctx context.Context, p *csp.Instance) (domains [][]int, consistent bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	dom := make([][]bool, p.Vars)
 	size := make([]int, p.Vars)
 	for v := 0; v < p.Vars; v++ {
@@ -23,7 +49,7 @@ func GAC(p *csp.Instance) (domains [][]int, consistent bool) {
 			}
 		}
 		if size[v] == 0 {
-			return nil, false
+			return nil, false, nil
 		}
 	}
 
@@ -43,7 +69,14 @@ func GAC(p *csp.Instance) (domains [][]int, consistent bool) {
 	for _, c := range queue {
 		inQueue[c] = true
 	}
+	revisions := 0
 	for len(queue) > 0 {
+		revisions++
+		if revisions%gacCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+		}
 		con := queue[0]
 		queue = queue[1:]
 		inQueue[con] = false
@@ -73,7 +106,7 @@ func GAC(p *csp.Instance) (domains [][]int, consistent bool) {
 				}
 			}
 			if size[u] == 0 {
-				return nil, false
+				return nil, false, nil
 			}
 			if changed {
 				for _, c2 := range watch[u] {
@@ -94,18 +127,32 @@ func GAC(p *csp.Instance) (domains [][]int, consistent bool) {
 			}
 		}
 	}
-	return domains, true
+	return domains, true, nil
 }
 
 // Propagate returns a copy of the instance whose per-variable domains have
 // been narrowed by GAC, or ok=false when GAC wipes out a domain (the
 // instance is unsatisfiable).
 func Propagate(p *csp.Instance) (*csp.Instance, bool) {
-	domains, consistent := GAC(p)
+	q, ok, err := PropagateCtx(context.Background(), p)
+	if err != nil {
+		// Unreachable: the background context is never cancelled.
+		panic(err)
+	}
+	return q, ok
+}
+
+// PropagateCtx is Propagate under a context (see GACCtx): a non-nil error
+// means the propagation was cancelled and ok carries no verdict.
+func PropagateCtx(ctx context.Context, p *csp.Instance) (*csp.Instance, bool, error) {
+	domains, consistent, err := GACCtx(ctx, p)
+	if err != nil {
+		return nil, false, err
+	}
 	if !consistent {
-		return nil, false
+		return nil, false, nil
 	}
 	q := p.Clone()
 	q.Domains = domains
-	return q, true
+	return q, true, nil
 }

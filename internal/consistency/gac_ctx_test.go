@@ -1,0 +1,80 @@
+package consistency
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"csdb/internal/csp"
+	"csdb/internal/gen"
+)
+
+func TestGACCtxMatchesGAC(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		p := gen.ModelB(rng, 8, 3, 0.6, 0.4)
+		wantDoms, wantOK := GAC(p)
+		gotDoms, gotOK, err := GACCtx(context.Background(), p)
+		if err != nil {
+			t.Fatalf("#%d: background context reported cancellation: %v", i, err)
+		}
+		if gotOK != wantOK {
+			t.Fatalf("#%d: consistency verdict %v != %v", i, gotOK, wantOK)
+		}
+		if len(gotDoms) != len(wantDoms) {
+			t.Fatalf("#%d: domain count mismatch", i)
+		}
+		for v := range wantDoms {
+			if len(gotDoms[v]) != len(wantDoms[v]) {
+				t.Fatalf("#%d: domain of %d differs: %v vs %v", i, v, gotDoms[v], wantDoms[v])
+			}
+			for j := range wantDoms[v] {
+				if gotDoms[v][j] != wantDoms[v][j] {
+					t.Fatalf("#%d: domain of %d differs: %v vs %v", i, v, gotDoms[v], wantDoms[v])
+				}
+			}
+		}
+	}
+}
+
+func TestGACCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := gen.ModelB(rand.New(rand.NewSource(6)), 10, 3, 0.6, 0.4)
+	if _, _, err := GACCtx(ctx, p); err == nil {
+		t.Fatal("GACCtx on a cancelled context returned no error")
+	}
+	if _, _, err := PropagateCtx(ctx, p); err == nil {
+		t.Fatal("PropagateCtx on a cancelled context returned no error")
+	}
+}
+
+func TestGACCtxDeadlineMidPropagation(t *testing.T) {
+	// A large instance whose propagation runs long enough to observe the
+	// deadline between revisions (the amortized gacCheckInterval poll).
+	rng := rand.New(rand.NewSource(7))
+	p := gen.ModelB(rng, 200, 8, 0.9, 0.45)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure the deadline has passed
+	if _, _, err := GACCtx(ctx, p); err == nil {
+		t.Fatal("GACCtx ignored an expired deadline")
+	}
+}
+
+func TestPropagateCtxMatchesPropagate(t *testing.T) {
+	p := gen.Coloring(gen.RandomGraph(rand.New(rand.NewSource(8)), 12, 0.3), 3)
+	wantQ, wantOK := Propagate(p)
+	gotQ, gotOK, err := PropagateCtx(context.Background(), p)
+	if err != nil || gotOK != wantOK {
+		t.Fatalf("PropagateCtx: ok=%v err=%v, want ok=%v", gotOK, err, wantOK)
+	}
+	if wantOK {
+		a := csp.Solve(wantQ, csp.Options{}).Found
+		b := csp.Solve(gotQ, csp.Options{}).Found
+		if a != b {
+			t.Fatal("propagated instances disagree on satisfiability")
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package csp
+
+import "context"
+
+// cancelCheckInterval is the number of search nodes (or propagation steps)
+// between polls of the context. Polling a context involves an atomic load and
+// possibly a channel check, which would dominate the per-node cost of cheap
+// instances, so the check is amortized: a cancelled search keeps running for
+// at most this many nodes before it notices and aborts.
+const cancelCheckInterval = 1024
+
+// cancelChecker amortizes context-cancellation checks over a countdown so
+// the search hot path pays one integer decrement per node instead of one
+// context poll.
+type cancelChecker struct {
+	ctx       context.Context
+	countdown int
+}
+
+func newCancelChecker(ctx context.Context) cancelChecker {
+	return cancelChecker{ctx: ctx, countdown: cancelCheckInterval}
+}
+
+// cancelled reports whether the context has been cancelled, polling it only
+// once per cancelCheckInterval calls.
+func (c *cancelChecker) cancelled() bool {
+	if c.ctx == nil {
+		return false
+	}
+	c.countdown--
+	if c.countdown > 0 {
+		return false
+	}
+	c.countdown = cancelCheckInterval
+	return c.ctx.Err() != nil
+}
+
+// cancelledNow polls the context immediately, for phase boundaries (root
+// propagation, join steps) where the amortized countdown has not been paid
+// down by node visits.
+func (c *cancelChecker) cancelledNow() bool {
+	return c.ctx != nil && c.ctx.Err() != nil
+}

@@ -1,5 +1,10 @@
 package csp
 
+import (
+	"context"
+	"time"
+)
+
 // Conflict-directed backjumping (CBJ) — the classical refinement of
 // chronological backtracking from the constraint-satisfaction literature
 // the paper's Section 1 surveys: when a variable exhausts its values, the
@@ -12,7 +17,24 @@ package csp
 
 // SolveCBJ searches for one solution using conflict-directed backjumping.
 func SolveCBJ(p *Instance, opts Options) Result {
-	s := newSearcher(p, opts)
+	return SolveCBJCtx(context.Background(), p, opts)
+}
+
+// SolveCBJCtx is SolveCBJ under a context: the search polls ctx every
+// cancelCheckInterval nodes and returns Aborted=true once it is cancelled.
+func SolveCBJCtx(ctx context.Context, p *Instance, opts Options) Result {
+	start := time.Now()
+	res := solveCBJ(ctx, p, opts)
+	res.Stats.Duration = time.Since(start)
+	res.Stats.Strategy = "CBJ"
+	return res
+}
+
+func solveCBJ(ctx context.Context, p *Instance, opts Options) Result {
+	s := newSearcher(ctx, p, opts)
+	if s.cancel.cancelledNow() {
+		return Result{Aborted: true, Stats: s.stats}
+	}
 	// Initial domain sanity (empty per-variable domains).
 	for v := 0; v < p.Vars; v++ {
 		if s.size[v] == 0 {
@@ -58,8 +80,16 @@ func (c *cbjSearcher) search(depth int) (bool, int, map[int]bool) {
 			c.depthOf[v] = -1
 			return false, -1, nil
 		}
+		if c.cancel.cancelled() {
+			c.aborted = true
+			c.depthOf[v] = -1
+			return false, -1, nil
+		}
 		c.assign[v] = val
 		c.nAssigned++
+		if c.nAssigned > c.stats.MaxDepth {
+			c.stats.MaxDepth = c.nAssigned
+		}
 		ok, conflictVars := c.checkBackward(v)
 		if !ok {
 			for _, u := range conflictVars {

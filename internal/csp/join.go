@@ -1,7 +1,9 @@
 package csp
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"csdb/internal/relation"
 )
@@ -51,8 +53,30 @@ func ConstraintRelations(p *Instance) []*relation.Relation {
 // constraint relations (Proposition 2.1) and extracts one solution from a
 // witness tuple when the join is nonempty.
 func JoinSolve(p *Instance) Result {
+	return JoinSolveCtx(context.Background(), p)
+}
+
+// JoinSolveCtx is JoinSolve under a context: the join evaluation polls ctx
+// between (and periodically inside) pairwise joins and returns Aborted=true
+// once the context is cancelled, which bounds both the time and the growth
+// of intermediate results.
+func JoinSolveCtx(ctx context.Context, p *Instance) Result {
+	start := time.Now()
+	res := joinSolve(ctx, p)
+	res.Stats.Duration = time.Since(start)
+	res.Stats.Strategy = "Join"
+	return res
+}
+
+func joinSolve(ctx context.Context, p *Instance) Result {
+	if ctx.Err() != nil {
+		return Result{Aborted: true}
+	}
 	rels := ConstraintRelations(p)
-	j := relation.JoinAll(rels)
+	j, err := relation.JoinAllCtx(ctx, rels)
+	if err != nil {
+		return Result{Aborted: true}
+	}
 	if j.Empty() {
 		return Result{}
 	}

@@ -1,0 +1,187 @@
+package csp
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements search-space splitting: the root variable's domain is
+// partitioned into disjoint singleton subtrees, each solved independently by
+// a bounded worker pool under a shared cancellable context. The subproblems
+// share the (read-only) constraint tables, so splitting costs one small
+// Domains slice per subtree rather than a deep instance clone.
+
+// ParallelOptions configures SolveParallel.
+type ParallelOptions struct {
+	// Options configures each worker's search. NodeLimit applies per
+	// subtree, not globally.
+	Options
+	// Workers bounds the number of concurrently running subtree searches;
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// ParallelResult is the outcome of a SolveParallel call.
+type ParallelResult struct {
+	Result
+	// Subtrees is the number of root-domain partitions searched.
+	Subtrees int
+	// Workers is the worker-pool bound actually used.
+	Workers int
+}
+
+// SolveParallel searches the instance by splitting on the root variable: one
+// subproblem per value of the most constrained variable's domain, solved by
+// a pool of workers racing under a shared context. The first solution wins
+// and cancels the remaining subtrees; UNSAT is reported only when every
+// subtree completed without aborting. Effort counters are aggregated
+// atomically across workers into the returned Stats.
+func SolveParallel(ctx context.Context, p *Instance, popts ParallelOptions) ParallelResult {
+	start := time.Now()
+	workers := popts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	if p.Vars == 0 {
+		res := SolveCtx(ctx, p, popts.Options)
+		res.Stats.Strategy = "parallel(" + popts.Options.label() + ")"
+		return ParallelResult{Result: res, Subtrees: 1, Workers: 1}
+	}
+
+	root := splitVar(p)
+	values := p.DomainOf(root)
+	if len(values) < workers {
+		workers = len(values)
+	}
+
+	out := ParallelResult{Subtrees: len(values), Workers: workers}
+	if len(values) == 0 {
+		out.Stats.Strategy = "parallel(" + popts.Options.label() + ")"
+		out.Stats.Duration = time.Since(start)
+		return out // empty root domain: trivially UNSAT
+	}
+
+	searchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		nodes, backtracks, prunings atomic.Int64
+		maxDepth                    atomic.Int64
+		anyAborted                  atomic.Bool
+
+		mu       sync.Mutex
+		solution []int
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan int, len(values))
+	for i := range values {
+		jobs <- i
+	}
+	close(jobs)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if searchCtx.Err() != nil {
+					// The race is over (solution found or caller cancelled):
+					// the remaining subtrees count as aborted, not as
+					// completed UNSAT proofs.
+					anyAborted.Store(true)
+					continue
+				}
+				res := SolveCtx(searchCtx, subInstance(p, root, values[i]), popts.Options)
+				nodes.Add(res.Stats.Nodes)
+				backtracks.Add(res.Stats.Backtracks)
+				prunings.Add(res.Stats.Prunings)
+				atomicMax(&maxDepth, int64(res.Stats.MaxDepth))
+				if res.Aborted {
+					anyAborted.Store(true)
+				}
+				if res.Found {
+					mu.Lock()
+					if solution == nil {
+						solution = res.Solution
+					}
+					mu.Unlock()
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out.Stats = Stats{
+		Nodes:      nodes.Load(),
+		Backtracks: backtracks.Load(),
+		Prunings:   prunings.Load(),
+		MaxDepth:   int(maxDepth.Load()),
+		Duration:   time.Since(start),
+		Strategy:   "parallel(" + popts.Options.label() + ")",
+	}
+	if solution != nil {
+		out.Found = true
+		out.Solution = solution
+	} else if anyAborted.Load() || ctx.Err() != nil {
+		out.Aborted = true
+	}
+	return out
+}
+
+// splitVar picks the variable whose domain is partitioned across workers:
+// smallest initial domain, ties broken by the number of constraints on the
+// variable (the static MRV+degree rule), so the subtrees start maximally
+// constrained.
+func splitVar(p *Instance) int {
+	degree := make([]int, p.Vars)
+	for _, con := range p.Constraints {
+		seen := make(map[int]bool, len(con.Scope))
+		for _, v := range con.Scope {
+			if !seen[v] {
+				seen[v] = true
+				degree[v]++
+			}
+		}
+	}
+	best, bestSize, bestDeg := 0, 1<<30, -1
+	for v := 0; v < p.Vars; v++ {
+		size := len(p.DomainOf(v))
+		if size < bestSize || (size == bestSize && degree[v] > bestDeg) {
+			best, bestSize, bestDeg = v, size, degree[v]
+		}
+	}
+	return best
+}
+
+// subInstance returns a shallow copy of p with variable root pinned to val.
+// Constraint tables and names are shared (they are read-only during search);
+// only the Domains slice is fresh.
+func subInstance(p *Instance, root, val int) *Instance {
+	doms := make([][]int, p.Vars)
+	if p.Domains != nil {
+		copy(doms, p.Domains)
+	}
+	doms[root] = []int{val}
+	return &Instance{
+		Vars:        p.Vars,
+		Dom:         p.Dom,
+		Names:       p.Names,
+		Domains:     doms,
+		Constraints: p.Constraints,
+	}
+}
+
+// atomicMax raises *m to v if v is larger.
+func atomicMax(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

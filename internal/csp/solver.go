@@ -1,6 +1,10 @@
 package csp
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"time"
+)
 
 // Algorithm selects the search procedure used by Solve.
 type Algorithm int
@@ -40,16 +44,34 @@ const (
 	Lex
 )
 
+func (o VarOrder) String() string {
+	switch o {
+	case MRV:
+		return "MRV"
+	case Lex:
+		return "Lex"
+	}
+	return fmt.Sprintf("VarOrder(%d)", int(o))
+}
+
 // Options configures Solve.
 type Options struct {
 	Algorithm Algorithm
 	VarOrder  VarOrder
 	// NodeLimit aborts the search after this many search nodes (0 = no
-	// limit). An aborted search reports Found=false, Aborted=true.
+	// limit). An aborted search reports Found=false, Aborted=true. The limit
+	// is local to one search: every strategy of a Portfolio and every worker
+	// subtree of SolveParallel counts its own nodes against its own limit —
+	// it is a per-strategy budget, not a global one.
 	NodeLimit int64
 	// RootConsistency, when true, runs one GAC pass before search even for
 	// BT/FC (MAC always does).
 	RootConsistency bool
+}
+
+// label names the strategy an Options value selects, for Stats attribution.
+func (o Options) label() string {
+	return o.Algorithm.String() + "+" + o.VarOrder.String()
 }
 
 // Stats records search effort.
@@ -57,6 +79,33 @@ type Stats struct {
 	Nodes      int64 // assignments tried
 	Backtracks int64 // dead ends
 	Prunings   int64 // domain values removed by propagation
+	// MaxDepth is the largest number of simultaneously assigned variables
+	// reached during the search (0 for solvers that do no assignment, such
+	// as join evaluation).
+	MaxDepth int
+	// Duration is the wall-clock time of the solve call.
+	Duration time.Duration
+	// Strategy attributes the stats to the procedure that produced them
+	// (e.g. "MAC+MRV", "CBJ", "Join", "parallel(FC+Lex)").
+	Strategy string
+}
+
+// merge accumulates counters from another Stats into s: additive for the
+// effort counters, max for depth and duration. Strategy attribution is kept
+// only when both sides agree.
+func (s *Stats) merge(o Stats) {
+	s.Nodes += o.Nodes
+	s.Backtracks += o.Backtracks
+	s.Prunings += o.Prunings
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+	if o.Duration > s.Duration {
+		s.Duration = o.Duration
+	}
+	if s.Strategy != o.Strategy {
+		s.Strategy = ""
+	}
 }
 
 // Result is the outcome of a Solve call.
@@ -69,7 +118,14 @@ type Result struct {
 
 // Solve searches for one solution of the instance.
 func Solve(p *Instance, opts Options) Result {
-	s := newSearcher(p, opts)
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx is Solve under a context: the search polls ctx every
+// cancelCheckInterval nodes (and at propagation boundaries) and returns
+// Aborted=true once the context is cancelled or its deadline passes.
+func SolveCtx(ctx context.Context, p *Instance, opts Options) Result {
+	s := newSearcher(ctx, p, opts)
 	return s.run(1, nil)
 }
 
@@ -77,7 +133,12 @@ func Solve(p *Instance, opts Options) Result {
 // when yield returns false or limit (>0) solutions have been produced.
 // It returns the number of solutions yielded and the search stats.
 func SolveAll(p *Instance, opts Options, limit int64, yield func([]int) bool) (int64, Stats) {
-	s := newSearcher(p, opts)
+	return SolveAllCtx(context.Background(), p, opts, limit, yield)
+}
+
+// SolveAllCtx is SolveAll under a context (see SolveCtx).
+func SolveAllCtx(ctx context.Context, p *Instance, opts Options, limit int64, yield func([]int) bool) (int64, Stats) {
+	s := newSearcher(ctx, p, opts)
 	res := s.run(limit, yield)
 	return s.found, res.Stats
 }
@@ -105,6 +166,7 @@ type searcher struct {
 
 	trail []trailEntry // pruned (var, val) pairs for undo
 
+	cancel  cancelChecker
 	stats   Stats
 	found   int64
 	limit   int64
@@ -115,8 +177,8 @@ type searcher struct {
 
 type trailEntry struct{ v, val int }
 
-func newSearcher(p *Instance, opts Options) *searcher {
-	s := &searcher{p: p, opts: opts}
+func newSearcher(ctx context.Context, p *Instance, opts Options) *searcher {
+	s := &searcher{p: p, opts: opts, cancel: newCancelChecker(ctx)}
 	s.dom = make([][]bool, p.Vars)
 	s.size = make([]int, p.Vars)
 	s.assign = make([]int, p.Vars)
@@ -146,13 +208,25 @@ func newSearcher(p *Instance, opts Options) *searcher {
 }
 
 func (s *searcher) run(limit int64, yield func([]int) bool) Result {
+	start := time.Now()
+	res := s.solve(limit, yield)
+	res.Stats.Duration = time.Since(start)
+	res.Stats.Strategy = s.opts.label()
+	return res
+}
+
+func (s *searcher) solve(limit int64, yield func([]int) bool) Result {
 	s.limit = limit
 	s.yield = yield
 
+	if s.cancel.cancelledNow() {
+		s.aborted = true
+		return Result{Aborted: true, Stats: s.stats}
+	}
 	// Root propagation.
 	if s.opts.Algorithm == MAC || s.opts.RootConsistency {
 		if !s.gacAll() {
-			return Result{Stats: s.stats}
+			return Result{Aborted: s.aborted, Stats: s.stats}
 		}
 	} else {
 		for v := 0; v < s.p.Vars; v++ {
@@ -203,6 +277,10 @@ func (s *searcher) search(out *[]int) bool {
 			s.aborted = true
 			return true
 		}
+		if s.cancel.cancelled() {
+			s.aborted = true
+			return true
+		}
 		mark := len(s.trail)
 		if s.tryAssign(v, val) {
 			if s.search(out) {
@@ -210,6 +288,10 @@ func (s *searcher) search(out *[]int) bool {
 			}
 		}
 		s.undo(v, mark)
+		if s.aborted {
+			// Propagation noticed the cancellation mid-branch; unwind.
+			return true
+		}
 		s.stats.Backtracks++
 	}
 	return false
@@ -220,6 +302,9 @@ func (s *searcher) search(out *[]int) bool {
 func (s *searcher) tryAssign(v, val int) bool {
 	s.assign[v] = val
 	s.nAssigned++
+	if s.nAssigned > s.stats.MaxDepth {
+		s.stats.MaxDepth = s.nAssigned
+	}
 	// Narrow v's domain to {val} so propagation sees the assignment; record
 	// on the trail for undo.
 	for w := 0; w < s.p.Dom; w++ {
@@ -387,6 +472,10 @@ func (s *searcher) gacLoop(queue []*Constraint) bool {
 		inQueue[c] = true
 	}
 	for len(queue) > 0 {
+		if s.cancel.cancelled() {
+			s.aborted = true
+			return false
+		}
 		con := queue[0]
 		queue = queue[1:]
 		inQueue[con] = false

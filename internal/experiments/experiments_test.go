@@ -77,3 +77,47 @@ func TestExperimentsProduceFullAgreement(t *testing.T) {
 		})
 	}
 }
+
+// canonicalMarkdown renders a table with its wall-clock measurements masked:
+// cells under a header mentioning "ms" and the total-runtime footer vary
+// between runs by nature, everything else (verdicts, counts, node totals)
+// must not.
+func canonicalMarkdown(t *Table) string {
+	c := &Table{ID: t.ID, Title: t.Title, Claim: t.Claim,
+		Header: t.Header, Notes: t.Notes}
+	timeCol := make([]bool, len(t.Header))
+	for i, h := range t.Header {
+		timeCol[i] = strings.Contains(h, "ms")
+	}
+	for _, row := range t.Rows {
+		masked := make([]string, len(row))
+		for i, cell := range row {
+			if i < len(timeCol) && timeCol[i] {
+				cell = "<time>"
+			}
+			masked[i] = cell
+		}
+		c.Rows = append(c.Rows, masked)
+	}
+	return c.Markdown()
+}
+
+// TestE1E7Deterministic is the golden determinism guard for cmd/experiments:
+// the sequential baselines E1 (join vs search) and E7 (consistency and
+// propagation levels) must produce byte-identical tables on repeated runs
+// with the same seed, so the parallel engine cannot silently leak
+// nondeterminism into the published experiment results.
+func TestE1E7Deterministic(t *testing.T) {
+	for _, id := range []string{"E1", "E7"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		first := canonicalMarkdown(e.Run(1))
+		second := canonicalMarkdown(e.Run(1))
+		if first != second {
+			t.Errorf("%s with -seed 1 is nondeterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+				id, first, second)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package relation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -291,6 +292,15 @@ func sharedAttrs(r, s *Relation) (common []string, sOnly []string) {
 // exists for every pair of r/s tuples that agree on all shared attributes.
 // Implemented as a hash join on the shared attributes.
 func (r *Relation) Join(s *Relation) *Relation {
+	out, _ := r.joinCtx(nil, s)
+	return out
+}
+
+// joinCtx is Join with cooperative cancellation: when ctx is non-nil, the
+// probe loop polls it every few thousand candidate pairs and returns ctx's
+// error, so a cancelled caller is not stuck behind one exploding
+// intermediate result.
+func (r *Relation) joinCtx(ctx context.Context, s *Relation) (*Relation, error) {
 	common, sOnly := sharedAttrs(r, s)
 
 	outAttrs := make([]string, 0, len(r.attrs)+len(sOnly))
@@ -317,9 +327,20 @@ func (r *Relation) Join(s *Relation) *Relation {
 	for i, a := range common {
 		rCommonPos[i] = r.pos[a]
 	}
+	const checkEvery = 4096
+	countdown := checkEvery
 	for _, t := range r.tuples {
 		k := joinKey(t, rCommonPos)
 		for _, u := range build[k] {
+			if ctx != nil {
+				countdown--
+				if countdown <= 0 {
+					countdown = checkEvery
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+			}
 			row := make(Tuple, 0, len(outAttrs))
 			row = append(row, t...)
 			for _, j := range sOnlyPos {
@@ -328,7 +349,7 @@ func (r *Relation) Join(s *Relation) *Relation {
 			out.MustAdd(row)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Semijoin returns the tuples of r that join with at least one tuple of s on
@@ -473,14 +494,31 @@ func joinKey(t Tuple, cols []int) string {
 // 0-ary relation... more precisely, with no inputs it returns the relation
 // over no attributes containing the empty tuple (the join identity).
 func JoinAll(rels []*Relation) *Relation {
+	j, err := JoinAllCtx(context.Background(), rels)
+	if err != nil {
+		// Unreachable: the background context is never cancelled.
+		panic(err)
+	}
+	return j
+}
+
+// JoinAllCtx is JoinAll under a context: the context is polled before every
+// pairwise join and periodically inside each one, and its error is returned
+// as soon as cancellation is observed. The join order is identical to
+// JoinAll, so cancelled and uncancelled runs do the same work up to the
+// point of cancellation.
+func JoinAllCtx(ctx context.Context, rels []*Relation) (*Relation, error) {
 	if len(rels) == 0 {
 		id := MustNew()
 		id.MustAdd(Tuple{})
-		return id
+		return id, nil
 	}
 	work := make([]*Relation, len(rels))
 	copy(work, rels)
 	for len(work) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Pick the pair whose estimated output is smallest. A full pairwise
 		// scan is quadratic in the number of relations, which is fine at the
 		// scale of constraint sets.
@@ -493,7 +531,10 @@ func JoinAll(rels []*Relation) *Relation {
 				}
 			}
 		}
-		joined := work[bi].Join(work[bj])
+		joined, err := work[bi].joinCtx(ctx, work[bj])
+		if err != nil {
+			return nil, err
+		}
 		if joined.Empty() {
 			// Early exit: the full join is empty. Return an empty relation
 			// over the union of all remaining attributes so callers can
@@ -514,12 +555,12 @@ func JoinAll(rels []*Relation) *Relation {
 					add(r)
 				}
 			}
-			return MustNew(attrs...)
+			return MustNew(attrs...), nil
 		}
 		work[bi] = joined
 		work = append(work[:bj], work[bj+1:]...)
 	}
-	return work[0]
+	return work[0], nil
 }
 
 // estimateJoin is a crude cardinality estimate used for greedy join ordering:
