@@ -1,17 +1,23 @@
-# Build/verify entry points. `make verify` is the tier-1 gate from
-# ROADMAP.md; `make race` is the concurrency gate added with the parallel
-# portfolio engine — it must run on every change that touches
-# internal/csp, internal/consistency or internal/relation.
+# Build/verify entry points. `make check` is the default gate: vet, tier-1
+# verify (ROADMAP.md) and the race-gated kernel packages. `make bench`
+# captures the relational-kernel benchmark suite into BENCH_relation.json.
 
 GO ?= go
+BENCH_LABEL ?= after
 
-.PHONY: build test verify race race-engine bench
+.PHONY: check build test verify vet race race-engine race-kernel bench
+
+# Default target: everything a PR must pass locally.
+check: vet verify race-kernel
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
 
 # Tier-1 verification (ROADMAP.md): the module builds and all tests pass.
 verify: build test
@@ -26,5 +32,16 @@ race:
 race-engine:
 	$(GO) test -race -count=1 ./internal/csp/ ./internal/consistency/ ./internal/relation/
 
+# The relational kernel and its main consumer, with the parallel hash join
+# enabled — the acceptance gate for the integer-coded kernel.
+race-kernel:
+	$(GO) test -race -count=1 ./internal/relation/ ./internal/hypergraph/
+
+# Benchmark the join/semijoin/Yannakakis/engine hot paths and merge the
+# medians into BENCH_relation.json under $(BENCH_LABEL). Run with
+# BENCH_LABEL=before on a pre-change tree to record a baseline.
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' .
+	$(GO) test -bench 'Join|Semijoin|Yannakakis|Engine' -benchmem -count 5 \
+		-benchtime=0.3s -run '^$$' -timeout 60m \
+		. ./internal/relation/ ./internal/hypergraph/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_relation.json -label $(BENCH_LABEL)

@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a labeled JSON trajectory file, merging into an existing file so that
+// multiple labeled runs (e.g. the pre-rewrite "before" numbers and the
+// current "after" numbers) live side by side and speedups stay auditable.
+//
+// Usage:
+//
+//	go test -bench 'Join|Semijoin|Yannakakis|Engine' -benchmem -count 5 ./... |
+//	    go run ./cmd/benchjson -o BENCH_relation.json -label after
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Run is one benchmark measurement line.
+type Run struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// Bench aggregates the -count repetitions of one benchmark.
+type Bench struct {
+	Runs           []Run   `json:"runs"`
+	MedianNsOp     float64 `json:"median_ns_op"`
+	MedianBOp      float64 `json:"median_b_op"`
+	MedianAllocsOp float64 `json:"median_allocs_op"`
+}
+
+// Label is one labeled capture: a full benchmark sweep at a point in time.
+type Label struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	Benchmarks  map[string]Bench `json:"benchmarks"`
+}
+
+// File is the on-disk trajectory format.
+type File struct {
+	Note   string           `json:"note"`
+	Labels map[string]Label `json:"labels"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_relation.json", "output JSON file (merged in place)")
+	label := flag.String("label", "current", "label for this capture (e.g. before, after)")
+	flag.Parse()
+
+	runs := parseBench(os.Stdin)
+	if len(runs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	f := File{Labels: map[string]Label{}}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: cannot parse existing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		if f.Labels == nil {
+			f.Labels = map[string]Label{}
+		}
+	}
+	f.Note = "per-benchmark ns/op, B/op, allocs/op across -count repetitions; medians for comparison"
+
+	// Merge into the label if it already exists: a capture of a subset of
+	// benchmarks (e.g. a backfilled baseline for one new benchmark) updates
+	// those entries and leaves the rest of the label intact.
+	benches := map[string]Bench{}
+	if prev, ok := f.Labels[*label]; ok {
+		for name, b := range prev.Benchmarks {
+			benches[name] = b
+		}
+	}
+	for name, rs := range runs {
+		benches[name] = Bench{
+			Runs:           rs,
+			MedianNsOp:     median(rs, func(r Run) float64 { return r.NsOp }),
+			MedianBOp:      median(rs, func(r Run) float64 { return r.BOp }),
+			MedianAllocsOp: median(rs, func(r Run) float64 { return r.AllocsOp }),
+		}
+	}
+	f.Labels[*label] = Label{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Benchmarks:  benches,
+	}
+
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks under label %q to %s\n", len(benches), *label, *out)
+}
+
+// parseBench extracts benchmark result lines of the form
+//
+//	BenchmarkName-8   100   11118273 ns/op   5118342 B/op   120034 allocs/op
+func parseBench(src *os.File) map[string][]Run {
+	runs := make(map[string][]Run)
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		var r Run
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsOp = v
+				ok = true
+			case "B/op":
+				r.BOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			}
+		}
+		if ok {
+			runs[name] = append(runs[name], r)
+		}
+	}
+	return runs
+}
+
+func median(rs []Run, get func(Run) float64) float64 {
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = get(r)
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

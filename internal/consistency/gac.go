@@ -66,8 +66,17 @@ func GACCtx(ctx context.Context, p *csp.Instance) (domains [][]int, consistent b
 
 	queue := append([]*csp.Constraint(nil), p.Constraints...)
 	inQueue := make(map[*csp.Constraint]bool, len(queue))
+	maxScope := 0
 	for _, c := range queue {
 		inQueue[c] = true
+		if len(c.Scope) > maxScope {
+			maxScope = len(c.Scope)
+		}
+	}
+	// One support buffer per scope position, reused across every revision.
+	supportBuf := make([][]bool, maxScope)
+	for i := range supportBuf {
+		supportBuf[i] = make([]bool, p.Dom)
 	}
 	revisions := 0
 	for len(queue) > 0 {
@@ -81,9 +90,9 @@ func GACCtx(ctx context.Context, p *csp.Instance) (domains [][]int, consistent b
 		queue = queue[1:]
 		inQueue[con] = false
 
-		supported := make([][]bool, len(con.Scope))
+		supported := supportBuf[:len(con.Scope)]
 		for i := range supported {
-			supported[i] = make([]bool, p.Dom)
+			clear(supported[i])
 		}
 	tuples:
 		for _, row := range con.Table.Tuples() {

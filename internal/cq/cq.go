@@ -389,6 +389,8 @@ func atomRelation(a Atom, db *structure.Structure) (*relation.Relation, error) {
 	if !ok {
 		return out, nil // predicate absent: empty relation
 	}
+	out.Grow(db.Rel(a.Pred).Len())
+	t := make(relation.Tuple, len(attrs)) // Add copies, so one scratch row suffices
 rows:
 	for _, row := range db.Rel(a.Pred).Tuples() {
 		for i, v := range a.Args {
@@ -396,7 +398,6 @@ rows:
 				continue rows // repeated variable with disagreeing values
 			}
 		}
-		t := make(relation.Tuple, len(attrs))
 		for j, v := range attrs {
 			t[j] = row[firstPos[v]]
 		}

@@ -20,11 +20,15 @@ import (
 )
 
 // Table is a finite relation over values: the R of a constraint (t, R).
-// Tables are deduplicated sets of tuples with O(1) membership.
+// Tables are deduplicated sets of tuples with O(1) membership. Membership
+// uses an integer-hash index (FNV-1a over the values, collisions chained
+// through next and verified against the stored rows), mirroring the
+// allocation-free lookup discipline of internal/relation.
 type Table struct {
 	arity  int
 	tuples [][]int
-	index  map[string]struct{}
+	index  map[uint64]int32 // row hash -> most recent row id with that hash
+	next   []int32          // per-row chain to earlier same-hash rows; -1 ends
 }
 
 // NewTable creates an empty table of the given arity (>= 1).
@@ -32,7 +36,46 @@ func NewTable(arity int) *Table {
 	if arity < 1 {
 		panic(fmt.Sprintf("csp: table arity %d", arity))
 	}
-	return &Table{arity: arity, index: make(map[string]struct{})}
+	return &Table{arity: arity, index: make(map[uint64]int32)}
+}
+
+// FNV-1a over machine words; see internal/relation for the rationale
+// (collisions are verified, the runtime re-hashes the uint64 key).
+const (
+	tableFNVOffset = 14695981039346656037
+	tableFNVPrime  = 1099511628211
+)
+
+func tableHash(row []int) uint64 {
+	h := uint64(tableFNVOffset)
+	for _, v := range row {
+		h ^= uint64(v)
+		h *= tableFNVPrime
+	}
+	return h
+}
+
+// find returns the id of the stored row equal to row, or -1.
+func (t *Table) find(row []int, h uint64) int32 {
+	id, ok := t.index[h]
+	if !ok {
+		return -1
+	}
+	for id >= 0 {
+		stored := t.tuples[id]
+		eq := true
+		for i, v := range row {
+			if stored[i] != v {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return id
+		}
+		id = t.next[id]
+	}
+	return -1
 }
 
 // TableOf builds a table from rows; all rows must share the given arity.
@@ -59,13 +102,18 @@ func (t *Table) Add(row []int) {
 	if len(row) != t.arity {
 		panic(fmt.Sprintf("csp: tuple arity %d for table arity %d", len(row), t.arity))
 	}
-	k := rowKey(row)
-	if _, dup := t.index[k]; dup {
+	h := tableHash(row)
+	if t.find(row, h) >= 0 {
 		return
 	}
-	t.index[k] = struct{}{}
 	c := make([]int, len(row))
 	copy(c, row)
+	prev, ok := t.index[h]
+	if !ok {
+		prev = -1
+	}
+	t.next = append(t.next, prev)
+	t.index[h] = int32(len(t.tuples))
 	t.tuples = append(t.tuples, c)
 }
 
@@ -74,8 +122,7 @@ func (t *Table) Has(row []int) bool {
 	if len(row) != t.arity {
 		return false
 	}
-	_, ok := t.index[rowKey(row)]
-	return ok
+	return t.find(row, tableHash(row)) >= 0
 }
 
 // Clone returns a deep copy.
@@ -91,8 +138,8 @@ func (t *Table) Clone() *Table {
 // Two tables with the same key contain exactly the same tuples.
 func (t *Table) Key() string {
 	keys := make([]string, 0, len(t.tuples))
-	for k := range t.index {
-		keys = append(keys, k)
+	for _, row := range t.tuples {
+		keys = append(keys, rowKey(row))
 	}
 	sortStrings(keys)
 	return fmt.Sprintf("%d|%s", t.arity, strings.Join(keys, ";"))

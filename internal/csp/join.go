@@ -31,6 +31,7 @@ func ConstraintRelations(p *Instance) []*relation.Relation {
 			mentioned[v] = true
 		}
 		r := relation.MustNew(attrs...)
+		r.Grow(con.Table.Len())
 		for _, row := range con.Table.Tuples() {
 			r.MustAdd(relation.Tuple(row))
 		}

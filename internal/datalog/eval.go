@@ -21,6 +21,7 @@ func EDBRelation(arity int, rows ...[]int) *relation.Relation {
 		attrs[i] = colAttr(i)
 	}
 	r := relation.MustNew(attrs...)
+	r.Grow(len(rows))
 	for _, row := range rows {
 		r.MustAdd(relation.Tuple(row))
 	}
@@ -59,6 +60,7 @@ func Eval(p *Program, edb Relations) (Relations, error) {
 			return nil, fmt.Errorf("datalog: EDB %s has arity %d, program uses %d", name, in.Arity(), want)
 		}
 		norm := EDBRelation(want)
+		norm.Grow(in.Len())
 		for _, t := range in.Tuples() {
 			norm.MustAdd(t)
 		}
@@ -175,8 +177,9 @@ func evalRule(r Rule, extent func(a Atom, idx int) *relation.Relation) (*relatio
 			return nil, fmt.Errorf("datalog: head variable %s missing from joined body of %s", v, r)
 		}
 	}
+	out.Grow(joined.Len())
+	row := make(relation.Tuple, len(pos)) // Add copies, so one scratch row suffices
 	for _, t := range joined.Tuples() {
-		row := make(relation.Tuple, len(pos))
 		for i, j := range pos {
 			row[i] = t[j]
 		}
@@ -201,6 +204,8 @@ func atomToVars(a Atom, base *relation.Relation) (*relation.Relation, error) {
 		}
 	}
 	out := relation.MustNew(attrs...)
+	out.Grow(base.Len())
+	t := make(relation.Tuple, len(attrs))
 rows:
 	for _, row := range base.Tuples() {
 		for i, v := range a.Args {
@@ -208,7 +213,6 @@ rows:
 				continue rows
 			}
 		}
-		t := make(relation.Tuple, len(attrs))
 		for j, v := range attrs {
 			t[j] = row[firstPos[v]]
 		}

@@ -1,0 +1,45 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"csdb/internal/cq"
+	"csdb/internal/gen"
+	"csdb/internal/structure"
+)
+
+// acyclicWorkload builds the acyclic chain-query workload used as the
+// end-to-end acceptance benchmark for the relational kernel: a 5-atom chain
+// query over a random binary relation large enough that the semijoin passes
+// and the bottom-up join dominate the run time.
+func acyclicWorkload() (*cq.Query, *structure.Structure) {
+	rng := rand.New(rand.NewSource(51))
+	q := cq.MustParse(gen.ChainQuery(5))
+	voc := structure.MustVocabulary(structure.Symbol{Name: "R", Arity: 2})
+	db := structure.MustNew(voc, 80)
+	for i := 0; i < 640; i++ {
+		db.MustAddTuple("R", rng.Intn(80), rng.Intn(80))
+	}
+	return q, db
+}
+
+func BenchmarkYannakakisAcyclic(b *testing.B) {
+	q, db := acyclicWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Yannakakis(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSemijoinReduceAcyclic(b *testing.B) {
+	q, db := acyclicWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SemijoinReduce(q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

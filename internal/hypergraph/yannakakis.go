@@ -106,14 +106,6 @@ func Yannakakis(q *cq.Query, db *structure.Structure) (*relation.Relation, error
 	return result.Project(q.Head...)
 }
 
-// mustUnit returns the 0-ary relation containing the empty tuple (the join
-// identity).
-func mustUnit() *relation.Relation {
-	r := relation.MustNew()
-	r.MustAdd(relation.Tuple{})
-	return r
-}
-
 // topoOrder returns the edges of a join tree with children before parents.
 func topoOrder(jt *JoinTree, m int) []int {
 	children := make([][]int, m)

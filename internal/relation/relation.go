@@ -9,10 +9,27 @@
 // Values are small non-negative integers; attributes are strings. Relations
 // are set-semantics: duplicate tuples are eliminated on construction and by
 // every operator.
+//
+// # Kernel layout
+//
+// Tuples are stored in a single flat row-major []int value array; a Tuple
+// handed out by Tuples, Rows or SortedTuples is a view into (a copy of) that
+// array. Membership is an integer-hash index: a map from the FNV-1a hash of
+// a row to the most recently inserted row with that hash, chained through a
+// per-row next array, so lookups allocate nothing and hash collisions are
+// resolved by comparing the stored values. Operator results that are
+// provably duplicate-free (join, semijoin, selection, intersection of
+// set-semantic inputs) are emitted without touching the index at all; the
+// index is materialized lazily on the first membership query.
+//
+// A relation may be read concurrently, but the lazy index build means the
+// first Contains/Add/Equal/Intersect call on an operator result mutates the
+// receiver: perform one such call (or any mutation) from a single goroutine
+// before sharing. The differential reference implementation for this kernel
+// is in naive.go.
 package relation
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -24,6 +41,8 @@ import (
 type Tuple []int
 
 // Key returns a canonical string encoding of the tuple, usable as a map key.
+// The kernel itself no longer uses string keys (see the package comment);
+// this survives for rendering and for callers that need a portable encoding.
 func (t Tuple) Key() string {
 	b := make([]byte, 0, len(t)*3)
 	for i, v := range t {
@@ -55,14 +74,54 @@ func (t Tuple) Clone() Tuple {
 	return c
 }
 
+// FNV-1a over machine words. Distribution across map buckets is handled by
+// the runtime's own hashing of the uint64 key, and equality of colliding
+// rows is always verified against the stored values, so word-wise (rather
+// than byte-wise) folding is safe.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashVals hashes a full row.
+func hashVals(vals []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range vals {
+		h ^= uint64(v)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashRowCols hashes the projection of the row starting at base in data onto
+// the given column offsets.
+func hashRowCols(data []int, base int, cols []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range cols {
+		h ^= uint64(data[base+c])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // Relation is a finite relation over a named list of attributes.
 // The attribute order is significant for tuple layout but natural join and
 // set operations are attribute-name driven.
 type Relation struct {
-	attrs  []string
-	pos    map[string]int // attribute name -> column index
-	tuples []Tuple
-	index  map[string]struct{} // tuple key set, for O(1) membership
+	attrs []string
+	pos   map[string]int // attribute name -> column index
+	k     int            // arity
+	n     int            // row count
+	data  []int          // flat row-major values, len == n*k
+	rows  []Tuple        // cached row views; rebuilt when len(rows) != n
+
+	// Membership index, built lazily: index maps a row hash to the most
+	// recently inserted row id with that hash; next chains to the previous
+	// one (-1 terminates). No per-row allocations, collisions verified.
+	index map[uint64]int32
+	next  []int32
+
+	stats []int // cached per-column distinct counts; nil when stale
 }
 
 // New creates a relation with the given attributes and no tuples.
@@ -81,7 +140,7 @@ func New(attrs ...string) (*Relation, error) {
 	return &Relation{
 		attrs: append([]string(nil), attrs...),
 		pos:   pos,
-		index: make(map[string]struct{}),
+		k:     len(attrs),
 	}, nil
 }
 
@@ -100,6 +159,7 @@ func FromTuples(attrs []string, rows []Tuple) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.Grow(len(rows))
 	for _, t := range rows {
 		if err := r.Add(t); err != nil {
 			return nil, err
@@ -122,17 +182,49 @@ func MustFromTuples(attrs []string, rows []Tuple) *Relation {
 func (r *Relation) Attrs() []string { return r.attrs }
 
 // Arity returns the number of attributes.
-func (r *Relation) Arity() int { return len(r.attrs) }
+func (r *Relation) Arity() int { return r.k }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.n }
 
 // Empty reports whether the relation has no tuples.
-func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+func (r *Relation) Empty() bool { return r.n == 0 }
 
-// Tuples returns the relation's rows. The returned slice and its tuples must
-// not be modified.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// row returns a view of row i into the flat value array.
+func (r *Relation) row(i int) Tuple {
+	off := i * r.k
+	return Tuple(r.data[off : off+r.k : off+r.k])
+}
+
+// Tuples returns the relation's rows as views into the relation's storage.
+// The returned slice and its tuples must not be modified: writing through a
+// returned tuple corrupts the relation (its rows share one value array and
+// the membership index caches their hashes). Use Rows for a defensive copy.
+func (r *Relation) Tuples() []Tuple {
+	if len(r.rows) != r.n {
+		rows := make([]Tuple, r.n)
+		for i := range rows {
+			rows[i] = r.row(i)
+		}
+		r.rows = rows
+	}
+	return r.rows
+}
+
+// Rows returns a deep copy of the relation's rows: both the slice and every
+// tuple are freshly allocated, so callers may reorder and mutate them freely
+// without corrupting the relation. External packages that hand tuples to
+// user code should prefer Rows over Tuples.
+func (r *Relation) Rows() []Tuple {
+	flat := make([]int, r.n*r.k)
+	copy(flat, r.data[:r.n*r.k])
+	rows := make([]Tuple, r.n)
+	for i := range rows {
+		off := i * r.k
+		rows[i] = Tuple(flat[off : off+r.k : off+r.k])
+	}
+	return rows
+}
 
 // HasAttr reports whether the relation has an attribute with the given name.
 func (r *Relation) HasAttr(name string) bool {
@@ -148,17 +240,101 @@ func (r *Relation) Pos(name string) int {
 	return -1
 }
 
+// Grow reserves capacity for n additional rows, sizing both the value array
+// and (if already built) the membership index. It is a hint only.
+func (r *Relation) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	need := (r.n + n) * r.k
+	if cap(r.data) < need {
+		grown := make([]int, len(r.data), need)
+		copy(grown, r.data)
+		r.data = grown
+	}
+	if r.next != nil && cap(r.next) < r.n+n {
+		grownNext := make([]int32, len(r.next), r.n+n)
+		copy(grownNext, r.next)
+		r.next = grownNext
+	}
+}
+
+// ensureIndex materializes the membership index. Mutates the receiver: see
+// the package comment for the concurrency contract.
+func (r *Relation) ensureIndex() {
+	if r.index != nil {
+		return
+	}
+	r.index = make(map[uint64]int32, r.n)
+	r.next = make([]int32, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		h := hashVals(r.row(i))
+		prev, ok := r.index[h]
+		if !ok {
+			prev = -1
+		}
+		r.next = append(r.next, prev)
+		r.index[h] = int32(i)
+	}
+}
+
+// lookup returns the id of the row equal to vals, or -1. The index must be
+// built.
+func (r *Relation) lookup(vals []int, h uint64) int32 {
+	id, ok := r.index[h]
+	if !ok {
+		return -1
+	}
+	for id >= 0 {
+		base := int(id) * r.k
+		eq := true
+		for c, v := range vals {
+			if r.data[base+c] != v {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return id
+		}
+		id = r.next[id]
+	}
+	return -1
+}
+
+// appendIndexed appends a row known to be absent and records it in the
+// (built) index.
+func (r *Relation) appendIndexed(vals []int, h uint64) {
+	r.data = append(r.data, vals...)
+	prev, ok := r.index[h]
+	if !ok {
+		prev = -1
+	}
+	r.next = append(r.next, prev)
+	r.index[h] = int32(r.n)
+	r.n++
+	r.stats = nil
+}
+
+// appendUnique appends a row that the caller guarantees is distinct from all
+// stored rows (set-semantics preserved by construction). Only legal while
+// the index is unbuilt.
+func (r *Relation) appendUnique(vals []int) {
+	r.data = append(r.data, vals...)
+	r.n++
+}
+
 // Add inserts a tuple. Duplicates are silently ignored.
 func (r *Relation) Add(t Tuple) error {
-	if len(t) != len(r.attrs) {
-		return fmt.Errorf("relation: tuple arity %d does not match schema arity %d", len(t), len(r.attrs))
+	if len(t) != r.k {
+		return fmt.Errorf("relation: tuple arity %d does not match schema arity %d", len(t), r.k)
 	}
-	k := t.Key()
-	if _, dup := r.index[k]; dup {
+	r.ensureIndex()
+	h := hashVals(t)
+	if r.lookup(t, h) >= 0 {
 		return nil
 	}
-	r.index[k] = struct{}{}
-	r.tuples = append(r.tuples, t.Clone())
+	r.appendIndexed(t, h)
 	return nil
 }
 
@@ -171,19 +347,18 @@ func (r *Relation) MustAdd(t Tuple) {
 
 // Contains reports whether the tuple is a member of the relation.
 func (r *Relation) Contains(t Tuple) bool {
-	if len(t) != len(r.attrs) {
+	if len(t) != r.k || r.n == 0 {
 		return false
 	}
-	_, ok := r.index[t.Key()]
-	return ok
+	r.ensureIndex()
+	return r.lookup(t, hashVals(t)) >= 0
 }
 
 // Clone returns a deep copy of the relation.
 func (r *Relation) Clone() *Relation {
 	c := MustNew(r.attrs...)
-	for _, t := range r.tuples {
-		c.MustAdd(t)
-	}
+	c.data = append([]int(nil), r.data[:r.n*r.k]...)
+	c.n = r.n
 	return c
 }
 
@@ -193,12 +368,12 @@ func (r *Relation) String() string {
 	b.WriteByte('(')
 	b.WriteString(strings.Join(r.attrs, ","))
 	b.WriteString("){")
-	for i, t := range r.tuples {
+	for i := 0; i < r.n; i++ {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
 		b.WriteByte('[')
-		b.WriteString(t.Key())
+		b.WriteString(r.row(i).Key())
 		b.WriteByte(']')
 	}
 	b.WriteByte('}')
@@ -220,12 +395,18 @@ func (r *Relation) Project(attrs ...string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, t := range r.tuples {
-		p := make(Tuple, len(cols))
-		for i, j := range cols {
-			p[i] = t[j]
+	out.index = make(map[uint64]int32, r.n)
+	out.next = make([]int32, 0, r.n)
+	scratch := make([]int, len(cols))
+	for i := 0; i < r.n; i++ {
+		base := i * r.k
+		for c, j := range cols {
+			scratch[c] = r.data[base+j]
 		}
-		out.MustAdd(p)
+		h := hashVals(scratch)
+		if out.lookup(scratch, h) < 0 {
+			out.appendIndexed(scratch, h)
+		}
 	}
 	return out, nil
 }
@@ -233,9 +414,9 @@ func (r *Relation) Project(attrs ...string) (*Relation, error) {
 // Select returns the tuples of r for which pred returns true.
 func (r *Relation) Select(pred func(Tuple) bool) *Relation {
 	out := MustNew(r.attrs...)
-	for _, t := range r.tuples {
-		if pred(t) {
-			out.MustAdd(t)
+	for i := 0; i < r.n; i++ {
+		if t := r.row(i); pred(t) {
+			out.appendUnique(t)
 		}
 	}
 	return out
@@ -265,124 +446,9 @@ func (r *Relation) Rename(mapping map[string]string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, t := range r.tuples {
-		out.MustAdd(t)
-	}
+	out.data = append([]int(nil), r.data[:r.n*r.k]...)
+	out.n = r.n
 	return out, nil
-}
-
-// sharedAttrs returns the attribute names common to r and s (in r's order)
-// and the names of s not in r (in s's order).
-func sharedAttrs(r, s *Relation) (common []string, sOnly []string) {
-	for _, a := range r.attrs {
-		if s.HasAttr(a) {
-			common = append(common, a)
-		}
-	}
-	for _, a := range s.attrs {
-		if !r.HasAttr(a) {
-			sOnly = append(sOnly, a)
-		}
-	}
-	return common, sOnly
-}
-
-// Join returns the natural join of r and s: the schema is r's attributes
-// followed by the attributes of s that do not occur in r, and a result tuple
-// exists for every pair of r/s tuples that agree on all shared attributes.
-// Implemented as a hash join on the shared attributes.
-func (r *Relation) Join(s *Relation) *Relation {
-	out, _ := r.joinCtx(nil, s)
-	return out
-}
-
-// joinCtx is Join with cooperative cancellation: when ctx is non-nil, the
-// probe loop polls it every few thousand candidate pairs and returns ctx's
-// error, so a cancelled caller is not stuck behind one exploding
-// intermediate result.
-func (r *Relation) joinCtx(ctx context.Context, s *Relation) (*Relation, error) {
-	common, sOnly := sharedAttrs(r, s)
-
-	outAttrs := make([]string, 0, len(r.attrs)+len(sOnly))
-	outAttrs = append(outAttrs, r.attrs...)
-	outAttrs = append(outAttrs, sOnly...)
-	out := MustNew(outAttrs...)
-
-	// Build side: hash s on the common attributes.
-	sCommonPos := make([]int, len(common))
-	for i, a := range common {
-		sCommonPos[i] = s.pos[a]
-	}
-	sOnlyPos := make([]int, len(sOnly))
-	for i, a := range sOnly {
-		sOnlyPos[i] = s.pos[a]
-	}
-	build := make(map[string][]Tuple, s.Len())
-	for _, t := range s.tuples {
-		k := joinKey(t, sCommonPos)
-		build[k] = append(build[k], t)
-	}
-
-	rCommonPos := make([]int, len(common))
-	for i, a := range common {
-		rCommonPos[i] = r.pos[a]
-	}
-	const checkEvery = 4096
-	countdown := checkEvery
-	for _, t := range r.tuples {
-		k := joinKey(t, rCommonPos)
-		for _, u := range build[k] {
-			if ctx != nil {
-				countdown--
-				if countdown <= 0 {
-					countdown = checkEvery
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
-				}
-			}
-			row := make(Tuple, 0, len(outAttrs))
-			row = append(row, t...)
-			for _, j := range sOnlyPos {
-				row = append(row, u[j])
-			}
-			out.MustAdd(row)
-		}
-	}
-	return out, nil
-}
-
-// Semijoin returns the tuples of r that join with at least one tuple of s on
-// the shared attributes (r ⋉ s). If r and s share no attributes, the result
-// is r when s is nonempty and empty when s is empty (consistent with the
-// Cartesian-product reading of natural join).
-func (r *Relation) Semijoin(s *Relation) *Relation {
-	common, _ := sharedAttrs(r, s)
-	if len(common) == 0 {
-		if s.Empty() {
-			return MustNew(r.attrs...)
-		}
-		return r.Clone()
-	}
-	sPos := make([]int, len(common))
-	for i, a := range common {
-		sPos[i] = s.pos[a]
-	}
-	seen := make(map[string]struct{}, s.Len())
-	for _, t := range s.tuples {
-		seen[joinKey(t, sPos)] = struct{}{}
-	}
-	rPos := make([]int, len(common))
-	for i, a := range common {
-		rPos[i] = r.pos[a]
-	}
-	out := MustNew(r.attrs...)
-	for _, t := range r.tuples {
-		if _, ok := seen[joinKey(t, rPos)]; ok {
-			out.MustAdd(t)
-		}
-	}
-	return out
 }
 
 // Union returns r ∪ s. The schemas must contain the same attribute names
@@ -393,8 +459,17 @@ func (r *Relation) Union(s *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := r.Clone()
-	for _, t := range s.tuples {
-		out.MustAdd(applyPerm(t, perm))
+	out.ensureIndex()
+	scratch := make([]int, r.k)
+	for i := 0; i < s.n; i++ {
+		base := i * s.k
+		for c, j := range perm {
+			scratch[c] = s.data[base+j]
+		}
+		h := hashVals(scratch)
+		if out.lookup(scratch, h) < 0 {
+			out.appendIndexed(scratch, h)
+		}
 	}
 	return out, nil
 }
@@ -406,10 +481,20 @@ func (r *Relation) Intersect(s *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := MustNew(r.attrs...)
-	for _, t := range s.tuples {
-		u := applyPerm(t, perm)
-		if r.Contains(u) {
-			out.MustAdd(u)
+	if r.n == 0 || s.n == 0 {
+		return out, nil
+	}
+	r.ensureIndex()
+	scratch := make([]int, r.k)
+	for i := 0; i < s.n; i++ {
+		base := i * s.k
+		for c, j := range perm {
+			scratch[c] = s.data[base+j]
+		}
+		// Distinct rows of s stay distinct under the column permutation, so
+		// the matches can be emitted without re-checking for duplicates.
+		if r.lookup(scratch, hashVals(scratch)) >= 0 {
+			out.appendUnique(scratch)
 		}
 	}
 	return out, nil
@@ -422,21 +507,33 @@ func (r *Relation) Equal(s *Relation) bool {
 	if err != nil {
 		return false
 	}
-	if r.Len() != s.Len() {
+	if r.n != s.n {
 		return false
 	}
-	for _, t := range s.tuples {
-		if !r.Contains(applyPerm(t, perm)) {
+	if r.n == 0 {
+		return true
+	}
+	r.ensureIndex()
+	scratch := make([]int, r.k)
+	for i := 0; i < s.n; i++ {
+		base := i * s.k
+		for c, j := range perm {
+			scratch[c] = s.data[base+j]
+		}
+		if r.lookup(scratch, hashVals(scratch)) < 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// SortedTuples returns the tuples in lexicographic order (a fresh slice).
+// SortedTuples returns the tuples in lexicographic order (a fresh slice of
+// views; do not modify the tuples).
 func (r *Relation) SortedTuples() []Tuple {
-	out := make([]Tuple, len(r.tuples))
-	copy(out, r.tuples)
+	out := make([]Tuple, r.n)
+	for i := range out {
+		out[i] = r.row(i)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {
@@ -478,101 +575,38 @@ func applyPerm(t Tuple, perm []int) Tuple {
 	return u
 }
 
-func joinKey(t Tuple, cols []int) string {
-	b := make([]byte, 0, len(cols)*3)
-	for i, j := range cols {
-		if i > 0 {
-			b = append(b, ',')
+// sharedAttrs returns the attribute names common to r and s (in r's order)
+// and the names of s not in r (in s's order).
+func sharedAttrs(r, s *Relation) (common []string, sOnly []string) {
+	for _, a := range r.attrs {
+		if s.HasAttr(a) {
+			common = append(common, a)
 		}
-		b = strconv.AppendInt(b, int64(t[j]), 10)
 	}
-	return string(b)
+	for _, a := range s.attrs {
+		if !r.HasAttr(a) {
+			sOnly = append(sOnly, a)
+		}
+	}
+	return common, sOnly
 }
 
-// JoinAll computes the natural join of all relations, joining smallest
-// intermediate results first (a greedy cost heuristic). It returns the empty
-// 0-ary relation... more precisely, with no inputs it returns the relation
-// over no attributes containing the empty tuple (the join identity).
-func JoinAll(rels []*Relation) *Relation {
-	j, err := JoinAllCtx(context.Background(), rels)
-	if err != nil {
-		// Unreachable: the background context is never cancelled.
-		panic(err)
+// distinctCounts returns the number of distinct values per column, cached
+// until the next mutation. These are the statistics behind cost-based join
+// ordering in JoinAllCtx.
+func (r *Relation) distinctCounts() []int {
+	if r.stats != nil {
+		return r.stats
 	}
-	return j
-}
-
-// JoinAllCtx is JoinAll under a context: the context is polled before every
-// pairwise join and periodically inside each one, and its error is returned
-// as soon as cancellation is observed. The join order is identical to
-// JoinAll, so cancelled and uncancelled runs do the same work up to the
-// point of cancellation.
-func JoinAllCtx(ctx context.Context, rels []*Relation) (*Relation, error) {
-	if len(rels) == 0 {
-		id := MustNew()
-		id.MustAdd(Tuple{})
-		return id, nil
-	}
-	work := make([]*Relation, len(rels))
-	copy(work, rels)
-	for len(work) > 1 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	stats := make([]int, r.k)
+	seen := make(map[int]struct{}, r.n)
+	for c := 0; c < r.k; c++ {
+		clear(seen)
+		for i := 0; i < r.n; i++ {
+			seen[r.data[i*r.k+c]] = struct{}{}
 		}
-		// Pick the pair whose estimated output is smallest. A full pairwise
-		// scan is quadratic in the number of relations, which is fine at the
-		// scale of constraint sets.
-		bi, bj, best := -1, -1, int64(-1)
-		for i := 0; i < len(work); i++ {
-			for j := i + 1; j < len(work); j++ {
-				est := estimateJoin(work[i], work[j])
-				if best < 0 || est < best {
-					bi, bj, best = i, j, est
-				}
-			}
-		}
-		joined, err := work[bi].joinCtx(ctx, work[bj])
-		if err != nil {
-			return nil, err
-		}
-		if joined.Empty() {
-			// Early exit: the full join is empty. Return an empty relation
-			// over the union of all remaining attributes so callers can
-			// still project onto any attribute of the join schema.
-			var attrs []string
-			seen := make(map[string]struct{})
-			add := func(r *Relation) {
-				for _, a := range r.Attrs() {
-					if _, ok := seen[a]; !ok {
-						seen[a] = struct{}{}
-						attrs = append(attrs, a)
-					}
-				}
-			}
-			add(joined)
-			for idx, r := range work {
-				if idx != bi && idx != bj {
-					add(r)
-				}
-			}
-			return MustNew(attrs...), nil
-		}
-		work[bi] = joined
-		work = append(work[:bj], work[bj+1:]...)
+		stats[c] = len(seen)
 	}
-	return work[0], nil
-}
-
-// estimateJoin is a crude cardinality estimate used for greedy join ordering:
-// the product of sizes shrunk by a factor per shared attribute.
-func estimateJoin(r, s *Relation) int64 {
-	common, _ := sharedAttrs(r, s)
-	est := int64(r.Len()) * int64(s.Len())
-	for range common {
-		est /= 4
-	}
-	if est < 1 {
-		est = 1
-	}
-	return est
+	r.stats = stats
+	return stats
 }

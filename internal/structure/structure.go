@@ -12,7 +12,6 @@ package structure
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -104,15 +103,56 @@ func (v *Vocabulary) Clone() *Vocabulary {
 }
 
 // Interp is the interpretation of one relation symbol in a structure: a set
-// of tuples over the structure's domain.
+// of tuples over the structure's domain. Membership uses an integer-hash
+// index (FNV-1a over the values, collisions chained through next and
+// verified against stored tuples) so homomorphism checks — which call Has
+// once per tuple per candidate map — allocate nothing per lookup.
 type Interp struct {
 	arity  int
 	tuples [][]int
-	index  map[string]struct{}
+	index  map[uint64]int32 // tuple hash -> most recent tuple id
+	next   []int32          // chains earlier same-hash tuples; -1 ends
 }
 
 func newInterp(arity int) *Interp {
-	return &Interp{arity: arity, index: make(map[string]struct{})}
+	return &Interp{arity: arity, index: make(map[uint64]int32)}
+}
+
+const (
+	interpFNVOffset = 14695981039346656037
+	interpFNVPrime  = 1099511628211
+)
+
+func interpHash(t []int) uint64 {
+	h := uint64(interpFNVOffset)
+	for _, v := range t {
+		h ^= uint64(v)
+		h *= interpFNVPrime
+	}
+	return h
+}
+
+// find returns the id of the stored tuple equal to t, or -1.
+func (in *Interp) find(t []int, h uint64) int32 {
+	id, ok := in.index[h]
+	if !ok {
+		return -1
+	}
+	for id >= 0 {
+		stored := in.tuples[id]
+		eq := true
+		for i, v := range t {
+			if stored[i] != v {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return id
+		}
+		id = in.next[id]
+	}
+	return -1
 }
 
 // Arity returns the arity of the interpreted symbol.
@@ -129,31 +169,24 @@ func (in *Interp) Has(t []int) bool {
 	if len(t) != in.arity {
 		return false
 	}
-	_, ok := in.index[tupleKey(t)]
-	return ok
+	return in.find(t, interpHash(t)) >= 0
 }
 
 func (in *Interp) add(t []int) bool {
-	k := tupleKey(t)
-	if _, dup := in.index[k]; dup {
+	h := interpHash(t)
+	if in.find(t, h) >= 0 {
 		return false
 	}
-	in.index[k] = struct{}{}
 	c := make([]int, len(t))
 	copy(c, t)
+	prev, ok := in.index[h]
+	if !ok {
+		prev = -1
+	}
+	in.next = append(in.next, prev)
+	in.index[h] = int32(len(in.tuples))
 	in.tuples = append(in.tuples, c)
 	return true
-}
-
-func tupleKey(t []int) string {
-	b := make([]byte, 0, len(t)*3)
-	for i, v := range t {
-		if i > 0 {
-			b = append(b, ',')
-		}
-		b = strconv.AppendInt(b, int64(v), 10)
-	}
-	return string(b)
 }
 
 // Structure is a finite relational structure: a domain {0..N-1}, a
