@@ -1,14 +1,16 @@
 # Build/verify entry points. `make check` is the default gate: vet, tier-1
-# verify (ROADMAP.md) and the race-gated kernel packages. `make bench`
-# captures the relational-kernel benchmark suite into BENCH_relation.json.
+# verify (ROADMAP.md), the race-gated kernel packages and the observability
+# layer + daemon. `make bench` captures the relational-kernel benchmark
+# suite into BENCH_relation.json; `make obs-overhead` measures the disabled
+# cost of the observability instrumentation.
 
 GO ?= go
 BENCH_LABEL ?= after
 
-.PHONY: check build test verify vet race race-engine race-kernel bench
+.PHONY: check build test verify vet race race-engine race-kernel race-obs bench obs-overhead
 
 # Default target: everything a PR must pass locally.
-check: vet verify race-kernel
+check: vet verify race-kernel race-obs
 
 build:
 	$(GO) build ./...
@@ -37,6 +39,12 @@ race-engine:
 race-kernel:
 	$(GO) test -race -count=1 ./internal/relation/ ./internal/hypergraph/
 
+# The observability layer and the daemon that serves it: the registry and
+# tracer are written to by every solver goroutine, so both run under the
+# detector.
+race-obs:
+	$(GO) test -race -count=1 ./internal/obs/ ./cmd/cspd/
+
 # Benchmark the join/semijoin/Yannakakis/engine hot paths and merge the
 # medians into BENCH_relation.json under $(BENCH_LABEL). Run with
 # BENCH_LABEL=before on a pre-change tree to record a baseline.
@@ -44,4 +52,11 @@ bench:
 	$(GO) test -bench 'Join|Semijoin|Yannakakis|Engine' -benchmem -count 5 \
 		-benchtime=0.3s -run '^$$' -timeout 60m \
 		. ./internal/relation/ ./internal/hypergraph/ \
-		| $(GO) run ./cmd/benchjson -o BENCH_relation.json -label $(BENCH_LABEL)
+		| $(GO) run ./cmd/benchjson -o BENCH_relation.json -label $(BENCH_LABEL) -obs
+
+# Measure what the observability instrumentation costs when it is off (the
+# library default; the acceptance bar is <2% vs the pre-instrumentation
+# baseline) and what turning the registry on costs on the same workloads.
+obs-overhead:
+	$(GO) test -bench 'ObsOverhead' -benchmem -count 5 -benchtime=0.3s \
+		-run '^$$' -timeout 30m .

@@ -7,6 +7,12 @@
 //
 //	go test -bench 'Join|Semijoin|Yannakakis|Engine' -benchmem -count 5 ./... |
 //	    go run ./cmd/benchjson -o BENCH_relation.json -label after
+//
+// With -obs the tool additionally runs a canonical chain-join workload
+// in-process with the observability registry enabled and embeds the
+// resulting metrics snapshot (join/planner counters, the planner's
+// estimate-vs-actual error histogram, workload allocation bytes) under the
+// label, so planner quality is versioned alongside the timing trajectory.
 package main
 
 import (
@@ -20,6 +26,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"csdb/internal/obs"
+	"csdb/internal/relation"
 )
 
 // Run is one benchmark measurement line.
@@ -37,11 +46,13 @@ type Bench struct {
 	MedianAllocsOp float64 `json:"median_allocs_op"`
 }
 
-// Label is one labeled capture: a full benchmark sweep at a point in time.
+// Label is one labeled capture: a full benchmark sweep at a point in time,
+// optionally with an observability snapshot of the canonical workload.
 type Label struct {
 	GeneratedAt string           `json:"generated_at"`
 	GoVersion   string           `json:"go_version"`
 	Benchmarks  map[string]Bench `json:"benchmarks"`
+	Obs         map[string]any   `json:"obs,omitempty"`
 }
 
 // File is the on-disk trajectory format.
@@ -53,6 +64,7 @@ type File struct {
 func main() {
 	out := flag.String("o", "BENCH_relation.json", "output JSON file (merged in place)")
 	label := flag.String("label", "current", "label for this capture (e.g. before, after)")
+	withObs := flag.Bool("obs", false, "embed a metrics snapshot of the canonical chain-join workload")
 	flag.Parse()
 
 	runs := parseBench(os.Stdin)
@@ -90,10 +102,15 @@ func main() {
 			MedianAllocsOp: median(rs, func(r Run) float64 { return r.AllocsOp }),
 		}
 	}
+	obsSnap := f.Labels[*label].Obs // keep an earlier snapshot unless replaced
+	if *withObs {
+		obsSnap = captureObsSnapshot()
+	}
 	f.Labels[*label] = Label{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		Benchmarks:  benches,
+		Obs:         obsSnap,
 	}
 
 	data, err := json.MarshalIndent(&f, "", "  ")
@@ -106,6 +123,45 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks under label %q to %s\n", len(benches), *label, *out)
+}
+
+// captureObsSnapshot runs the canonical chain-join workload (the shape
+// behind BenchmarkJoinAllChain) with metrics on and returns the relation.*
+// slice of the registry snapshot plus the workload's allocation bytes.
+func captureObsSnapshot() map[string]any {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	const k, rows, dom = 8, 20000, 20000
+	rels := make([]*relation.Relation, k)
+	for i := range rels {
+		a, b := fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1)
+		r := relation.MustNew(a, b)
+		for j := 0; j < rows; j++ {
+			// The multiplicative stride makes join keys well spread without
+			// pulling in a PRNG, matching the benchmark's density profile.
+			r.MustAdd(relation.Tuple{(j*2654435761 + i) % dom, (j*40503 + 7*i) % dom})
+		}
+		rels[i] = r
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	out := relation.JoinAll(rels)
+	runtime.ReadMemStats(&after)
+
+	snap := map[string]any{
+		"workload":             fmt.Sprintf("chain k=%d rows=%d dom=%d", k, rows, dom),
+		"workload.out_rows":    out.Len(),
+		"workload.alloc_bytes": after.TotalAlloc - before.TotalAlloc,
+	}
+	for name, v := range obs.DefaultRegistry().Snapshot() {
+		if strings.HasPrefix(name, "relation.") {
+			snap[name] = v
+		}
+	}
+	return snap
 }
 
 // parseBench extracts benchmark result lines of the form

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	csolve [-strategy auto|search|join|treewidth|schaefer] [-explain]
-//	       [-all max] [-timeout d] instance.csp
+//	       [-all max] [-timeout d] [-trace out.jsonl] instance.csp
 //	csolve -coloring k graph.col
 //	csolve -portfolio [-timeout 2s] instance.csp
 //	csolve -parallel [-workers n] instance.csp
@@ -15,6 +15,9 @@
 // -portfolio races the MAC, FC, CBJ and join solvers and reports the first
 // verdict; -parallel splits the root domain across a worker pool; -timeout
 // bounds the solve wall-clock (the search reports UNKNOWN when it expires).
+// -trace turns on structured span tracing for the solve and writes the
+// drained spans as JSON lines (the same schema cspd's /trace endpoint
+// serves) to the given file.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"csdb/internal/csp"
 	"csdb/internal/cspio"
 	"csdb/internal/gen"
+	"csdb/internal/obs"
 )
 
 // config carries the parsed command-line options.
@@ -42,6 +46,7 @@ type config struct {
 	portfolio bool
 	parallel  bool
 	workers   int
+	trace     string
 	args      []string
 }
 
@@ -55,13 +60,14 @@ func main() {
 	portfolio := flag.Bool("portfolio", false, "race MAC, FC, CBJ and join solvers; first verdict wins")
 	parallel := flag.Bool("parallel", false, "split the root variable's domain across a parallel worker pool")
 	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+	trace := flag.String("trace", "", "write the solve's span trace to this file as JSON lines")
 	flag.Parse()
 
 	cfg := config{
 		strategy: *strategy, coloring: *coloring, explain: *explain,
 		all: *all, count: *count, timeout: *timeout,
 		portfolio: *portfolio, parallel: *parallel, workers: *workers,
-		args: flag.Args(),
+		trace: *trace, args: flag.Args(),
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "csolve:", err)
@@ -69,7 +75,7 @@ func main() {
 	}
 }
 
-func run(cfg config) error {
+func run(cfg config) (err error) {
 	in := os.Stdin
 	if len(cfg.args) > 1 {
 		return fmt.Errorf("at most one input file expected")
@@ -110,6 +116,22 @@ func run(cfg config) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
+	}
+	if cfg.trace != "" {
+		// The trace flag turns the library's observability on for this
+		// process and parents the whole solve under one root span, so the
+		// written JSONL nests exactly like cspd's /trace output.
+		obs.SetEnabled(true)
+		obs.SetTracing(true)
+		obs.DefaultTracer().Drain()
+		root := obs.StartRoot("csolve", "csolve-1")
+		ctx = obs.WithSpan(ctx, root)
+		defer func() {
+			root.End()
+			if werr := writeTrace(cfg.trace); werr != nil && err == nil {
+				err = fmt.Errorf("writing trace: %w", werr)
+			}
+		}()
 	}
 
 	if cfg.portfolio {
@@ -193,20 +215,35 @@ func formatSolution(inst *csp.Instance, sol []int) string {
 	return strings.Join(parts, " ")
 }
 
+// writeTrace drains the default tracer's ring into a JSONL file.
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, obs.DefaultTracer().Drain()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // printSearchResult renders a context-aware search outcome: SAT with the
 // assignment, UNSAT, or UNKNOWN when the search was cancelled or limited.
+// The summary line carries the strategy that ran, the search effort, the
+// deepest point the search reached, and the wall clock.
 func printSearchResult(inst *csp.Instance, res csp.Result) {
 	switch {
 	case res.Found:
-		fmt.Printf("SAT (%s, %d nodes, %v)\n", res.Stats.Strategy, res.Stats.Nodes,
-			res.Stats.Duration.Round(time.Microsecond))
+		fmt.Printf("SAT (%s, %d nodes, depth %d, %v)\n", res.Stats.Strategy, res.Stats.Nodes,
+			res.Stats.MaxDepth, res.Stats.Duration.Round(time.Microsecond))
 		fmt.Println(formatSolution(inst, res.Solution))
 	case res.Aborted:
-		fmt.Printf("UNKNOWN (aborted after %d nodes, %v)\n", res.Stats.Nodes,
-			res.Stats.Duration.Round(time.Microsecond))
+		fmt.Printf("UNKNOWN (%s aborted after %d nodes, depth %d, %v)\n", res.Stats.Strategy,
+			res.Stats.Nodes, res.Stats.MaxDepth, res.Stats.Duration.Round(time.Microsecond))
 	default:
-		fmt.Printf("UNSAT (%s, %d nodes, %v)\n", res.Stats.Strategy, res.Stats.Nodes,
-			res.Stats.Duration.Round(time.Microsecond))
+		fmt.Printf("UNSAT (%s, %d nodes, depth %d, %v)\n", res.Stats.Strategy, res.Stats.Nodes,
+			res.Stats.MaxDepth, res.Stats.Duration.Round(time.Microsecond))
 	}
 }
 
@@ -214,13 +251,15 @@ func runPortfolio(ctx context.Context, inst *csp.Instance) error {
 	res := csp.Portfolio(ctx, inst, csp.PortfolioOptions{})
 	switch {
 	case res.Found:
-		fmt.Printf("SAT (portfolio winner %s, %v)\n", res.Winner,
+		fmt.Printf("SAT (portfolio winner %s [%s], depth %d, %v)\n", res.Winner,
+			res.Result.Stats.Strategy, res.Result.Stats.MaxDepth,
 			res.Total.Duration.Round(time.Microsecond))
 		fmt.Println(formatSolution(inst, res.Solution))
 	case res.Aborted:
 		fmt.Printf("UNKNOWN (portfolio aborted, %v)\n", res.Total.Duration.Round(time.Microsecond))
 	default:
-		fmt.Printf("UNSAT (portfolio winner %s, %v)\n", res.Winner,
+		fmt.Printf("UNSAT (portfolio winner %s [%s], depth %d, %v)\n", res.Winner,
+			res.Result.Stats.Strategy, res.Result.Stats.MaxDepth,
 			res.Total.Duration.Round(time.Microsecond))
 	}
 	for _, rep := range res.Reports {

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"csdb/internal/core"
+	"csdb/internal/obs"
 )
 
 func TestParseStrategy(t *testing.T) {
@@ -48,6 +54,64 @@ func TestRunEngineFlags(t *testing.T) {
 	}
 	if err := run(config{strategy: "auto", portfolio: true, parallel: true, args: sample}); err == nil {
 		t.Fatal("-portfolio with -parallel accepted")
+	}
+}
+
+// TestRunTraceFlag solves with -trace and checks the written JSONL: at
+// least the csolve root and a csp.solve span parented under it, all on the
+// csolve trace id.
+func TestRunTraceFlag(t *testing.T) {
+	prevEnabled, prevTracing := obs.Enabled(), obs.Tracing()
+	defer func() {
+		obs.DefaultTracer().Drain()
+		obs.SetEnabled(prevEnabled)
+		obs.SetTracing(prevTracing)
+	}()
+
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	cfg := config{
+		strategy: "auto", timeout: 5 * time.Second, trace: out,
+		args: []string{"../../testdata/sample.csp"},
+	}
+	if err := run(cfg); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	defer f.Close()
+	var rootID uint64
+	var spans []obs.SpanRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if rec.TraceID != "csolve-1" {
+			t.Fatalf("span %q has trace %q, want csolve-1", rec.Name, rec.TraceID)
+		}
+		if rec.Name == "csolve" {
+			rootID = rec.ID
+		}
+		spans = append(spans, rec)
+	}
+	if rootID == 0 {
+		t.Fatalf("no csolve root span among %d spans", len(spans))
+	}
+	foundSolve := false
+	for _, rec := range spans {
+		if rec.Name == "csp.solve" && rec.Parent == rootID {
+			foundSolve = true
+		}
+	}
+	if !foundSolve {
+		t.Fatalf("no csp.solve span parented under the csolve root (%d spans)", len(spans))
 	}
 }
 

@@ -1,0 +1,50 @@
+// Command cspd is the solver daemon: it serves the portfolio/parallel CSP
+// engine over HTTP with first-class observability — a /metrics endpoint
+// exposing the shared atomic registry, a /trace endpoint draining the
+// structured span ring, the standard pprof handlers, and a /solve endpoint
+// that runs a POSTed instance under a per-request trace ID.
+//
+// Usage:
+//
+//	cspd [-addr :8344] [-max-timeout 2m] [-trace-cap 16384]
+//
+// Examples:
+//
+//	cspd -addr :8344 &
+//	curl -s localhost:8344/metrics | jq .
+//	curl -s -X POST --data-binary @instance.csp \
+//	    'localhost:8344/solve?strategy=portfolio&timeout=5s' | jq .
+//	curl -s 'localhost:8344/trace?trace_id=req-1' > trace.jsonl
+//	go tool pprof 'localhost:8344/debug/pprof/heap'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"csdb/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on per-request solve timeouts (0 = uncapped)")
+	flag.Parse()
+
+	// The daemon is the observability consumer: metrics and tracing are on
+	// for its whole lifetime (library default is off).
+	obs.SetEnabled(true)
+	obs.SetTracing(true)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(*maxTimeout).mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("cspd: serving /solve /metrics /trace /debug/pprof on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(fmt.Errorf("cspd: %w", err))
+	}
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"csdb/internal/csp"
+	"csdb/internal/cspio"
+	"csdb/internal/obs"
+)
+
+// The HTTP surface of the solver daemon:
+//
+//	GET  /metrics          registry snapshot as expvar-style JSON, plus a
+//	                       few runtime gauges (goroutines, heap)
+//	GET  /trace            drain the span ring buffer as JSON lines;
+//	                       ?trace_id=X keeps only one request's spans
+//	POST /solve            run a solver on the POSTed instance text
+//	GET  /debug/pprof/*    the standard pprof handlers
+//	GET  /debug/vars       the stock expvar handler
+//	GET  /healthz          liveness probe
+//
+// Solve requests are parameterized by query string:
+//
+//	strategy  mac|fc|bt|cbj|join|portfolio|parallel  (default portfolio)
+//	timeout   Go duration, capped by -max-timeout    (default 30s)
+//	workers   worker bound for strategy=parallel
+//
+// Every request gets a trace ID (req-N); the solve runs under a root span
+// carrying it, so /trace output can be attributed per request even when
+// solves overlap.
+
+// Daemon-level metrics.
+var (
+	obsRequests  = obs.NewCounter("cspd.solve.requests")
+	obsErrors    = obs.NewCounter("cspd.solve.errors")
+	obsSolveNs   = obs.NewHistogram("cspd.solve.ns")
+	obsInFlight  = obs.NewGauge("cspd.solve.inflight")
+	reqIDCounter atomic.Uint64
+)
+
+// maxBodyBytes bounds POSTed instances; the text format is compact, so 16MB
+// is generous.
+const maxBodyBytes = 16 << 20
+
+// server carries daemon configuration shared by handlers.
+type server struct {
+	maxTimeout time.Duration
+	start      time.Time
+}
+
+func newServer(maxTimeout time.Duration) *server {
+	return &server{maxTimeout: maxTimeout, start: time.Now()}
+}
+
+// mux builds the daemon's routing table.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleMetrics serves the registry snapshot plus runtime basics as one
+// flat JSON object.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := obs.DefaultRegistry().Snapshot()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	snap["runtime.goroutines"] = runtime.NumGoroutine()
+	snap["runtime.heap_alloc_bytes"] = ms.HeapAlloc
+	snap["runtime.total_alloc_bytes"] = ms.TotalAlloc
+	snap["runtime.num_gc"] = ms.NumGC
+	snap["cspd.uptime_seconds"] = int64(time.Since(s.start).Seconds())
+	snap["cspd.trace.dropped"] = obs.DefaultTracer().Dropped()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap)
+}
+
+// handleTrace drains the ring buffer as JSON lines. With ?trace_id=X only
+// the matching spans are written (the rest are discarded with the drain, in
+// keeping with the ring's drain-or-lose contract).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans := obs.DefaultTracer().Drain()
+	if id := r.URL.Query().Get("trace_id"); id != "" {
+		kept := spans[:0]
+		for _, sp := range spans {
+			if sp.TraceID == id {
+				kept = append(kept, sp)
+			}
+		}
+		spans = kept
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = obs.WriteJSONL(w, spans)
+}
+
+// solveResponse is the JSON reply of POST /solve.
+type solveResponse struct {
+	TraceID  string    `json:"trace_id"`
+	Strategy string    `json:"strategy"`
+	Found    bool      `json:"found"`
+	Aborted  bool      `json:"aborted"`
+	Solution []int     `json:"solution,omitempty"`
+	Winner   string    `json:"winner,omitempty"`
+	Subtrees int       `json:"subtrees,omitempty"`
+	Stats    csp.Stats `json:"stats"`
+	WallNs   int64     `json:"wall_ns"`
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	obsRequests.Inc()
+	obsInFlight.Add(1)
+	defer obsInFlight.Add(-1)
+
+	inst, err := cspio.Parse(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		obsErrors.Inc()
+		http.Error(w, "parse: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	q := r.URL.Query()
+	strategy := q.Get("strategy")
+	if strategy == "" {
+		strategy = "portfolio"
+	}
+	timeout := 30 * time.Second
+	if t := q.Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil || d <= 0 {
+			obsErrors.Inc()
+			http.Error(w, "bad timeout "+strconv.Quote(t), http.StatusBadRequest)
+			return
+		}
+		timeout = d
+	}
+	if s.maxTimeout > 0 && timeout > s.maxTimeout {
+		timeout = s.maxTimeout
+	}
+	workers := 0
+	if ws := q.Get("workers"); ws != "" {
+		n, err := strconv.Atoi(ws)
+		if err != nil || n < 0 {
+			obsErrors.Inc()
+			http.Error(w, "bad workers "+strconv.Quote(ws), http.StatusBadRequest)
+			return
+		}
+		workers = n
+	}
+
+	traceID := fmt.Sprintf("req-%d", reqIDCounter.Add(1))
+	root := obs.StartRoot("cspd.solve", traceID)
+	root.SetStr("strategy", strategy)
+	ctx, cancel := context.WithTimeout(obs.WithSpan(r.Context(), root), timeout)
+	defer cancel()
+
+	resp := solveResponse{TraceID: traceID, Strategy: strategy}
+	start := time.Now()
+	switch strategy {
+	case "portfolio":
+		res := csp.Portfolio(ctx, inst, csp.PortfolioOptions{})
+		resp.Found, resp.Aborted = res.Found, res.Aborted
+		resp.Solution, resp.Winner, resp.Stats = res.Solution, res.Winner, res.Result.Stats
+	case "parallel":
+		res := csp.SolveParallel(ctx, inst, csp.ParallelOptions{Workers: workers})
+		resp.Found, resp.Aborted = res.Found, res.Aborted
+		resp.Solution, resp.Subtrees, resp.Stats = res.Solution, res.Subtrees, res.Stats
+	case "cbj":
+		res := csp.SolveCBJCtx(ctx, inst, csp.Options{})
+		resp.Found, resp.Aborted = res.Found, res.Aborted
+		resp.Solution, resp.Stats = res.Solution, res.Stats
+	case "join":
+		res := csp.JoinSolveCtx(ctx, inst)
+		resp.Found, resp.Aborted = res.Found, res.Aborted
+		resp.Solution, resp.Stats = res.Solution, res.Stats
+	case "mac", "fc", "bt":
+		opts := csp.Options{}
+		switch strategy {
+		case "fc":
+			opts.Algorithm = csp.FC
+		case "bt":
+			opts.Algorithm = csp.BT
+		}
+		res := csp.SolveCtx(ctx, inst, opts)
+		resp.Found, resp.Aborted = res.Found, res.Aborted
+		resp.Solution, resp.Stats = res.Solution, res.Stats
+	default:
+		obsErrors.Inc()
+		root.End()
+		http.Error(w, "unknown strategy "+strconv.Quote(strategy), http.StatusBadRequest)
+		return
+	}
+	resp.WallNs = time.Since(start).Nanoseconds()
+	obsSolveNs.Observe(resp.WallNs)
+	if resp.Found {
+		root.SetInt("found", 1)
+	}
+	if resp.Aborted {
+		root.SetInt("aborted", 1)
+	}
+	root.End()
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&resp)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"csdb/internal/csp"
+	"csdb/internal/obs"
 )
 
 // gacCheckInterval is the number of constraint revisions between context
@@ -34,10 +35,20 @@ func GAC(p *csp.Instance) (domains [][]int, consistent bool) {
 // gacCheckInterval constraint revisions and returns its error once the
 // context is cancelled or its deadline passes, in which case the returned
 // domains are nil and no consistency verdict is implied.
+//
+// Effort (revisions fired, tuple-scan support hits/misses, prunings) is
+// tallied in locals and flushed to the obs registry — and onto a
+// "consistency.gac" span when tracing — once per call.
 func GACCtx(ctx context.Context, p *csp.Instance) (domains [][]int, consistent bool, err error) {
-	if err := ctx.Err(); err != nil {
-		return nil, false, err
+	if e := ctx.Err(); e != nil {
+		return nil, false, e
 	}
+	var effort gacEffort
+	sp := obs.StartChild(obs.SpanFrom(ctx), "consistency.gac")
+	defer func() {
+		effort.wipeout = !consistent && err == nil
+		effort.flush(sp)
+	}()
 	dom := make([][]bool, p.Vars)
 	size := make([]int, p.Vars)
 	for v := 0; v < p.Vars; v++ {
@@ -78,12 +89,11 @@ func GACCtx(ctx context.Context, p *csp.Instance) (domains [][]int, consistent b
 	for i := range supportBuf {
 		supportBuf[i] = make([]bool, p.Dom)
 	}
-	revisions := 0
 	for len(queue) > 0 {
-		revisions++
-		if revisions%gacCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, false, err
+		effort.revisions++
+		if effort.revisions%gacCheckInterval == 0 {
+			if e := ctx.Err(); e != nil {
+				return nil, false, e
 			}
 		}
 		con := queue[0]
@@ -98,9 +108,11 @@ func GACCtx(ctx context.Context, p *csp.Instance) (domains [][]int, consistent b
 		for _, row := range con.Table.Tuples() {
 			for i, u := range con.Scope {
 				if !dom[u][row[i]] {
+					effort.misses++
 					continue tuples
 				}
 			}
+			effort.hits++
 			for i := range con.Scope {
 				supported[i][row[i]] = true
 			}
@@ -111,6 +123,7 @@ func GACCtx(ctx context.Context, p *csp.Instance) (domains [][]int, consistent b
 				if dom[u][val] && !supported[i][val] {
 					dom[u][val] = false
 					size[u]--
+					effort.prunings++
 					changed = true
 				}
 			}

@@ -1,0 +1,54 @@
+package consistency
+
+import "csdb/internal/obs"
+
+// Observability handles for the propagation algorithms. GACCtx counts its
+// work in plain locals and flushes once per call, so the per-revision loop
+// stays free of atomics.
+//
+// Metric catalog (see README "Observability"):
+//
+//	gac.calls         GAC fixpoint computations
+//	gac.revisions     constraint revisions fired across all calls
+//	gac.support_hits  tuples that survived the domain filter and contributed
+//	                  support during a revision scan
+//	gac.support_misses tuples skipped because some value was already pruned
+//	gac.prunings      domain values removed
+//	gac.wipeouts      calls that emptied some domain (inconsistency proofs)
+var (
+	obsGACCalls         = obs.NewCounter("gac.calls")
+	obsGACRevisions     = obs.NewCounter("gac.revisions")
+	obsGACSupportHits   = obs.NewCounter("gac.support_hits")
+	obsGACSupportMisses = obs.NewCounter("gac.support_misses")
+	obsGACPrunings      = obs.NewCounter("gac.prunings")
+	obsGACWipeouts      = obs.NewCounter("gac.wipeouts")
+)
+
+// gacEffort is the per-call scratch tally flushed by flush().
+type gacEffort struct {
+	revisions, hits, misses, prunings int64
+	wipeout                           bool
+}
+
+func (e *gacEffort) flush(sp *obs.Span) {
+	if obs.Enabled() {
+		obsGACCalls.Inc()
+		obsGACRevisions.Add(e.revisions)
+		obsGACSupportHits.Add(e.hits)
+		obsGACSupportMisses.Add(e.misses)
+		obsGACPrunings.Add(e.prunings)
+		if e.wipeout {
+			obsGACWipeouts.Inc()
+		}
+	}
+	if sp != nil {
+		sp.SetInt("revisions", e.revisions)
+		sp.SetInt("support_hits", e.hits)
+		sp.SetInt("support_misses", e.misses)
+		sp.SetInt("prunings", e.prunings)
+		if e.wipeout {
+			sp.SetInt("wipeout", 1)
+		}
+		sp.End()
+	}
+}

@@ -24,14 +24,16 @@ func SolveCBJ(p *Instance, opts Options) Result {
 // cancelCheckInterval nodes and returns Aborted=true once it is cancelled.
 func SolveCBJCtx(ctx context.Context, p *Instance, opts Options) Result {
 	start := time.Now()
-	res := solveCBJ(ctx, p, opts)
+	s := newSearcher(ctx, p, opts)
+	res := solveCBJ(s)
 	res.Stats.Duration = time.Since(start)
 	res.Stats.Strategy = "CBJ"
+	s.finishObs(res)
 	return res
 }
 
-func solveCBJ(ctx context.Context, p *Instance, opts Options) Result {
-	s := newSearcher(ctx, p, opts)
+func solveCBJ(s *searcher) Result {
+	p := s.p
 	if s.cancel.cancelledNow() {
 		return Result{Aborted: true, Stats: s.stats}
 	}

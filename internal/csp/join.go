@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"csdb/internal/obs"
 	"csdb/internal/relation"
 )
 
@@ -63,9 +64,18 @@ func JoinSolve(p *Instance) Result {
 // of intermediate results.
 func JoinSolveCtx(ctx context.Context, p *Instance) Result {
 	start := time.Now()
+	obsJoinSolveCalls.Inc()
+	ctx, sp := obs.StartSpan(ctx, "csp.joinsolve")
 	res := joinSolve(ctx, p)
 	res.Stats.Duration = time.Since(start)
 	res.Stats.Strategy = "Join"
+	if res.Found {
+		sp.SetInt("found", 1)
+	}
+	if res.Aborted {
+		sp.SetInt("aborted", 1)
+	}
+	sp.End()
 	return res
 }
 

@@ -1,0 +1,74 @@
+package csp
+
+import "csdb/internal/obs"
+
+// Shared observability handles for the solver engine. All recording happens
+// at call boundaries (one flush per solve / race / split), never per search
+// node, so the disabled-mode overhead is a few atomic loads per solve call
+// (guarded by the obs-overhead benchmark at the repo root).
+//
+// Metric catalog (see README "Observability"):
+//
+//	csp.solve.calls        solves finished (any algorithm, incl. CBJ)
+//	csp.search.nodes       assignments tried, summed across solves
+//	csp.search.backtracks  dead ends
+//	csp.search.prunings    domain values removed by propagation
+//	csp.search.depth       histogram of per-solve maximum search depth
+//	csp.solve.ns           histogram of per-solve wall-clock nanoseconds
+//	csp.joinsolve.calls    Proposition 2.1 join-evaluation decisions
+//	csp.portfolio.races    portfolio races run
+//	csp.portfolio.win.<s>  races won by strategy <s>
+//	csp.parallel.runs      SolveParallel calls
+//	csp.parallel.subtrees  root-domain subtrees searched
+var (
+	obsSolveCalls       = obs.NewCounter("csp.solve.calls")
+	obsSearchNodes      = obs.NewCounter("csp.search.nodes")
+	obsSearchBacktracks = obs.NewCounter("csp.search.backtracks")
+	obsSearchPrunings   = obs.NewCounter("csp.search.prunings")
+	obsSearchDepth      = obs.NewHistogram("csp.search.depth")
+	obsSolveNs          = obs.NewHistogram("csp.solve.ns")
+	obsJoinSolveCalls   = obs.NewCounter("csp.joinsolve.calls")
+	obsPortfolioRaces   = obs.NewCounter("csp.portfolio.races")
+	obsParallelRuns     = obs.NewCounter("csp.parallel.runs")
+	obsParallelSubtrees = obs.NewCounter("csp.parallel.subtrees")
+)
+
+// obsPortfolioWin bumps the per-strategy win counter. Counter handles are
+// created on first win; the registry lookup happens once per race, not on
+// the search path.
+func obsPortfolioWin(name string) {
+	if obs.Enabled() {
+		obs.NewCounter("csp.portfolio.win." + name).Inc()
+	}
+}
+
+// finishObs flushes one finished solve into the shared registry and closes
+// the solve span. It is the single funnel for both the backtracking searcher
+// family (BT/FC/MAC via run) and CBJ (via SolveCBJCtx): per-subtree and
+// per-strategy effort counters of the concurrent engines therefore arrive in
+// the registry through the same counters their merged Stats are built from,
+// which is what TestParallelStatsMatchRegistry locks in.
+func (s *searcher) finishObs(res Result) {
+	if obs.Enabled() {
+		obsSolveCalls.Inc()
+		obsSearchNodes.Add(res.Stats.Nodes)
+		obsSearchBacktracks.Add(res.Stats.Backtracks)
+		obsSearchPrunings.Add(res.Stats.Prunings)
+		obsSearchDepth.Observe(int64(res.Stats.MaxDepth))
+		obsSolveNs.Observe(res.Stats.Duration.Nanoseconds())
+	}
+	if s.span != nil {
+		s.span.SetStr("strategy", res.Stats.Strategy)
+		s.span.SetInt("nodes", res.Stats.Nodes)
+		s.span.SetInt("backtracks", res.Stats.Backtracks)
+		s.span.SetInt("prunings", res.Stats.Prunings)
+		s.span.SetInt("max_depth", int64(res.Stats.MaxDepth))
+		if res.Found {
+			s.span.SetInt("found", 1)
+		}
+		if res.Aborted {
+			s.span.SetInt("aborted", 1)
+		}
+		s.span.End()
+	}
+}

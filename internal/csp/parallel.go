@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"csdb/internal/obs"
 )
 
 // This file implements search-space splitting: the root variable's domain is
@@ -38,13 +40,17 @@ type ParallelResult struct {
 // a pool of workers racing under a shared context. The first solution wins
 // and cancels the remaining subtrees; UNSAT is reported only when every
 // subtree completed without aborting. Effort counters are aggregated
-// atomically across workers into the returned Stats.
+// atomically across workers into the returned Stats; each subtree's counters
+// also land in the shared obs registry through the per-solve flush, so the
+// registry delta across a call equals the merged total (locked in by
+// TestParallelStatsMatchRegistry).
 func SolveParallel(ctx context.Context, p *Instance, popts ParallelOptions) ParallelResult {
 	start := time.Now()
 	workers := popts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	obsParallelRuns.Inc()
 
 	if p.Vars == 0 {
 		res := SolveCtx(ctx, p, popts.Options)
@@ -64,6 +70,12 @@ func SolveParallel(ctx context.Context, p *Instance, popts ParallelOptions) Para
 		out.Stats.Duration = time.Since(start)
 		return out // empty root domain: trivially UNSAT
 	}
+	obsParallelSubtrees.Add(int64(len(values)))
+	ctx, splitSpan := obs.StartSpan(ctx, "csp.parallel")
+	splitSpan.SetInt("subtrees", int64(len(values)))
+	splitSpan.SetInt("workers", int64(workers))
+	splitSpan.SetInt("root_var", int64(root))
+	defer splitSpan.End()
 
 	searchCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -95,7 +107,11 @@ func SolveParallel(ctx context.Context, p *Instance, popts ParallelOptions) Para
 					anyAborted.Store(true)
 					continue
 				}
-				res := SolveCtx(searchCtx, subInstance(p, root, values[i]), popts.Options)
+				sp := obs.StartChild(splitSpan, "csp.subtree")
+				sp.SetInt("value", int64(values[i]))
+				res := SolveCtx(obs.WithSpan(searchCtx, sp), subInstance(p, root, values[i]), popts.Options)
+				sp.SetInt("nodes", res.Stats.Nodes)
+				sp.End()
 				nodes.Add(res.Stats.Nodes)
 				backtracks.Add(res.Stats.Backtracks)
 				prunings.Add(res.Stats.Prunings)

@@ -3,6 +3,8 @@ package csp
 import (
 	"context"
 	"time"
+
+	"csdb/internal/obs"
 )
 
 // This file implements a portfolio solver. The paper's recurring point
@@ -107,6 +109,9 @@ func Portfolio(ctx context.Context, p *Instance, popts PortfolioOptions) Portfol
 	if len(strategies) == 0 {
 		strategies = DefaultStrategies()
 	}
+	obsPortfolioRaces.Inc()
+	ctx, raceSpan := obs.StartSpan(ctx, "csp.portfolio")
+	raceSpan.SetInt("strategies", int64(len(strategies)))
 	raceCtx, cancel := context.WithCancel(ctx)
 	if popts.Timeout > 0 {
 		raceCtx, cancel = context.WithTimeout(ctx, popts.Timeout)
@@ -120,7 +125,18 @@ func Portfolio(ctx context.Context, p *Instance, popts PortfolioOptions) Portfol
 	done := make(chan verdict, len(strategies))
 	for i, st := range strategies {
 		go func(i int, st PortfolioStrategy) {
-			done <- verdict{i, st.Run(raceCtx, p, popts.Options)}
+			sp := obs.StartChild(raceSpan, "csp.strategy")
+			sp.SetStr("name", st.Name)
+			res := st.Run(obs.WithSpan(raceCtx, sp), p, popts.Options)
+			sp.SetInt("nodes", res.Stats.Nodes)
+			if res.Found {
+				sp.SetInt("found", 1)
+			}
+			if res.Aborted {
+				sp.SetInt("aborted", 1)
+			}
+			sp.End()
+			done <- verdict{i, res}
 		}(i, st)
 	}
 
@@ -148,8 +164,13 @@ func Portfolio(ctx context.Context, p *Instance, popts PortfolioOptions) Portfol
 	}
 	if winner < 0 {
 		out.Result = Result{Aborted: true, Stats: out.Total}
+	} else {
+		obsPortfolioWin(out.Winner)
 	}
 	out.Total.Duration = time.Since(start)
 	out.Result.Stats.Duration = out.Total.Duration
+	raceSpan.SetStr("winner", out.Winner)
+	raceSpan.SetInt("total_nodes", out.Total.Nodes)
+	raceSpan.End()
 	return out
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"csdb/internal/obs"
 )
 
 // Algorithm selects the search procedure used by Solve.
@@ -173,12 +175,22 @@ type searcher struct {
 	yield   func([]int) bool
 	aborted bool
 	stopped bool
+
+	// Tracing spans, nil unless obs tracing is active: span covers the whole
+	// solve, searchSpan the search phase. Propagation waves nest under
+	// whichever phase triggered them.
+	span       *obs.Span
+	searchSpan *obs.Span
 }
 
 type trailEntry struct{ v, val int }
 
 func newSearcher(ctx context.Context, p *Instance, opts Options) *searcher {
 	s := &searcher{p: p, opts: opts, cancel: newCancelChecker(ctx)}
+	s.span = obs.StartChild(obs.SpanFrom(ctx), "csp.solve")
+	s.span.SetInt("vars", int64(p.Vars))
+	s.span.SetInt("dom", int64(p.Dom))
+	s.span.SetInt("constraints", int64(len(p.Constraints)))
 	s.dom = make([][]bool, p.Vars)
 	s.size = make([]int, p.Vars)
 	s.assign = make([]int, p.Vars)
@@ -212,6 +224,7 @@ func (s *searcher) run(limit int64, yield func([]int) bool) Result {
 	res := s.solve(limit, yield)
 	res.Stats.Duration = time.Since(start)
 	res.Stats.Strategy = s.opts.label()
+	s.finishObs(res)
 	return res
 }
 
@@ -225,7 +238,13 @@ func (s *searcher) solve(limit int64, yield func([]int) bool) Result {
 	}
 	// Root propagation.
 	if s.opts.Algorithm == MAC || s.opts.RootConsistency {
-		if !s.gacAll() {
+		sp := obs.StartChild(s.span, "csp.propagate")
+		sp.SetStr("phase", "root")
+		before := s.stats.Prunings
+		ok := s.gacAll()
+		sp.SetInt("prunings", s.stats.Prunings-before)
+		sp.End()
+		if !ok {
 			return Result{Aborted: s.aborted, Stats: s.stats}
 		}
 	} else {
@@ -236,8 +255,13 @@ func (s *searcher) solve(limit int64, yield func([]int) bool) Result {
 		}
 	}
 	// Unit propagation of empty-scope...no; constraints always have scope>=1.
+	s.searchSpan = obs.StartChild(s.span, "csp.search")
 	var solution []int
 	sol := s.search(&solution)
+	if s.searchSpan != nil {
+		s.searchSpan.SetInt("nodes", s.stats.Nodes)
+		s.searchSpan.End()
+	}
 	if sol && solution != nil {
 		return Result{Found: true, Solution: solution, Stats: s.stats}
 	}
@@ -322,10 +346,33 @@ func (s *searcher) tryAssign(v, val int) bool {
 		if !s.checkAssigned(v) {
 			return false
 		}
+		if s.searchSpan != nil {
+			return s.tracePropagate(v, s.forwardCheck)
+		}
 		return s.forwardCheck(v)
 	default: // MAC
+		if s.searchSpan != nil {
+			return s.tracePropagate(v, s.gacFrom)
+		}
 		return s.gacFrom(v)
 	}
+}
+
+// tracePropagate runs one per-assignment propagation wave under a span
+// nested in the search span. Only reached when tracing is active (the
+// searchSpan nil check keeps the per-node cost at one pointer compare
+// otherwise).
+func (s *searcher) tracePropagate(v int, propagate func(int) bool) bool {
+	sp := obs.StartChild(s.searchSpan, "csp.propagate")
+	sp.SetInt("var", int64(v))
+	before := s.stats.Prunings
+	ok := propagate(v)
+	sp.SetInt("prunings", s.stats.Prunings-before)
+	if !ok {
+		sp.SetInt("wipeout", 1)
+	}
+	sp.End()
+	return ok
 }
 
 func (s *searcher) undo(v int, mark int) {

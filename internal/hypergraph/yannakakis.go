@@ -4,9 +4,71 @@ import (
 	"fmt"
 
 	"csdb/internal/cq"
+	"csdb/internal/obs"
 	"csdb/internal/relation"
 	"csdb/internal/structure"
 )
+
+// Observability handles for the acyclic-join pipeline (see README
+// "Observability"):
+//
+//	yannakakis.runs           full Yannakakis evaluations
+//	yannakakis.semijoins      semijoin steps across the up+down passes
+//	yannakakis.rows_loaded    per-atom input rows before reduction
+//	yannakakis.rows_reduced   per-atom rows surviving the full reducer
+var (
+	obsYanRuns        = obs.NewCounter("yannakakis.runs")
+	obsYanSemijoins   = obs.NewCounter("yannakakis.semijoins")
+	obsYanRowsLoaded  = obs.NewCounter("yannakakis.rows_loaded")
+	obsYanRowsReduced = obs.NewCounter("yannakakis.rows_reduced")
+)
+
+// relRows sums the cardinalities of a relation slice (the "pass size" the
+// Section 6 analysis bounds: after the full reducer every intermediate stays
+// within the final output's magnitude).
+func relRows(rels []*relation.Relation) int64 {
+	var n int64
+	for _, r := range rels {
+		n += int64(r.Len())
+	}
+	return n
+}
+
+// fullReduce runs the upward and downward semijoin passes of the full
+// reducer in place, recording pass sizes in the obs registry and, when
+// tracing, as spans nested under parent (one per pass, with before/after
+// row totals).
+func fullReduce(rels []*relation.Relation, jt *JoinTree, order []int, parent *obs.Span) {
+	if obs.Enabled() {
+		obsYanRowsLoaded.Add(relRows(rels))
+	}
+	up := obs.StartChild(parent, "yannakakis.semijoin_up")
+	for _, i := range order {
+		if p := jt.Parent[i]; p >= 0 {
+			rels[p] = rels[p].Semijoin(rels[i])
+			obsYanSemijoins.Inc()
+		}
+	}
+	if up != nil {
+		up.SetInt("rows", relRows(rels))
+		up.End()
+	}
+	down := obs.StartChild(parent, "yannakakis.semijoin_down")
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		if p := jt.Parent[i]; p >= 0 {
+			rels[i] = rels[i].Semijoin(rels[p])
+			obsYanSemijoins.Inc()
+		}
+	}
+	if obs.Enabled() {
+		obsYanRowsReduced.Add(relRows(rels))
+	}
+	if down != nil {
+		down.SetInt("rows", relRows(rels))
+		down.End()
+	}
+}
 
 // Yannakakis evaluates an α-acyclic conjunctive query on a database in
 // polynomial time: a full-reducer pass of semijoins up and down the join
@@ -23,6 +85,10 @@ func Yannakakis(q *cq.Query, db *structure.Structure) (*relation.Relation, error
 	if !acyclic {
 		return nil, fmt.Errorf("hypergraph: query is not α-acyclic")
 	}
+	obsYanRuns.Inc()
+	sp := obs.StartChild(nil, "hypergraph.yannakakis")
+	sp.SetInt("atoms", int64(len(q.Body)))
+	defer sp.End()
 
 	rels := make([]*relation.Relation, len(q.Body))
 	for i, a := range q.Body {
@@ -35,19 +101,8 @@ func Yannakakis(q *cq.Query, db *structure.Structure) (*relation.Relation, error
 
 	order := topoOrder(jt, len(q.Body)) // children before parents
 
-	// Upward semijoin pass.
-	for _, i := range order {
-		if p := jt.Parent[i]; p >= 0 {
-			rels[p] = rels[p].Semijoin(rels[i])
-		}
-	}
-	// Downward semijoin pass.
-	for k := len(order) - 1; k >= 0; k-- {
-		i := order[k]
-		if p := jt.Parent[i]; p >= 0 {
-			rels[i] = rels[i].Semijoin(rels[p])
-		}
-	}
+	// Full reducer: upward then downward semijoin passes.
+	fullReduce(rels, jt, order, sp)
 
 	// Bottom-up join along the tree with early projection: the partial
 	// result at node i keeps only head variables and the variables shared
@@ -91,9 +146,15 @@ func Yannakakis(q *cq.Query, db *structure.Structure) (*relation.Relation, error
 		}
 		return cur.Project(keep...)
 	}
+	joinSpan := obs.StartChild(sp, "yannakakis.join_up")
 	result, err := joinUp(jt.Root)
 	if err != nil {
+		joinSpan.End()
 		return nil, err
+	}
+	if joinSpan != nil {
+		joinSpan.SetInt("rows", int64(result.Len()))
+		joinSpan.End()
 	}
 
 	if len(q.Head) == 0 {
@@ -146,17 +207,8 @@ func SemijoinReduce(q *cq.Query, db *structure.Structure) ([]*relation.Relation,
 		}
 		rels[i] = r
 	}
-	order := topoOrder(jt, len(q.Body))
-	for _, i := range order {
-		if p := jt.Parent[i]; p >= 0 {
-			rels[p] = rels[p].Semijoin(rels[i])
-		}
-	}
-	for k := len(order) - 1; k >= 0; k-- {
-		i := order[k]
-		if p := jt.Parent[i]; p >= 0 {
-			rels[i] = rels[i].Semijoin(rels[p])
-		}
-	}
+	sp := obs.StartChild(nil, "hypergraph.semijoin_reduce")
+	fullReduce(rels, jt, topoOrder(jt, len(q.Body)), sp)
+	sp.End()
 	return rels, nil
 }

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable but
+// unregistered; use NewCounter (or Registry.Counter) so it shows up in
+// snapshots. All methods are safe for concurrent use and nil-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n when observability is enabled.
+func (c *Counter) Add(n int64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (readable even while disabled).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (e.g. in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v when observability is enabled.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by n when observability is enabled.
+func (g *Gauge) Add(n int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket i holds observations v with
+// bits.Len64(v) == i, i.e. power-of-two ranges [2^(i-1), 2^i). Bucket 0 holds
+// v <= 0. 65 buckets cover the whole non-negative int64 range, so recording
+// never needs a bounds decision at runtime.
+const histBuckets = 65
+
+// Histogram is a log-scale (power-of-two bucketed) histogram. Observing is
+// one bits.Len64 plus two atomic adds and one atomic max — allocation-free.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value when observability is enabled. Negative values
+// are clamped to 0.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the arithmetic mean of observed values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// HistogramSnapshot is the JSON form of a histogram: count/sum/max/mean plus
+// the nonzero buckets keyed by their upper bound (2^i as a decimal string).
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Max     int64            `json:"max"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+		Mean:  h.Mean(),
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if s.Buckets == nil {
+			s.Buckets = make(map[string]int64)
+		}
+		s.Buckets[bucketLabel(i)] = n
+	}
+	return s
+}
+
+// bucketLabel renders bucket i's upper bound. Bucket 0 is "0"; bucket i>0
+// covers values up to 2^i - 1, labeled "le_2^i" style as a plain decimal.
+func bucketLabel(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	// 2^i as decimal; i <= 64 so compute in big-enough float-free form.
+	if i == 64 {
+		return "9223372036854775807" // int64 max, the last bucket
+	}
+	v := uint64(1) << uint(i)
+	return uitoa(v)
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Registry names and owns metrics. Registration takes a mutex; the recording
+// hot path never touches the registry again (metric handles are plain
+// pointers held by the instrumented packages).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry backs the package-level constructors; cmd/cspd serves it.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide registry.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// NewCounter registers (or fetches) a counter in the default registry.
+func NewCounter(name string) *Counter { return defaultRegistry.Counter(name) }
+
+// NewGauge registers (or fetches) a gauge in the default registry.
+func NewGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
+
+// NewHistogram registers (or fetches) a histogram in the default registry.
+func NewHistogram(name string) *Histogram { return defaultRegistry.Histogram(name) }
+
+// Snapshot returns a point-in-time copy of every metric, keyed by name:
+// counters and gauges as int64, histograms as HistogramSnapshot. The map is
+// freshly allocated and safe to serialize or mutate.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		out[name] = h.snapshot()
+	}
+	return out
+}
+
+// CounterValues returns only the counter metrics, for compact capture (e.g.
+// cmd/benchjson's metrics sidecar in BENCH_relation.json).
+func (r *Registry) CounterValues() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as sorted-key indented JSON (expvar-style:
+// one flat object, metric names as keys; encoding/json sorts map keys, so
+// the rendering is deterministic).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// withEnabled runs f with metrics recording on, restoring the prior state.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	f()
+}
+
+func TestCounterDisabledNoops(t *testing.T) {
+	SetEnabled(false)
+	c := NewRegistry().Counter("x")
+	c.Add(5)
+	c.Inc()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("disabled counter recorded %d", got)
+	}
+	var nilC *Counter
+	nilC.Add(1) // must not panic
+	if nilC.Load() != 0 {
+		t.Fatal("nil counter load")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		c := r.Counter("c")
+		c.Add(3)
+		c.Inc()
+		if got := c.Load(); got != 4 {
+			t.Fatalf("counter = %d, want 4", got)
+		}
+		if r.Counter("c") != c {
+			t.Fatal("Counter not idempotent per name")
+		}
+
+		g := r.Gauge("g")
+		g.Set(10)
+		g.Add(-3)
+		if got := g.Load(); got != 7 {
+			t.Fatalf("gauge = %d, want 7", got)
+		}
+
+		h := r.Histogram("h")
+		for _, v := range []int64{0, 1, 2, 3, 1000, -5} {
+			h.Observe(v)
+		}
+		if h.Count() != 6 {
+			t.Fatalf("hist count = %d, want 6", h.Count())
+		}
+		if h.Sum() != 1006 {
+			t.Fatalf("hist sum = %d, want 1006", h.Sum())
+		}
+		if h.Max() != 1000 {
+			t.Fatalf("hist max = %d, want 1000", h.Max())
+		}
+		snap := h.snapshot()
+		// 0 and -5 land in bucket "0"; 1 in "2"; 2 and 3 in "4"; 1000 in "1024".
+		want := map[string]int64{"0": 2, "2": 1, "4": 2, "1024": 1}
+		for k, n := range want {
+			if snap.Buckets[k] != n {
+				t.Fatalf("bucket %q = %d, want %d (all: %v)", k, snap.Buckets[k], n, snap.Buckets)
+			}
+		}
+	})
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Counter("a.calls").Add(2)
+		r.Gauge("a.inflight").Set(1)
+		r.Histogram("a.ns").Observe(100)
+
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+			t.Fatalf("snapshot not valid JSON: %v\n%s", err, buf.String())
+		}
+		if decoded["a.calls"].(float64) != 2 {
+			t.Fatalf("a.calls = %v", decoded["a.calls"])
+		}
+		hist := decoded["a.ns"].(map[string]any)
+		if hist["count"].(float64) != 1 {
+			t.Fatalf("a.ns count = %v", hist["count"])
+		}
+
+		cv := r.CounterValues()
+		if len(cv) != 1 || cv["a.calls"] != 2 {
+			t.Fatalf("CounterValues = %v", cv)
+		}
+	})
+}
+
+// TestConcurrentRecording exercises the registry and metric types under the
+// race detector (make check runs this package with -race).
+func TestConcurrentRecording(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 1000; i++ {
+					r.Counter("shared").Inc()
+					r.Histogram("lat").Observe(int64(i))
+					r.Gauge("g").Set(int64(i))
+				}
+			}()
+		}
+		wg.Wait()
+		if got := r.Counter("shared").Load(); got != 8000 {
+			t.Fatalf("shared counter = %d, want 8000", got)
+		}
+		if got := r.Histogram("lat").Count(); got != 8000 {
+			t.Fatalf("lat count = %d, want 8000", got)
+		}
+	})
+}

@@ -1,0 +1,36 @@
+// Package obs is the zero-dependency observability layer shared by every hot
+// package in the tree: an atomic metrics registry (counters, gauges and
+// fixed-bucket log-scale histograms) and a span-style structured tracer with
+// a ring-buffered JSON-lines exporter.
+//
+// The design constraint is that instrumentation must be effectively free
+// when observability is off — the solver engine and relational kernel are
+// benchmarked hot paths. Two global switches gate everything:
+//
+//   - SetEnabled governs metrics. Counter/Gauge/Histogram writes no-op
+//     behind one atomic bool load when disabled, and every instrumentation
+//     site records at call boundaries (per solve, per join, per propagation
+//     fixpoint) rather than per node or per row, so the disabled-mode cost
+//     is a handful of atomic loads per operator call.
+//   - SetTracing governs spans. Span creation returns nil when tracing is
+//     off and every Span method is nil-safe, so call sites pay a single
+//     atomic load and no allocation.
+//
+// Both default to off; cmd/cspd turns them on at startup and csolve's
+// -trace flag turns tracing on for one solve. The registry and tracer are
+// process-global on purpose: metrics are monotonic totals in the expvar
+// tradition, and attribution of concurrent work is done by trace IDs, not
+// by registry partitioning.
+package obs
+
+import "sync/atomic"
+
+var enabled atomic.Bool
+
+// Enabled reports whether metric recording is on. Instrumentation sites with
+// non-trivial argument computation should guard on it; the metric types also
+// check it internally so a bare Counter.Add is safe either way.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns metric recording on or off. Safe for concurrent use.
+func SetEnabled(v bool) { enabled.Store(v) }

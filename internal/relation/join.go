@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"csdb/internal/obs"
 )
 
 // Natural join and semijoin on the integer-hash kernel.
@@ -65,8 +67,36 @@ func (r *Relation) Join(s *Relation) *Relation {
 // joinCtx is Join with cooperative cancellation: when ctx is non-nil, the
 // probe loop polls it every few thousand candidate pairs and returns ctx's
 // error, so a cancelled caller is not stuck behind one exploding
-// intermediate result.
+// intermediate result. It is also the kernel's metering point: probe/build/
+// output row counts and arena bytes are flushed to the obs registry once per
+// call, and a span records the join's shape when tracing is active.
 func (r *Relation) joinCtx(ctx context.Context, s *Relation) (*Relation, error) {
+	sp := obs.StartChild(obs.SpanFrom(ctx), "relation.join")
+	out, err := r.joinImpl(ctx, s)
+	if obs.Enabled() {
+		obsJoinCalls.Inc()
+		obsJoinProbeRows.Add(int64(r.n))
+		obsJoinBuildRows.Add(int64(s.n))
+		if out != nil {
+			obsJoinOutputRows.Add(int64(out.n))
+			obsJoinArenaBytes.Add(int64(len(out.data)) * intBytes)
+		}
+	}
+	if sp != nil {
+		sp.SetInt("left_rows", int64(r.n))
+		sp.SetInt("right_rows", int64(s.n))
+		if out != nil {
+			sp.SetInt("out_rows", int64(out.n))
+		}
+		if err != nil {
+			sp.SetInt("aborted", 1)
+		}
+		sp.End()
+	}
+	return out, err
+}
+
+func (r *Relation) joinImpl(ctx context.Context, s *Relation) (*Relation, error) {
 	common, sOnly := sharedAttrs(r, s)
 
 	outAttrs := make([]string, 0, len(r.attrs)+len(sOnly))
@@ -204,6 +234,16 @@ func lookupHead(head map[uint64]int32, h uint64) int32 {
 // is r when s is nonempty and empty when s is empty (consistent with the
 // Cartesian-product reading of natural join).
 func (r *Relation) Semijoin(s *Relation) *Relation {
+	out := r.semijoinImpl(s)
+	if obs.Enabled() {
+		obsSemijoinCalls.Inc()
+		obsSemijoinProbeRows.Add(int64(r.n))
+		obsSemijoinKeptRows.Add(int64(out.n))
+	}
+	return out
+}
+
+func (r *Relation) semijoinImpl(s *Relation) *Relation {
 	common, _ := sharedAttrs(r, s)
 	if len(common) == 0 {
 		if s.Empty() {

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"context"
 	"sync/atomic"
+
+	"csdb/internal/obs"
 )
 
 // Multiway natural join with cost-based, incremental join ordering.
@@ -99,6 +101,28 @@ func JoinAllCtx(ctx context.Context, rels []*Relation) (*Relation, error) {
 	if len(rels) == 1 {
 		return rels[0], nil
 	}
+	obsPlannerJoins.Inc()
+	ctx, sp := obs.StartSpan(ctx, "relation.joinall")
+	sp.SetInt("relations", int64(len(rels)))
+	out, err := joinAllPlanned(ctx, rels, sp)
+	if sp != nil {
+		if out != nil {
+			sp.SetInt("out_rows", int64(out.n))
+		}
+		if err != nil {
+			sp.SetInt("aborted", 1)
+		}
+		sp.End()
+	}
+	return out, err
+}
+
+// joinAllPlanned is the planning/execution loop behind JoinAllCtx. Every
+// committed pairwise join is recorded against its cost estimate — both in
+// the planner metrics (see recordPlannerPair) and, when tracing, as an
+// attribute pair on the child join span produced by joinCtx — so estimate
+// error is a first-class, queryable signal.
+func joinAllPlanned(ctx context.Context, rels []*Relation, sp *obs.Span) (*Relation, error) {
 
 	slots := make([]*Relation, len(rels), 2*len(rels))
 	copy(slots, rels)
@@ -128,9 +152,17 @@ func JoinAllCtx(ctx context.Context, rels []*Relation) (*Relation, error) {
 			}
 			// Stale: at least one side was consumed by an earlier join.
 		}
-		joined, err := slots[it.a].joinCtx(ctx, slots[it.b])
+		step := obs.StartChild(sp, "relation.plan")
+		joined, err := slots[it.a].joinCtx(obs.WithSpan(ctx, step), slots[it.b])
 		if err != nil {
+			step.End()
 			return nil, err
+		}
+		recordPlannerPair(it.est, int64(joined.n))
+		if step != nil {
+			step.SetInt("est_rows", it.est)
+			step.SetInt("actual_rows", int64(joined.n))
+			step.End()
 		}
 		alive[it.a], alive[it.b] = false, false
 		aliveCount--

@@ -1,0 +1,66 @@
+package relation
+
+import "csdb/internal/obs"
+
+// Observability handles for the relational kernel. Everything is recorded at
+// operator-call boundaries — one flush per join/semijoin/JoinAll — never per
+// probed row, so the disabled-mode cost is a few atomic loads per operator.
+//
+// Metric catalog (see README "Observability"):
+//
+//	relation.join.calls          pairwise natural joins executed
+//	relation.join.probe_rows     probe-side rows streamed
+//	relation.join.build_rows     build-side rows hashed
+//	relation.join.output_rows    result rows emitted
+//	relation.join.arena_bytes    bytes appended to result arenas
+//	relation.semijoin.calls      semijoins executed
+//	relation.semijoin.probe_rows probe-side rows streamed
+//	relation.semijoin.kept_rows  rows surviving the semijoin
+//	relation.planner.joins       multiway joins planned (JoinAll calls)
+//	relation.planner.pairs       pairwise joins the planner committed
+//	relation.planner.est_rows    summed cardinality estimates of those pairs
+//	relation.planner.actual_rows summed actual cardinalities
+//	relation.planner.est_ratio   histogram of max(est,actual)/min(est,actual)
+//	                             per pair — the planner's estimate error
+var (
+	obsJoinCalls         = obs.NewCounter("relation.join.calls")
+	obsJoinProbeRows     = obs.NewCounter("relation.join.probe_rows")
+	obsJoinBuildRows     = obs.NewCounter("relation.join.build_rows")
+	obsJoinOutputRows    = obs.NewCounter("relation.join.output_rows")
+	obsJoinArenaBytes    = obs.NewCounter("relation.join.arena_bytes")
+	obsSemijoinCalls     = obs.NewCounter("relation.semijoin.calls")
+	obsSemijoinProbeRows = obs.NewCounter("relation.semijoin.probe_rows")
+	obsSemijoinKeptRows  = obs.NewCounter("relation.semijoin.kept_rows")
+	obsPlannerJoins      = obs.NewCounter("relation.planner.joins")
+	obsPlannerPairs      = obs.NewCounter("relation.planner.pairs")
+	obsPlannerEstRows    = obs.NewCounter("relation.planner.est_rows")
+	obsPlannerActualRows = obs.NewCounter("relation.planner.actual_rows")
+	obsPlannerEstRatio   = obs.NewHistogram("relation.planner.est_ratio")
+)
+
+// intBytes is the arena footprint of n stored ints.
+const intBytes = 8
+
+// recordPlannerPair flushes one committed pairwise join of the multiway
+// planner: its a-priori estimate against the materialized cardinality. The
+// error ratio is symmetric (>= 1; over- and under-estimates count alike)
+// with actual clamped to 1 so empty results stay measurable.
+func recordPlannerPair(est, actual int64) {
+	if !obs.Enabled() {
+		return
+	}
+	obsPlannerPairs.Inc()
+	obsPlannerEstRows.Add(est)
+	obsPlannerActualRows.Add(actual)
+	if actual < 1 {
+		actual = 1
+	}
+	if est < 1 {
+		est = 1
+	}
+	ratio := est / actual
+	if actual > est {
+		ratio = actual / est
+	}
+	obsPlannerEstRatio.Observe(ratio)
+}

@@ -1,0 +1,76 @@
+package relation
+
+import (
+	"testing"
+
+	"csdb/internal/obs"
+)
+
+// TestJoinAllPlannerQuality is the satellite acceptance test for planner
+// observability: on the PR-2 regression workloads (the chain-join family
+// behind BenchmarkJoinAllChain and the many-tiny-relations planning
+// workload), every committed pairwise join must record its estimate-vs-
+// actual cardinality pair, and the error must stay bounded — the estimator
+// uses real per-column distinct counts, so on these workloads it should be
+// within well under two orders of magnitude of the truth.
+func TestJoinAllPlannerQuality(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	workloads := map[string][]*Relation{
+		"chain":    chainRelations(8, 2000, 2000),
+		"planning": planningRelations(32),
+	}
+	for name, rels := range workloads {
+		pairsBefore := obsPlannerPairs.Load()
+		joinsBefore := obsPlannerJoins.Load()
+		histBefore := obsPlannerEstRatio.Count()
+		estBefore := obsPlannerEstRows.Load()
+		actBefore := obsPlannerActualRows.Load()
+
+		JoinAll(rels)
+
+		pairs := obsPlannerPairs.Load() - pairsBefore
+		if want := int64(len(rels) - 1); pairs != want {
+			t.Fatalf("%s: recorded %d planner pairs, want %d", name, pairs, want)
+		}
+		if got := obsPlannerJoins.Load() - joinsBefore; got != 1 {
+			t.Fatalf("%s: planner joins delta %d, want 1", name, got)
+		}
+		if got := obsPlannerEstRatio.Count() - histBefore; got != pairs {
+			t.Fatalf("%s: est_ratio histogram recorded %d of %d pairs", name, got, pairs)
+		}
+		if est := obsPlannerEstRows.Load() - estBefore; est <= 0 {
+			t.Fatalf("%s: no estimated rows recorded", name)
+		}
+		if act := obsPlannerActualRows.Load() - actBefore; act < 0 {
+			t.Fatalf("%s: negative actual rows", name)
+		}
+	}
+	// Error bound over everything this test recorded: the max symmetric
+	// ratio must stay under 64x (the chain estimator is typically within
+	// ~2x; 64 leaves room for the join-of-join steps where the
+	// independence assumption compounds).
+	if max := obsPlannerEstRatio.Max(); max > 64 {
+		t.Fatalf("planner estimate error ratio reached %dx, want <= 64x", max)
+	}
+}
+
+// planningRelations is the BenchmarkJoinAllPlanning workload at reduced
+// size: k tiny cyclic relations so pair selection dominates.
+func planningRelations(k int) []*Relation {
+	rels := make([]*Relation, k)
+	for i := range rels {
+		r := MustNew(attrName("p", i), attrName("p", (i+1)%k))
+		for v := 0; v < 3; v++ {
+			r.MustAdd(Tuple{v, (v + 1) % 3})
+		}
+		rels[i] = r
+	}
+	return rels
+}
+
+func attrName(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
