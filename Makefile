@@ -1,16 +1,20 @@
-# Build/verify entry points. `make check` is the default gate: vet, tier-1
-# verify (ROADMAP.md), the race-gated kernel packages and the observability
-# layer + daemon. `make bench` captures the relational-kernel benchmark
-# suite into BENCH_relation.json; `make obs-overhead` measures the disabled
-# cost of the observability instrumentation.
+# Build/verify entry points. `make check` is the default gate: vet (with the
+# gofmt gate), tier-1 verify (ROADMAP.md), the repo's own static analyzers
+# (`make lint`, see README "Static analysis"), the race-gated kernel packages
+# and the observability layer + daemon. `make bench` captures the
+# relational-kernel benchmark suite into BENCH_relation.json; `make
+# obs-overhead` measures the disabled cost of the observability
+# instrumentation; `make fuzz-smoke` gives each native fuzz target a short
+# shake.
 
 GO ?= go
 BENCH_LABEL ?= after
+FUZZTIME ?= 10s
 
-.PHONY: check build test verify vet race race-engine race-kernel race-obs bench obs-overhead
+.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs bench obs-overhead
 
 # Default target: everything a PR must pass locally.
-check: vet verify race-kernel race-obs
+check: vet verify lint race-kernel race-obs
 
 build:
 	$(GO) build ./...
@@ -18,8 +22,24 @@ build:
 test:
 	$(GO) test ./...
 
+# go vet plus the formatting gate: gofmt -l prints offending files, and any
+# output fails the target.
 vet:
 	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Run the repo-specific invariant analyzers (cmd/csplint) over the module:
+# ctxloop, obsboundary, arenaretain, atomicmix. Exit 1 on any finding.
+lint:
+	$(GO) build ./...
+	$(GO) run ./cmd/csplint ./...
+
+# Briefly run every native fuzz target (differential join oracle, instance
+# parser). FUZZTIME=2m fuzz-smoke for a longer shake.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseInstance -fuzztime $(FUZZTIME) ./internal/cspio/
+	$(GO) test -run '^$$' -fuzz FuzzJoinDifferential -fuzztime $(FUZZTIME) ./internal/relation/
 
 # Tier-1 verification (ROADMAP.md): the module builds and all tests pass.
 verify: build test

@@ -80,6 +80,9 @@ func run(cfg config) (err error) {
 	if len(cfg.args) > 1 {
 		return fmt.Errorf("at most one input file expected")
 	}
+	if cfg.timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative, got %v", cfg.timeout)
+	}
 	if len(cfg.args) == 1 {
 		f, err := os.Open(cfg.args[0])
 		if err != nil {

@@ -1,0 +1,60 @@
+// Command csplint runs the repo's invariant analyzers (internal/analysis)
+// over the module and prints file:line:col diagnostics.
+//
+// Usage:
+//
+//	csplint [-analyzers ctxloop,obsboundary,...] [-dir DIR] [packages]
+//
+// Packages default to ./... resolved in -dir (default: the current
+// directory). Exit status: 0 clean, 1 diagnostics found, 2 usage or load
+// failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"csdb/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("csplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	names := fs.String("analyzers", "", "comma-separated analyzer names (default: all)")
+	dir := fs.String("dir", ".", "directory to resolve package patterns in")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(stderr, "csplint:", err)
+		return 2
+	}
+	loaded, err := analysis.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "csplint:", err)
+		return 2
+	}
+	diags := analysis.Run(loaded, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "csplint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

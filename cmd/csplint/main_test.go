@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestViolationExitsNonZero pins the CI contract: csplint over a package
+// with a deliberate violation (the analysis fixtures) prints positioned
+// diagnostics and exits 1.
+func TestViolationExitsNonZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{
+		"-dir", "../..",
+		"-analyzers", "ctxloop",
+		"./internal/analysis/testdata/src/ctxloop",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ctxloop.go:") || !strings.Contains(stdout.String(), "ctxloop:") {
+		t.Errorf("diagnostics missing file position or analyzer name:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing findings summary: %s", stderr.String())
+	}
+}
+
+// TestCleanExitsZero: a package with no findings exits 0 and prints nothing.
+func TestCleanExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-dir", "../..", "./internal/cq"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+// TestUsageErrorsExitTwo: unknown analyzers, unloadable patterns and bad
+// flags are usage/load failures, distinct from findings.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-analyzers", "nosuch", "./..."},
+		{"-dir", "../..", "./no/such/package"},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		var stdout, stderr strings.Builder
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}
+
+// TestListAnalyzers: -list names every analyzer in the suite.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"ctxloop", "obsboundary", "arenaretain", "atomicmix"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}

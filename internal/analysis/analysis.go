@@ -1,0 +1,205 @@
+// Package analysis is csplint's engine: a stdlib-only analyzer driver that
+// loads the module via `go list -json`, type-checks every package from
+// source, and runs repo-specific analyzers that machine-check the invariants
+// the engine's concurrency, kernel and observability layers rely on.
+//
+// The suite (see the README "Static analysis" section for the catalog):
+//
+//   - ctxloop: unbounded loops in context-taking functions must poll
+//     cancellation on every iteration path;
+//   - obsboundary: obs counters/gauges/histograms must be recorded at call
+//     boundaries, never inside loops;
+//   - arenaretain: row slices handed out by the relational kernel's arena
+//     accessors must not be stored anywhere that outlives the call;
+//   - atomicmix: a struct field accessed through sync/atomic must never be
+//     read or written plainly.
+//
+// Diagnostics can be suppressed with a directive on the flagged line or the
+// line directly above it:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The analyzer list may be * to match every analyzer; the reason is
+// mandatory, and a directive without one is itself reported (as analyzer
+// "lint"), so every suppression in the tree carries its justification.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run receives the whole set of target packages
+// at once so checks can build cross-package facts (atomicmix and ctxloop do).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-analyzer view of a load: the target packages, the shared
+// FileSet, and the report sink.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	an    *Analyzer
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.an.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{ctxloopAnalyzer, obsboundaryAnalyzer, arenaretainAnalyzer, atomicmixAnalyzer}
+}
+
+// ByName resolves a comma-separated analyzer list against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the loaded targets, applies //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by position.
+// Malformed directives are reported under the pseudo-analyzer "lint" and are
+// not suppressible.
+func Run(loaded *Loaded, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{Fset: loaded.Fset, Pkgs: loaded.Targets, an: a, diags: &diags})
+	}
+	dirs, malformed := collectDirectives(loaded)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, dirs) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	analyzers []string // names, or ["*"]
+}
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "//lint:ignore"
+
+// collectDirectives scans every target file's comments for //lint:ignore
+// directives, keyed by file and line. A directive suppresses matching
+// diagnostics on its own line and on the line directly below it (so it can
+// ride at the end of the flagged line or on its own line above).
+func collectDirectives(loaded *Loaded) (map[string]map[int][]directive, []Diagnostic) {
+	dirs := make(map[string]map[int][]directive)
+	var malformed []Diagnostic
+	for _, pkg := range loaded.Targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := loaded.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer>[,...] <reason>\"",
+						})
+						continue
+					}
+					if dirs[pos.Filename] == nil {
+						dirs[pos.Filename] = make(map[int][]directive)
+					}
+					d := directive{analyzers: strings.Split(fields[0], ",")}
+					dirs[pos.Filename][pos.Line] = append(dirs[pos.Filename][pos.Line], d)
+				}
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+// suppressed reports whether a directive on the diagnostic's line, or on the
+// line above it, names the diagnostic's analyzer.
+func suppressed(d Diagnostic, dirs map[string]map[int][]directive) bool {
+	byLine := dirs[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range byLine[line] {
+			for _, name := range dir.analyzers {
+				if name == "*" || name == d.Analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// inspectSkippingFuncLits walks n, calling fn on every node but not
+// descending into function literals (their bodies execute on their own
+// schedule, so lexical facts about the enclosing function do not transfer).
+func inspectSkippingFuncLits(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

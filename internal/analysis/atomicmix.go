@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicmix: a struct field accessed through sync/atomic must never be read
+// or written plainly.
+//
+// Mixing atomic and plain access to the same word is a data race even when it
+// "works" on amd64: the compiler may tear, cache or reorder the plain access,
+// and the race detector only catches the interleavings the test happens to
+// schedule. The engine's hot flags and counters (solver node counts, the obs
+// enabled bit before it moved to atomic.Bool) are exactly the fields where a
+// sneaky plain fast-path read gets added later.
+//
+// Mechanics: pass one collects every struct field that appears as the
+// pointer argument of a sync/atomic call (atomic.AddInt64(&s.n, 1),
+// atomic.LoadUint32(&s.flag), ...) across all target packages. Pass two flags
+// every other selector expression resolving to one of those field objects —
+// reads, writes, compound assignments — anywhere in the target set. Taking
+// the field's address again for another atomic call is sanctioned; taking it
+// for anything else is flagged (the pointer enables unchecked plain access).
+// Fields of the typed atomic wrappers (atomic.Int64, atomic.Bool, ...) never
+// reach this analyzer: their value is private to sync/atomic, which is not a
+// target package, and their API makes plain access inexpressible.
+var atomicmixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "struct fields accessed via sync/atomic must not also be accessed plainly",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) {
+	// Pass 1: fields used atomically, and the selector nodes sanctioned by
+	// appearing inside the atomic calls themselves.
+	atomicFields := make(map[types.Object]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSyncAtomicCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok {
+						continue
+					}
+					sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if obj := fieldObject(pkg, sel); obj != nil {
+						atomicFields[obj] = true
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those fields is a mix.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				obj := fieldObject(pkg, sel)
+				if obj != nil && atomicFields[obj] {
+					pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere; use atomic operations everywhere", obj.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isSyncAtomicCall matches calls to package-level sync/atomic functions.
+func isSyncAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldObject resolves a selector to the struct field object it denotes, or
+// nil for methods, package selectors and qualified identifiers.
+func fieldObject(pkg *Package, sel *ast.SelectorExpr) types.Object {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// The loader: a stdlib-only replacement for golang.org/x/tools/go/packages.
+// `go list -json -deps` enumerates the requested packages and their full
+// dependency closure (standard library included); every package is then
+// parsed and type-checked from source in dependency order, with imports
+// resolved against the already-checked set. This matches the repo's
+// zero-dependency rule — go/ast, go/parser, go/token and go/types carry the
+// whole load — at the cost of type-checking the standard library from
+// source, which go/types is explicitly specified to support.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	// ImportMap translates source-level import paths to resolved ones
+	// (the standard library vendors golang.org/x/... under vendor/).
+	ImportMap map[string]string
+	Error     *struct{ Err string }
+}
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	Path     string // resolved import path
+	Dir      string
+	Standard bool // part of the Go standard library
+	Target   bool // named by the Load patterns (vs pulled in as a dependency)
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+}
+
+// Loaded is the result of a Load call: the shared FileSet and every package
+// in the closure, plus the subset named by the patterns (the analysis
+// targets) in a stable order.
+type Loaded struct {
+	Fset    *token.FileSet
+	All     map[string]*Package
+	Targets []*Package
+}
+
+// Load runs `go list` in dir on the given patterns and type-checks the
+// resulting packages and their whole dependency closure from source.
+// Patterns follow go-list syntax (./..., explicit directories, import
+// paths). Test files are not loaded: the invariants csplint enforces are
+// production-code invariants.
+func Load(dir string, patterns ...string) (*Loaded, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:    token.NewFileSet(),
+		list:    entries,
+		pkgs:    make(map[string]*Package, len(entries)),
+		sizes:   types.SizesFor("gc", runtime.GOARCH),
+		pending: make(map[string]bool),
+	}
+	out := &Loaded{Fset: l.fset, All: l.pkgs}
+	// Check targets (each pulls in its deps recursively).
+	var targets []string
+	for path, e := range entries {
+		if !e.DepOnly {
+			targets = append(targets, path)
+		}
+	}
+	sort.Strings(targets)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("analysis: patterns %v matched no packages", patterns)
+	}
+	for _, path := range targets {
+		p, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		p.Target = true
+		out.Targets = append(out.Targets, p)
+	}
+	return out, nil
+}
+
+// goList shells out to the go tool and decodes the JSON stream. CGO is
+// disabled so every package resolves to its pure-Go file set (the loader
+// cannot type-check C).
+func goList(dir string, patterns []string) (map[string]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(cmd.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("analysis: starting go list: %w", err)
+	}
+	entries := make(map[string]*listPkg)
+	dec := json.NewDecoder(stdout)
+	for {
+		var e listPkg
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		entries[e.ImportPath] = &e
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	for _, e := range entries {
+		if e.Error != nil && !e.DepOnly {
+			return nil, fmt.Errorf("analysis: %s: %s", e.ImportPath, e.Error.Err)
+		}
+	}
+	return entries, nil
+}
+
+// loader type-checks packages recursively, memoizing by resolved import path.
+type loader struct {
+	fset    *token.FileSet
+	list    map[string]*listPkg
+	pkgs    map[string]*Package
+	sizes   types.Sizes
+	pending map[string]bool // import-cycle guard
+}
+
+// check parses and type-checks the package at the resolved path, checking
+// its imports first.
+func (l *loader) check(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.pending[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	e, ok := l.list[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %s not in go list output", path)
+	}
+	l.pending[path] = true
+	defer delete(l.pending, path)
+
+	files := make([]*ast.File, 0, len(e.GoFiles))
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(e.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: &pkgImporter{l: l, from: e},
+		Sizes:    l.sizes,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{
+		Path:     path,
+		Dir:      e.Dir,
+		Standard: e.Standard,
+		Files:    files,
+		Types:    tpkg,
+		Info:     info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// pkgImporter resolves one package's imports against the loader, applying
+// the package's ImportMap (vendored standard-library dependencies).
+type pkgImporter struct {
+	l    *loader
+	from *listPkg
+}
+
+func (im *pkgImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *pkgImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := im.from.ImportMap[path]; ok {
+		path = mapped
+	}
+	p, err := im.l.check(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}

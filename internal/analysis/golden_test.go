@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"flag"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// Testdata fixtures are loaded once per test binary: the load type-checks the
+// fixtures' whole dependency closure (context, sync/atomic, the obs and
+// relation packages, ...), which dominates the suite's runtime.
+var (
+	testdataOnce sync.Once
+	testdataRes  *Loaded
+	testdataErr  error
+)
+
+func loadTestdata(t *testing.T) *Loaded {
+	t.Helper()
+	testdataOnce.Do(func() {
+		testdataRes, testdataErr = Load(".", "./testdata/src/...")
+	})
+	if testdataErr != nil {
+		t.Fatalf("loading testdata fixtures: %v", testdataErr)
+	}
+	return testdataRes
+}
+
+// TestGolden runs the full suite over every fixture package and compares the
+// diagnostics, with filenames relativized to testdata/src, against the
+// per-package golden files. Regenerate with `go test -run Golden -update`.
+func TestGolden(t *testing.T) {
+	loaded := loadTestdata(t)
+	diags := Run(loaded, All())
+
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPkg := make(map[string][]string)
+	for _, d := range diags {
+		rel, err := filepath.Rel(srcRoot, d.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			t.Fatalf("diagnostic outside testdata/src: %s", d)
+		}
+		rel = filepath.ToSlash(rel)
+		pkg := strings.SplitN(rel, "/", 2)[0]
+		line := strings.TrimPrefix(d.String(), srcRoot+string(filepath.Separator))
+		byPkg[pkg] = append(byPkg[pkg], filepath.ToSlash(line))
+	}
+
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkg := e.Name()
+		t.Run(pkg, func(t *testing.T) {
+			got := strings.Join(byPkg[pkg], "\n") + "\n"
+			goldenPath := filepath.Join("testdata", "golden", pkg+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n-- got --\n%s-- want --\n%s", pkg, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenHasPositivesAndNegatives pins the fixture discipline: every
+// analyzer's fixture package must produce at least one finding (a true
+// positive exists) and must flag strictly fewer sites than it declares
+// functions (at least one near-miss negative stays silent).
+func TestGoldenHasPositivesAndNegatives(t *testing.T) {
+	loaded := loadTestdata(t)
+	diags := Run(loaded, All())
+	findings := make(map[string]int)
+	for _, d := range diags {
+		findings[filepath.Base(filepath.Dir(d.Pos.Filename))]++
+	}
+	funcs := make(map[string]int)
+	for _, pkg := range loaded.Targets {
+		name := filepath.Base(pkg.Dir)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					funcs[name]++
+				}
+			}
+		}
+	}
+	for _, a := range All() {
+		if findings[a.Name] == 0 {
+			t.Errorf("fixture package %s produced no findings for its analyzer", a.Name)
+		}
+		if findings[a.Name] >= funcs[a.Name] {
+			t.Errorf("fixture package %s: %d findings over %d functions — no near-miss negatives survive",
+				a.Name, findings[a.Name], funcs[a.Name])
+		}
+	}
+}
+
+// TestSuppression pins the //lint:ignore contract on the suppress fixture:
+// correctly placed directives silence the finding, a wrong-analyzer or
+// out-of-range directive does not, and a reason-less directive is itself
+// reported.
+func TestSuppression(t *testing.T) {
+	loaded := loadTestdata(t)
+	diags := Run(loaded, All())
+	var inSuppress []Diagnostic
+	for _, d := range diags {
+		if filepath.Base(filepath.Dir(d.Pos.Filename)) == "suppress" {
+			inSuppress = append(inSuppress, d)
+		}
+	}
+	byAnalyzer := make(map[string]int)
+	for _, d := range inSuppress {
+		byAnalyzer[d.Analyzer]++
+	}
+	// wrongAnalyzer, missingReason and tooFar leak through; the three
+	// suppressed* functions must not.
+	if got := byAnalyzer["ctxloop"]; got != 3 {
+		t.Errorf("suppress fixture: want 3 surviving ctxloop findings, got %d:\n%v", got, inSuppress)
+	}
+	if got := byAnalyzer["lint"]; got != 1 {
+		t.Errorf("suppress fixture: want 1 malformed-directive finding, got %d:\n%v", got, inSuppress)
+	}
+	if len(inSuppress) != 4 {
+		t.Errorf("suppress fixture: want 4 findings total, got %d:\n%v", len(inSuppress), inSuppress)
+	}
+}
+
+// TestByName covers analyzer selection, including the error path.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %v, %v; want the full suite", all, err)
+	}
+	two, err := ByName("ctxloop, atomicmix")
+	if err != nil || len(two) != 2 || two[0].Name != "ctxloop" || two[1].Name != "atomicmix" {
+		t.Fatalf("ByName(\"ctxloop, atomicmix\") = %v, %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(\"nosuch\") succeeded; want error")
+	}
+}
+
+// TestSelectedAnalyzers verifies Run honors the analyzer subset: with only
+// atomicmix selected, no ctxloop findings appear.
+func TestSelectedAnalyzers(t *testing.T) {
+	loaded := loadTestdata(t)
+	only, err := ByName("atomicmix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(loaded, only) {
+		if d.Analyzer != "atomicmix" && d.Analyzer != "lint" {
+			t.Errorf("unexpected analyzer %s in filtered run: %s", d.Analyzer, d)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsboundary: metric recording must happen at call boundaries, never inside
+// loops.
+//
+// The observability layer's contract (internal/obs package comment, PR-3) is
+// that instrumented packages tally effort in locals and flush once per
+// operator call, so the disabled-mode cost is a handful of atomic loads per
+// call — never per row, per node or per revision. This analyzer enforces the
+// lexical half of that contract: a call that records into the shared
+// registry — Counter.Add/Inc, Gauge.Set/Add, Histogram.Observe — or that
+// takes the registry mutex — obs.NewCounter/NewGauge/NewHistogram and the
+// Registry lookup methods — must not appear inside a for or range statement.
+//
+// Span methods are exempt: tracing is off by default, span creation sites
+// already gate on one atomic load, and per-step spans (join-plan steps,
+// propagation waves) are the tracer's whole point.
+//
+// The check is lexical and per function: recording inside a function that is
+// itself called from a loop is the callee's business (a function is a call
+// boundary — that is the discipline). Function literals likewise start a
+// fresh scope: a closure defined in a loop may run once, and a loop inside a
+// closure is a loop.
+var obsboundaryAnalyzer = &Analyzer{
+	Name: "obsboundary",
+	Doc:  "obs metric recording is forbidden inside loops; tally locals and flush at the call boundary",
+	Run:  runObsboundary,
+}
+
+// obsPkgPath is the observability package whose recording API is gated.
+const obsPkgPath = "csdb/internal/obs"
+
+// obsRecordingMethods lists the registry-writing methods per receiver type.
+var obsRecordingMethods = map[string]map[string]bool{
+	"Counter":   {"Add": true, "Inc": true},
+	"Gauge":     {"Set": true, "Add": true},
+	"Histogram": {"Observe": true},
+	"Registry":  {"Counter": true, "Gauge": true, "Histogram": true},
+}
+
+// obsRecordingFuncs lists the package-level registry entry points.
+var obsRecordingFuncs = map[string]bool{
+	"NewCounter": true, "NewGauge": true, "NewHistogram": true,
+}
+
+func runObsboundary(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		if pkg.Path == obsPkgPath {
+			continue // the layer itself is not an instrumentation site
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					checkObsFunc(pass, pkg, fd.Body)
+				}
+			}
+		}
+	}
+}
+
+// checkObsFunc walks one function scope tracking loop depth; function
+// literals recurse with a fresh depth of zero.
+func checkObsFunc(pass *Pass, pkg *Package, body *ast.BlockStmt) {
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				walk(n.Body, 0)
+				return false
+			case *ast.ForStmt:
+				if n.Init != nil {
+					walk(n.Init, loopDepth)
+				}
+				if n.Cond != nil {
+					walk(n.Cond, loopDepth)
+				}
+				if n.Post != nil {
+					walk(n.Post, loopDepth)
+				}
+				walk(n.Body, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				if n.X != nil {
+					walk(n.X, loopDepth)
+				}
+				walk(n.Body, loopDepth+1)
+				return false
+			case *ast.CallExpr:
+				if loopDepth > 0 {
+					if name := obsRecordingCallName(pkg, n); name != "" {
+						pass.Reportf(n.Pos(), "obs recording call %s inside a loop; tally a local and flush once at the call boundary", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+}
+
+// obsRecordingCallName returns a human-readable name when the call records
+// into the obs registry, or "".
+func obsRecordingCallName(pkg *Package, call *ast.CallExpr) string {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		named := namedRecv(recv.Type())
+		if named == nil {
+			return ""
+		}
+		if methods, ok := obsRecordingMethods[named.Obj().Name()]; ok && methods[fn.Name()] {
+			return "obs." + named.Obj().Name() + "." + fn.Name()
+		}
+		return ""
+	}
+	if obsRecordingFuncs[fn.Name()] {
+		return "obs." + fn.Name()
+	}
+	return ""
+}
+
+// namedRecv unwraps a method receiver type to its named type.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

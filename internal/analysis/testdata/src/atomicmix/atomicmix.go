@@ -1,0 +1,71 @@
+// Package atomicmixtest exercises the atomicmix analyzer: a struct field
+// accessed through sync/atomic must never be read or written plainly.
+package atomicmixtest
+
+import "sync/atomic"
+
+type counters struct {
+	nodes   int64 // accessed atomically — plain access is a race
+	backs   int64 // accessed atomically — plain access is a race
+	seed    int64 // never touched atomically; plain access is fine
+	done    uint32
+	typedOK atomic.Int64 // the typed wrappers make mixing inexpressible
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.nodes, 1)
+	atomic.AddInt64(&c.backs, 1)
+	atomic.StoreUint32(&c.done, 1)
+}
+
+func (c *counters) loadAll() (int64, int64, bool) {
+	return atomic.LoadInt64(&c.nodes), atomic.LoadInt64(&c.backs),
+		atomic.LoadUint32(&c.done) == 1
+}
+
+// badPlainRead: the sneaky fast-path read. (true positive)
+func badPlainRead(c *counters) int64 {
+	return c.nodes
+}
+
+// badPlainWrite: resetting without the atomic store. (true positive)
+func badPlainWrite(c *counters) {
+	c.backs = 0
+}
+
+// badCompound: compound assignment is a read and a write. (true positive)
+func badCompound(c *counters) {
+	c.nodes += 2
+}
+
+// badAddressEscape: taking the address outside an atomic call enables
+// unchecked plain access. (true positive)
+func badAddressEscape(c *counters) *uint32 {
+	return &c.done
+}
+
+// goodAtomicEverywhere: more atomic calls on the same fields are sanctioned.
+// (negative)
+func goodAtomicEverywhere(c *counters) {
+	atomic.AddInt64(&c.nodes, -1)
+	for atomic.LoadUint32(&c.done) == 0 {
+		if atomic.CompareAndSwapUint32(&c.done, 0, 1) {
+			return
+		}
+	}
+}
+
+// goodUntouchedField: seed is never accessed atomically, so plain access
+// carries no mixing hazard. (near-miss negative: sibling field in the same
+// struct)
+func goodUntouchedField(c *counters) int64 {
+	c.seed++
+	return c.seed
+}
+
+// goodTypedWrapper: atomic.Int64 methods are the only way in. (near-miss
+// negative)
+func goodTypedWrapper(c *counters) int64 {
+	c.typedOK.Add(1)
+	return c.typedOK.Load()
+}

@@ -1,0 +1,54 @@
+// Package suppresstest exercises the //lint:ignore directive mechanics.
+package suppresstest
+
+import "context"
+
+// suppressedAbove: directive on the line above the finding. (suppressed)
+func suppressedAbove(ctx context.Context, work chan int) {
+	//lint:ignore ctxloop test fixture: loop lifetime is owned by the work channel
+	for {
+		<-work
+	}
+}
+
+// suppressedSameLine: directive trailing the flagged line. (suppressed)
+func suppressedSameLine(ctx context.Context, work chan int) {
+	for { //lint:ignore ctxloop test fixture: same-line placement
+		<-work
+	}
+}
+
+// suppressedStar: * matches every analyzer. (suppressed)
+func suppressedStar(ctx context.Context, work chan int) {
+	//lint:ignore * test fixture: wildcard suppression
+	for {
+		<-work
+	}
+}
+
+// wrongAnalyzer: directive names an analyzer that did not fire here, so the
+// ctxloop finding survives. (true positive)
+func wrongAnalyzer(ctx context.Context, work chan int) {
+	//lint:ignore obsboundary test fixture: names the wrong analyzer
+	for {
+		<-work
+	}
+}
+
+// missingReason: a directive without a reason is itself a finding (analyzer
+// "lint") and suppresses nothing. (two findings: lint + ctxloop)
+func missingReason(ctx context.Context, work chan int) {
+	//lint:ignore ctxloop
+	for {
+		<-work
+	}
+}
+
+// tooFar: a directive two lines up is out of range. (true positive)
+func tooFar(ctx context.Context, work chan int) {
+	//lint:ignore ctxloop test fixture: too far from the finding
+
+	for {
+		<-work
+	}
+}

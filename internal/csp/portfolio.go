@@ -112,9 +112,12 @@ func Portfolio(ctx context.Context, p *Instance, popts PortfolioOptions) Portfol
 	obsPortfolioRaces.Inc()
 	ctx, raceSpan := obs.StartSpan(ctx, "csp.portfolio")
 	raceSpan.SetInt("strategies", int64(len(strategies)))
-	raceCtx, cancel := context.WithCancel(ctx)
+	var raceCtx context.Context
+	var cancel context.CancelFunc
 	if popts.Timeout > 0 {
 		raceCtx, cancel = context.WithTimeout(ctx, popts.Timeout)
+	} else {
+		raceCtx, cancel = context.WithCancel(ctx)
 	}
 	defer cancel()
 

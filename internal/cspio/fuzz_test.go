@@ -1,0 +1,48 @@
+package cspio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseInstance drives the text-format parser with arbitrary bytes. The
+// properties: Parse never panics; and whenever it accepts the input, the
+// instance survives a Format/Parse round trip — Format's output parses, and
+// reformatting that parse reproduces it byte for byte (Format is
+// deterministic, so format∘parse is idempotent).
+func FuzzParseInstance(f *testing.F) {
+	f.Add("vars 2\ndom 2\ncon 0 1 : 0 1 | 1 0\n")
+	f.Add("vars 4\ndom 3\nnames x y z w\ncon 0 1 : 0 1 | 1 0\ndom_of 2 : 0 2\n")
+	f.Add("# comment\nvars 1\ndom 1\n")
+	f.Add("vars 0\ndom 0\n")
+	f.Add("vars 2\ndom 2\ncon 0 1 :\n")
+	f.Add("con 0 1 : 0 1\nvars 2\ndom 2\n")
+	f.Add("vars -1\ndom 2\n")
+	f.Add("vars 2\ndom 2\ncon 0 0 : 0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		var out1 bytes.Buffer
+		if err := Format(&out1, p); err != nil {
+			t.Fatalf("Format failed on accepted instance: %v\ninput: %q", err, input)
+		}
+		q, err := Parse(bytes.NewReader(out1.Bytes()))
+		if err != nil {
+			t.Fatalf("Format output does not re-parse: %v\nformatted: %q", err, out1.String())
+		}
+		if q.Vars != p.Vars || q.Dom != p.Dom || len(q.Constraints) != len(p.Constraints) {
+			t.Fatalf("round trip changed shape: vars %d->%d dom %d->%d cons %d->%d\ninput: %q",
+				p.Vars, q.Vars, p.Dom, q.Dom, len(p.Constraints), len(q.Constraints), input)
+		}
+		var out2 bytes.Buffer
+		if err := Format(&out2, q); err != nil {
+			t.Fatalf("reformat failed: %v", err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatalf("format not idempotent:\nfirst:  %q\nsecond: %q", out1.String(), out2.String())
+		}
+	})
+}

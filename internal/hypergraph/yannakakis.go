@@ -42,11 +42,12 @@ func fullReduce(rels []*relation.Relation, jt *JoinTree, order []int, parent *ob
 	if obs.Enabled() {
 		obsYanRowsLoaded.Add(relRows(rels))
 	}
+	var semijoins int64
 	up := obs.StartChild(parent, "yannakakis.semijoin_up")
 	for _, i := range order {
 		if p := jt.Parent[i]; p >= 0 {
 			rels[p] = rels[p].Semijoin(rels[i])
-			obsYanSemijoins.Inc()
+			semijoins++
 		}
 	}
 	if up != nil {
@@ -58,9 +59,10 @@ func fullReduce(rels []*relation.Relation, jt *JoinTree, order []int, parent *ob
 		i := order[k]
 		if p := jt.Parent[i]; p >= 0 {
 			rels[i] = rels[i].Semijoin(rels[p])
-			obsYanSemijoins.Inc()
+			semijoins++
 		}
 	}
+	obsYanSemijoins.Add(semijoins)
 	if obs.Enabled() {
 		obsYanRowsReduced.Add(relRows(rels))
 	}

@@ -145,6 +145,7 @@ func joinAllPlanned(ctx context.Context, rels []*Relation, sp *obs.Span) (*Relat
 			return nil, err
 		}
 		var it pairItem
+		//lint:ignore ctxloop bounded in fact: each iteration pops the finite pair heap, and a live pair always exists while aliveCount > 1
 		for {
 			it = heap.Pop(&h).(pairItem)
 			if alive[it.a] && alive[it.b] {
