@@ -11,10 +11,10 @@ GO ?= go
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
-.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs bench obs-overhead
+.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs race-serve bench bench-serve obs-overhead
 
 # Default target: everything a PR must pass locally.
-check: vet verify lint race-kernel race-obs
+check: vet verify lint race-kernel race-obs race-serve
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,12 @@ race-kernel:
 race-obs:
 	$(GO) test -race -count=1 ./internal/obs/ ./cmd/cspd/
 
+# The serving layers (admission gate, result cache, singleflight) and the
+# daemon they are wired into: collapsing and shedding are inherently
+# concurrent, so both packages always run under the detector.
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve/ ./cmd/cspd/
+
 # Benchmark the join/semijoin/Yannakakis/engine hot paths and merge the
 # medians into BENCH_relation.json under $(BENCH_LABEL). Run with
 # BENCH_LABEL=before on a pre-change tree to record a baseline.
@@ -73,6 +79,15 @@ bench:
 		-benchtime=0.3s -run '^$$' -timeout 60m \
 		. ./internal/relation/ ./internal/hypergraph/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_relation.json -label $(BENCH_LABEL) -obs
+
+# Benchmark the daemon's serving stack — cold engine solve vs canonical
+# cache hit on the same request — into BENCH_serve.json. The recorded gap is
+# the acceptance bar for the result cache (hit median >= 50x faster).
+bench-serve:
+	$(GO) test -bench 'ServeSolve|ServeCanonicalHash' -benchmem -count 5 \
+		-benchtime=0.3s -run '^$$' -timeout 30m ./cmd/cspd/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_serve.json -label $(BENCH_LABEL) \
+		-note "cspd request latency: cold engine solve vs canonical result-cache hit on PHP(8), plus the cache-key (parse+hash) cost"
 
 # Measure what the observability instrumentation costs when it is off (the
 # library default; the acceptance bar is <2% vs the pre-instrumentation

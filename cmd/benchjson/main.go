@@ -65,6 +65,7 @@ func main() {
 	out := flag.String("o", "BENCH_relation.json", "output JSON file (merged in place)")
 	label := flag.String("label", "current", "label for this capture (e.g. before, after)")
 	withObs := flag.Bool("obs", false, "embed a metrics snapshot of the canonical chain-join workload")
+	note := flag.String("note", "", "override the file's note line (kept from the existing file when empty)")
 	flag.Parse()
 
 	runs := parseBench(os.Stdin)
@@ -83,7 +84,12 @@ func main() {
 			f.Labels = map[string]Label{}
 		}
 	}
-	f.Note = "per-benchmark ns/op, B/op, allocs/op across -count repetitions; medians for comparison"
+	switch {
+	case *note != "":
+		f.Note = *note
+	case f.Note == "":
+		f.Note = "per-benchmark ns/op, B/op, allocs/op across -count repetitions; medians for comparison"
+	}
 
 	// Merge into the label if it already exists: a capture of a subset of
 	// benchmarks (e.g. a backfilled baseline for one new benchmark) updates

@@ -12,7 +12,7 @@ import (
 // empty body, and a body that parses structurally but truncates a tuple.
 // Each must produce 400 with a diagnostic body, never 500 or a hang.
 func TestSolveRejectsHostileParams(t *testing.T) {
-	ts := startDaemon(t)
+	ts, _ := startDaemon(t)
 	for _, tc := range []struct {
 		name, query, body, wantIn string
 	}{

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"csdb/internal/obs"
+)
+
+// Daemon lifecycle: serve until a signal arrives, then drain gracefully.
+//
+// On SIGINT/SIGTERM the listener closes (new connections are refused) and
+// in-flight requests get cfg.drainTimeout to finish. If the grace period
+// expires, the base solve context is cancelled, which aborts every running
+// engine solve (the engines poll their contexts — enforced by the ctxloop
+// analyzer) and lets the handlers reply with aborted results instead of
+// being killed mid-write. After the drain the span ring is flushed to
+// cfg.traceFlush, and the daemon reports a clean (nil) exit —
+// http.ErrServerClosed is the expected outcome of a shutdown, not an error.
+
+// runDaemon serves s on ln until the listener fails or sigCh delivers a
+// signal, then drains. It returns nil on a clean shutdown and the serve
+// error otherwise.
+func runDaemon(s *server, ln net.Listener, sigCh <-chan os.Signal, logf func(string, ...any)) error {
+	httpSrv := &http.Server{
+		Handler:           s.mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Serve failed on its own (bad listener, accept error). Abort any
+		// stragglers and report; ErrServerClosed here still means "closed",
+		// never a fatal condition.
+		s.cancelSolves()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-sigCh:
+		logf("cspd: caught %v; draining in-flight solves (grace %s)", sig, s.cfg.drainTimeout)
+	}
+
+	// Hard-stop timer: when the grace period expires, cancel the base solve
+	// context so running solves abort promptly and Shutdown can finish
+	// waiting on their handlers.
+	hardStop := time.AfterFunc(s.cfg.drainTimeout, func() {
+		logf("cspd: drain deadline passed; cancelling in-flight solves")
+		s.cancelSolves()
+	})
+	_ = httpSrv.Shutdown(context.Background())
+	hardStop.Stop()
+	s.cancelSolves()
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	flushTrace(s.cfg.traceFlush, logf)
+	logf("cspd: drained cleanly")
+	return nil
+}
+
+// flushTrace drains the span ring and, if a path is configured, persists
+// the spans as JSON lines so the final moments of the daemon stay
+// inspectable after exit.
+func flushTrace(path string, logf func(string, ...any)) {
+	spans := obs.DefaultTracer().Drain()
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		logf("cspd: trace flush: %v", err)
+		return
+	}
+	if err := obs.WriteJSONL(f, spans); err != nil {
+		logf("cspd: trace flush: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		logf("cspd: trace flush: %v", err)
+		return
+	}
+	logf("cspd: flushed %d spans to %s", len(spans), path)
+}

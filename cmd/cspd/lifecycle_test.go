@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Lifecycle harness: run the real daemon loop (runDaemon) on a loopback
+// listener, deliver signals through the channel main would wire to
+// SIGINT/SIGTERM, and observe the drain from the outside.
+
+// startLifecycle launches runDaemon on a fresh loopback listener and
+// returns the base URL, the signal channel, and the daemon's exit channel.
+func startLifecycle(t *testing.T, srv *server) (url string, sigCh chan os.Signal, exit chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigCh = make(chan os.Signal, 1)
+	exit = make(chan error, 1)
+	go func() { exit <- runDaemon(srv, ln, sigCh, t.Logf) }()
+	return "http://" + ln.Addr().String(), sigCh, exit
+}
+
+func waitExit(t *testing.T, exit chan error) error {
+	t.Helper()
+	select {
+	case err := <-exit:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit within 10s")
+		return nil
+	}
+}
+
+// TestLifecycleDrainsInFlightSolve is the acceptance test for graceful
+// shutdown: a SIGTERM-equivalent must stop the listener, let an in-flight
+// solve finish inside the grace period, flush the trace ring, and exit
+// cleanly (http.ErrServerClosed is not an error).
+func TestLifecycleDrainsInFlightSolve(t *testing.T) {
+	withDaemonObs(t)
+	cfg := testConfig()
+	cfg.traceFlush = filepath.Join(t.TempDir(), "final-trace.jsonl")
+	srv := newServer(cfg)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv.dispatch = blockingDispatch(started, release)
+	url, sigCh, exit := startLifecycle(t, srv)
+
+	// Park one solve in flight.
+	solveDone := make(chan solveResponse, 1)
+	go func() {
+		resp, err := http.Post(url+"/solve", "text/plain", strings.NewReader(sampleInstance))
+		if err != nil {
+			t.Errorf("in-flight solve: %v", err)
+			solveDone <- solveResponse{}
+			return
+		}
+		defer resp.Body.Close()
+		var out solveResponse
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("in-flight solve: status %d", resp.StatusCode)
+		} else if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Errorf("in-flight solve: %v", err)
+		}
+		solveDone <- out
+	}()
+	<-started
+
+	sigCh <- syscall.SIGTERM
+
+	// New connections must be refused once the drain begins (the listener
+	// is closed before in-flight work completes).
+	waitForState(t, "listener to close", func() bool {
+		conn, err := net.DialTimeout("tcp", strings.TrimPrefix(url, "http://"), 50*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return false
+		}
+		return true
+	})
+	select {
+	case err := <-exit:
+		t.Fatalf("daemon exited (%v) before the in-flight solve finished", err)
+	default:
+	}
+
+	// Let the solve finish inside the grace period: the client must get a
+	// complete, non-aborted response, and only then may the daemon exit 0.
+	close(release)
+	res := <-solveDone
+	if !res.Found || res.Aborted {
+		t.Fatalf("drained solve: found=%v aborted=%v, want a completed result", res.Found, res.Aborted)
+	}
+	if err := waitExit(t, exit); err != nil {
+		t.Fatalf("clean drain returned error: %v", err)
+	}
+
+	// The span ring was flushed on the way out.
+	data, err := os.ReadFile(cfg.traceFlush)
+	if err != nil {
+		t.Fatalf("trace flush file: %v", err)
+	}
+	if !strings.Contains(string(data), `"cspd.solve"`) {
+		t.Fatalf("flushed trace misses the request root span:\n%s", data)
+	}
+}
+
+// TestLifecycleCancelsSolvesAfterGrace: when the grace period expires, the
+// daemon cancels in-flight solve contexts instead of hanging; the handler
+// replies with an aborted result and the exit is still clean.
+func TestLifecycleCancelsSolvesAfterGrace(t *testing.T) {
+	withDaemonObs(t)
+	cfg := testConfig()
+	cfg.drainTimeout = 50 * time.Millisecond
+	srv := newServer(cfg)
+	started := make(chan struct{}, 1)
+	// Never released: the solve can only end via context cancellation.
+	srv.dispatch = blockingDispatch(started, nil)
+	url, sigCh, exit := startLifecycle(t, srv)
+
+	solveDone := make(chan solveResponse, 1)
+	go func() {
+		resp, err := http.Post(url+"/solve", "text/plain", strings.NewReader(sampleInstance))
+		if err != nil {
+			t.Errorf("in-flight solve: %v", err)
+			solveDone <- solveResponse{}
+			return
+		}
+		defer resp.Body.Close()
+		var out solveResponse
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		solveDone <- out
+	}()
+	<-started
+
+	sigCh <- syscall.SIGTERM
+	if res := <-solveDone; !res.Aborted {
+		t.Fatalf("solve past the drain deadline: %+v, want aborted", res)
+	}
+	if err := waitExit(t, exit); err != nil {
+		t.Fatalf("post-deadline drain returned error: %v", err)
+	}
+}
+
+// TestLifecycleServeErrorIsFatal: a listener failure (as opposed to a
+// drain's ErrServerClosed) must surface as a non-nil error — the log.Fatal
+// path in main.
+func TestLifecycleServeErrorIsFatal(t *testing.T) {
+	withDaemonObs(t)
+	srv := newServer(testConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close() // Serve will fail on Accept immediately
+	sigCh := make(chan os.Signal, 1)
+	exit := make(chan error, 1)
+	go func() { exit <- runDaemon(srv, ln, sigCh, t.Logf) }()
+	if err := waitExit(t, exit); err == nil || errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("broken listener exit = %v, want a real serve error", err)
+	}
+}
+
+// TestLifecycleIdleShutdownIsClean: with nothing in flight, a signal must
+// produce an immediate clean exit.
+func TestLifecycleIdleShutdownIsClean(t *testing.T) {
+	withDaemonObs(t)
+	srv := newServer(testConfig())
+	url, sigCh, exit := startLifecycle(t, srv)
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sigCh <- syscall.SIGTERM
+	if err := waitExit(t, exit); err != nil {
+		t.Fatalf("idle shutdown returned error: %v", err)
+	}
+}

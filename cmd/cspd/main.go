@@ -4,9 +4,21 @@
 // structured span ring, the standard pprof handlers, and a /solve endpoint
 // that runs a POSTed instance under a per-request trace ID.
 //
+// Because CSP solving is worst-case intractable, the daemon is built to
+// survive heavy repeated traffic rather than to merely multiplex the
+// engine: solves pass through admission control (a bounded solve semaphore
+// with a bounded FIFO wait queue; overflow is shed with 429), a canonical
+// result cache (order-insensitive instance hashing, LRU over completed
+// responses), and singleflight collapsing (concurrent identical requests
+// share one engine run). SIGINT/SIGTERM trigger a graceful drain: the
+// listener closes, in-flight solves get -drain-timeout to finish before
+// their contexts are cancelled, the trace ring is flushed, and the process
+// exits 0.
+//
 // Usage:
 //
-//	cspd [-addr :8344] [-max-timeout 2m] [-trace-cap 16384]
+//	cspd [-addr :8344] [-max-timeout 2m] [-max-inflight N] [-queue N]
+//	     [-cache N] [-drain-timeout 10s] [-trace-flush file.jsonl]
 //
 // Examples:
 //
@@ -22,15 +34,37 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"csdb/internal/obs"
 )
 
+// daemonConfig is everything the daemon is parameterized by; flags populate
+// it in main and the lifecycle tests construct it directly.
+type daemonConfig struct {
+	addr         string
+	maxTimeout   time.Duration
+	drainTimeout time.Duration
+	maxInflight  int
+	maxQueue     int
+	cacheSize    int
+	traceFlush   string
+}
+
 func main() {
-	addr := flag.String("addr", ":8344", "listen address")
-	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on per-request solve timeouts (0 = uncapped)")
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", ":8344", "listen address")
+	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 2*time.Minute, "cap on per-request solve timeouts (0 = uncapped)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight solves on shutdown before their contexts are cancelled")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", runtime.GOMAXPROCS(0), "max concurrent engine solves (0 = unlimited, disables the queue)")
+	flag.IntVar(&cfg.maxQueue, "queue", 64, "solve requests allowed to wait for a slot before overflow is shed with 429")
+	flag.IntVar(&cfg.cacheSize, "cache", 256, "result-cache entries (0 = caching off)")
+	flag.StringVar(&cfg.traceFlush, "trace-flush", "", "file to flush the span ring to on shutdown (empty = discard)")
 	flag.Parse()
 
 	// The daemon is the observability consumer: metrics and tracing are on
@@ -38,13 +72,19 @@ func main() {
 	obs.SetEnabled(true)
 	obs.SetTracing(true)
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(*maxTimeout).mux(),
-		ReadHeaderTimeout: 10 * time.Second,
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		log.Fatal(fmt.Errorf("cspd: %w", err))
 	}
-	log.Printf("cspd: serving /solve /metrics /trace /debug/pprof on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	log.Printf("cspd: serving /solve /metrics /trace /debug/pprof on %s "+
+		"(max-inflight %d, queue %d, cache %d)",
+		ln.Addr(), cfg.maxInflight, cfg.maxQueue, cfg.cacheSize)
+	// A clean drain (including http.ErrServerClosed from the closed
+	// listener) exits 0; only real listen/serve errors are fatal.
+	if err := runDaemon(newServer(cfg), ln, sigCh, log.Printf); err != nil {
 		log.Fatal(fmt.Errorf("cspd: %w", err))
 	}
 }

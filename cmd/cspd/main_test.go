@@ -32,22 +32,47 @@ con 0 1 : 0 0 | 1 1
 con 0 1 : 0 1 | 1 0
 `
 
-// startDaemon spins up the full daemon surface on an httptest server with
-// observability on, restoring global state afterwards.
-func startDaemon(t *testing.T) *httptest.Server {
+// testConfig is the daemon configuration used by the httptest harness:
+// admission and caching on, bounds small but comfortable.
+func testConfig() daemonConfig {
+	return daemonConfig{
+		maxTimeout:   time.Minute,
+		drainTimeout: 5 * time.Second,
+		maxInflight:  4,
+		maxQueue:     16,
+		cacheSize:    64,
+	}
+}
+
+// withDaemonObs turns metrics and tracing on for one test (the daemon does
+// this at startup), restoring global state afterwards.
+func withDaemonObs(t *testing.T) {
 	t.Helper()
 	prevEnabled, prevTracing := obs.Enabled(), obs.Tracing()
 	obs.SetEnabled(true)
 	obs.SetTracing(true)
 	obs.DefaultTracer().Drain() // start from an empty ring
-	ts := httptest.NewServer(newServer(time.Minute).mux())
 	t.Cleanup(func() {
-		ts.Close()
 		obs.DefaultTracer().Drain()
 		obs.SetEnabled(prevEnabled)
 		obs.SetTracing(prevTracing)
 	})
-	return ts
+}
+
+// startDaemon spins up the full daemon surface on an httptest server with
+// observability on.
+func startDaemon(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	return startDaemonCfg(t, testConfig())
+}
+
+func startDaemonCfg(t *testing.T, cfg daemonConfig) (*httptest.Server, *server) {
+	t.Helper()
+	withDaemonObs(t)
+	srv := newServer(cfg)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts, srv
 }
 
 func postSolve(t *testing.T, ts *httptest.Server, query, body string) solveResponse {
@@ -94,7 +119,7 @@ func drainSpans(t *testing.T, ts *httptest.Server, query string) []obs.SpanRecor
 
 // TestSolveEndToEnd drives /solve across strategies and checks verdicts.
 func TestSolveEndToEnd(t *testing.T) {
-	ts := startDaemon(t)
+	ts, _ := startDaemon(t)
 	for _, strategy := range []string{"mac", "fc", "bt", "cbj", "join", "portfolio", "parallel"} {
 		res := postSolve(t, ts, "strategy="+strategy+"&timeout=10s", sampleInstance)
 		if !res.Found || res.Aborted {
@@ -116,7 +141,7 @@ func TestSolveEndToEnd(t *testing.T) {
 }
 
 func TestSolveRejectsBadInput(t *testing.T) {
-	ts := startDaemon(t)
+	ts, _ := startDaemon(t)
 	for _, tc := range []struct{ query, body string }{
 		{"strategy=warp", sampleInstance},
 		{"timeout=yesterday", sampleInstance},
@@ -138,7 +163,7 @@ func TestSolveRejectsBadInput(t *testing.T) {
 // solve's trace must contain the request root, the solve span under it, and
 // search/propagation spans nested under the solve with correct parent IDs.
 func TestTraceNesting(t *testing.T) {
-	ts := startDaemon(t)
+	ts, _ := startDaemon(t)
 	res := postSolve(t, ts, "strategy=mac", sampleInstance)
 	spans := drainSpans(t, ts, "?trace_id="+res.TraceID)
 	if len(spans) == 0 {
@@ -204,7 +229,7 @@ func TestTraceNesting(t *testing.T) {
 
 // TestMetricsEndpoint checks that solver work shows up in /metrics.
 func TestMetricsEndpoint(t *testing.T) {
-	ts := startDaemon(t)
+	ts, _ := startDaemon(t)
 	postSolve(t, ts, "strategy=portfolio", sampleInstance)
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -237,7 +262,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 // TestPprofAndHealth checks the operational endpoints end to end.
 func TestPprofAndHealth(t *testing.T) {
-	ts := startDaemon(t)
+	ts, _ := startDaemon(t)
 	for _, path := range []string{"/debug/pprof/heap?debug=1", "/debug/pprof/", "/debug/vars", "/healthz"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {

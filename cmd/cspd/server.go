@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -15,6 +19,7 @@ import (
 	"csdb/internal/csp"
 	"csdb/internal/cspio"
 	"csdb/internal/obs"
+	"csdb/internal/serve"
 )
 
 // The HTTP surface of the solver daemon:
@@ -37,11 +42,36 @@ import (
 // Every request gets a trace ID (req-N); the solve runs under a root span
 // carrying it, so /trace output can be attributed per request even when
 // solves overlap.
+//
+// Since CSP solving is worst-case intractable, /solve does not run the
+// engine once per request. Requests flow through three serving layers
+// (internal/serve):
+//
+//  1. a canonical result cache — instances are hashed order-insensitively
+//     (cspio.CanonicalHash), and a completed non-aborted result for the same
+//     (instance, strategy, workers) is replayed without touching the engine;
+//  2. singleflight collapsing — concurrent identical requests share one
+//     engine solve (and one admission slot);
+//  3. admission control — at most -max-inflight engine solves run at once,
+//     the next -queue callers wait FIFO, and everyone beyond that is shed
+//     with 429 + Retry-After.
+//
+// Responses carry "cached": true when the body was served from the cache or
+// a shared flight rather than a dedicated engine run. Engine work is
+// deliberately detached from per-connection cancellation: a disconnecting
+// client does not abort a solve that collapsed followers may share (and
+// whose result warms the cache). Solves are bounded by their timeout and by
+// daemon shutdown (the drain deadline cancels s.baseCtx).
 
-// Daemon-level metrics.
+// Daemon-level metrics. cspd.solve.requests counts POSTs that reach the
+// handler; cspd.solve.executed counts actual engine runs, so the difference
+// is work saved by the cache and collapsing layers.
 var (
 	obsRequests  = obs.NewCounter("cspd.solve.requests")
 	obsErrors    = obs.NewCounter("cspd.solve.errors")
+	obsTooLarge  = obs.NewCounter("cspd.solve.too_large")
+	obsExecuted  = obs.NewCounter("cspd.solve.executed")
+	obsCollapsed = obs.NewCounter("cspd.solve.collapsed")
 	obsSolveNs   = obs.NewHistogram("cspd.solve.ns")
 	obsInFlight  = obs.NewGauge("cspd.solve.inflight")
 	reqIDCounter atomic.Uint64
@@ -51,22 +81,61 @@ var (
 // is generous.
 const maxBodyBytes = 16 << 20
 
-// server carries daemon configuration shared by handlers.
+// solveParams are the validated query parameters of one /solve request.
+type solveParams struct {
+	strategy string
+	timeout  time.Duration
+	workers  int
+}
+
+// strategies is the accepted strategy set; validation happens at the HTTP
+// boundary so the dispatch switch never sees an unknown name.
+var strategies = map[string]bool{
+	"mac": true, "fc": true, "bt": true, "cbj": true,
+	"join": true, "portfolio": true, "parallel": true,
+}
+
+// server carries daemon configuration and the serving layers shared by
+// handlers.
 type server struct {
-	maxTimeout time.Duration
-	start      time.Time
+	cfg   daemonConfig
+	start time.Time
+
+	admit   *serve.Admission
+	cache   *serve.Cache
+	flights serve.Group
+
+	// baseCtx parents every engine solve; cancelSolves aborts them all (the
+	// drain deadline's hard stop).
+	baseCtx      context.Context
+	cancelSolves context.CancelFunc
+
+	// dispatch runs one engine solve. Tests substitute a controllable fake;
+	// production uses realDispatch.
+	dispatch func(ctx context.Context, inst *csp.Instance, p solveParams) solveResponse
 }
 
-func newServer(maxTimeout time.Duration) *server {
-	return &server{maxTimeout: maxTimeout, start: time.Now()}
+func newServer(cfg daemonConfig) *server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &server{
+		cfg:          cfg,
+		start:        time.Now(),
+		admit:        serve.NewAdmission(cfg.maxInflight, cfg.maxQueue),
+		cache:        serve.NewCache(cfg.cacheSize),
+		baseCtx:      ctx,
+		cancelSolves: cancel,
+		dispatch:     realDispatch,
+	}
 }
 
-// mux builds the daemon's routing table.
+// mux builds the daemon's routing table. /solve is registered without a
+// method pattern: the handler rejects non-POSTs itself with an explicit 405
+// and Allow header before touching the body.
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace", s.handleTrace)
-	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -91,6 +160,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap["runtime.num_gc"] = ms.NumGC
 	snap["cspd.uptime_seconds"] = int64(time.Since(s.start).Seconds())
 	snap["cspd.trace.dropped"] = obs.DefaultTracer().Dropped()
+	snap["cspd.cache.len"] = s.cache.Len()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -115,10 +185,14 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	_ = obs.WriteJSONL(w, spans)
 }
 
-// solveResponse is the JSON reply of POST /solve.
+// solveResponse is the JSON reply of POST /solve. Cached reports whether the
+// body was replayed from the result cache or a collapsed flight instead of a
+// dedicated engine run; for such responses WallNs (and Stats) describe the
+// original engine solve, not this request.
 type solveResponse struct {
 	TraceID  string    `json:"trace_id"`
 	Strategy string    `json:"strategy"`
+	Cached   bool      `json:"cached"`
 	Found    bool      `json:"found"`
 	Aborted  bool      `json:"aborted"`
 	Solution []int     `json:"solution,omitempty"`
@@ -128,62 +202,172 @@ type solveResponse struct {
 	WallNs   int64     `json:"wall_ns"`
 }
 
+// flightKey identifies collapsible requests: the cache key plus the
+// effective timeout, so a short-deadline request never hands its (possibly
+// aborted) outcome to a caller that asked for more time.
+type flightKey struct {
+	serve.CacheKey
+	timeout time.Duration
+}
+
+// flightResult is what one singleflight execution yields: either a response
+// (possibly replayed from the cache) or an admission error.
+type flightResult struct {
+	resp      solveResponse
+	fromCache bool
+	err       error
+}
+
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed: POST an instance to /solve", http.StatusMethodNotAllowed)
+		return
+	}
 	obsRequests.Inc()
 	obsInFlight.Add(1)
 	defer obsInFlight.Add(-1)
 
-	inst, err := cspio.Parse(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			obsTooLarge.Inc()
+			http.Error(w, fmt.Sprintf("body too large: limit is %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		obsErrors.Inc()
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	inst, err := cspio.Parse(bytes.NewReader(body))
 	if err != nil {
 		obsErrors.Inc()
 		http.Error(w, "parse: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 
-	q := r.URL.Query()
-	strategy := q.Get("strategy")
-	if strategy == "" {
-		strategy = "portfolio"
+	traceID := fmt.Sprintf("req-%d", reqIDCounter.Add(1))
+	root := obs.StartRoot("cspd.solve", traceID)
+	// All paths below, including parameter rejections, end the root span
+	// exactly once (TestUnknownStrategySpanAndCache pins this).
+	defer root.End()
+
+	params, err := s.parseParams(r.URL.Query())
+	if err != nil {
+		obsErrors.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	}
-	timeout := 30 * time.Second
+	root.SetStr("strategy", params.strategy)
+
+	key := serve.CacheKey{
+		Hash:     cspio.CanonicalHash(inst),
+		Strategy: params.strategy,
+		Workers:  params.workers,
+	}
+	// The cache lookup lives inside the flight so a result committed by an
+	// overlapping request is found even when this caller raced past its own
+	// pre-flight check — an engine run after a completed identical solve is
+	// impossible, not just unlikely.
+	v, ranFlight := s.flights.Do(flightKey{key, params.timeout}, func() any {
+		if cached, ok := s.cache.Get(key); ok {
+			return flightResult{resp: cached.(solveResponse), fromCache: true}
+		}
+		release, err := s.admit.Acquire(s.baseCtx)
+		if err != nil {
+			return flightResult{err: err}
+		}
+		defer release()
+		ctx, cancel := context.WithTimeout(obs.WithSpan(s.baseCtx, root), params.timeout)
+		defer cancel()
+		obsExecuted.Inc()
+		resp := s.dispatch(ctx, inst, params)
+		obsSolveNs.Observe(resp.WallNs)
+		if !resp.Aborted {
+			s.cache.Add(key, resp)
+		}
+		return flightResult{resp: resp}
+	})
+	res := v.(flightResult)
+	switch {
+	case errors.Is(res.err, serve.ErrShed):
+		root.SetInt("shed", 1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "solver at capacity: admission queue full, retry later",
+			http.StatusTooManyRequests)
+		return
+	case res.err != nil:
+		// The base context died while queued: the daemon is draining.
+		obsErrors.Inc()
+		http.Error(w, "shutting down: "+res.err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	resp := res.resp
+	resp.TraceID = traceID
+	resp.Cached = res.fromCache || !ranFlight
+	if !ranFlight {
+		obsCollapsed.Inc()
+	}
+	if resp.Cached {
+		root.SetInt("cached", 1)
+	}
+	if resp.Found {
+		root.SetInt("found", 1)
+	}
+	if resp.Aborted {
+		root.SetInt("aborted", 1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&resp)
+}
+
+// parseParams validates the query string. The strategy is checked here, at
+// the boundary, so neither the flight nor the dispatch switch can see an
+// unknown name.
+func (s *server) parseParams(q url.Values) (solveParams, error) {
+	p := solveParams{strategy: "portfolio", timeout: 30 * time.Second}
+	if st := q.Get("strategy"); st != "" {
+		if !strategies[st] {
+			return p, fmt.Errorf("unknown strategy %s", strconv.Quote(st))
+		}
+		p.strategy = st
+	}
 	if t := q.Get("timeout"); t != "" {
 		d, err := time.ParseDuration(t)
 		if err != nil || d <= 0 {
-			obsErrors.Inc()
-			http.Error(w, "bad timeout "+strconv.Quote(t), http.StatusBadRequest)
-			return
+			return p, fmt.Errorf("bad timeout %s", strconv.Quote(t))
 		}
-		timeout = d
+		p.timeout = d
 	}
-	if s.maxTimeout > 0 && timeout > s.maxTimeout {
-		timeout = s.maxTimeout
+	if s.cfg.maxTimeout > 0 && p.timeout > s.cfg.maxTimeout {
+		p.timeout = s.cfg.maxTimeout
 	}
-	workers := 0
 	if ws := q.Get("workers"); ws != "" {
 		n, err := strconv.Atoi(ws)
 		if err != nil || n < 0 {
-			obsErrors.Inc()
-			http.Error(w, "bad workers "+strconv.Quote(ws), http.StatusBadRequest)
-			return
+			return p, fmt.Errorf("bad workers %s", strconv.Quote(ws))
 		}
-		workers = n
+		p.workers = n
 	}
+	return p, nil
+}
 
-	traceID := fmt.Sprintf("req-%d", reqIDCounter.Add(1))
-	root := obs.StartRoot("cspd.solve", traceID)
-	root.SetStr("strategy", strategy)
-	ctx, cancel := context.WithTimeout(obs.WithSpan(r.Context(), root), timeout)
-	defer cancel()
-
-	resp := solveResponse{TraceID: traceID, Strategy: strategy}
+// realDispatch runs one engine solve. The strategy has been validated at
+// the HTTP boundary; ctx carries the request's root span and is bounded by
+// the solve timeout and daemon shutdown.
+func realDispatch(ctx context.Context, inst *csp.Instance, p solveParams) solveResponse {
+	resp := solveResponse{Strategy: p.strategy}
 	start := time.Now()
-	switch strategy {
+	switch p.strategy {
 	case "portfolio":
 		res := csp.Portfolio(ctx, inst, csp.PortfolioOptions{})
 		resp.Found, resp.Aborted = res.Found, res.Aborted
 		resp.Solution, resp.Winner, resp.Stats = res.Solution, res.Winner, res.Result.Stats
 	case "parallel":
-		res := csp.SolveParallel(ctx, inst, csp.ParallelOptions{Workers: workers})
+		res := csp.SolveParallel(ctx, inst, csp.ParallelOptions{Workers: p.workers})
 		resp.Found, resp.Aborted = res.Found, res.Aborted
 		resp.Solution, resp.Subtrees, resp.Stats = res.Solution, res.Subtrees, res.Stats
 	case "cbj":
@@ -196,7 +380,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp.Solution, resp.Stats = res.Solution, res.Stats
 	case "mac", "fc", "bt":
 		opts := csp.Options{}
-		switch strategy {
+		switch p.strategy {
 		case "fc":
 			opts.Algorithm = csp.FC
 		case "bt":
@@ -206,21 +390,8 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp.Found, resp.Aborted = res.Found, res.Aborted
 		resp.Solution, resp.Stats = res.Solution, res.Stats
 	default:
-		obsErrors.Inc()
-		root.End()
-		http.Error(w, "unknown strategy "+strconv.Quote(strategy), http.StatusBadRequest)
-		return
+		panic("cspd: unvalidated strategy " + p.strategy)
 	}
 	resp.WallNs = time.Since(start).Nanoseconds()
-	obsSolveNs.Observe(resp.WallNs)
-	if resp.Found {
-		root.SetInt("found", 1)
-	}
-	if resp.Aborted {
-		root.SetInt("aborted", 1)
-	}
-	root.End()
-
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(&resp)
+	return resp
 }

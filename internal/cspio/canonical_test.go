@@ -1,0 +1,133 @@
+package cspio
+
+import (
+	"strings"
+	"testing"
+
+	"csdb/internal/csp"
+)
+
+func parseT(t *testing.T, text string) *csp.Instance {
+	t.Helper()
+	inst, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return inst
+}
+
+// TestCanonicalOrderInsensitive checks that every incidental ordering in the
+// text format — constraint order, tuple order, scope column order, dom_of
+// value order, duplicate constraints, names — leaves the hash unchanged.
+func TestCanonicalOrderInsensitive(t *testing.T) {
+	base := parseT(t, `
+vars 3
+dom 3
+dom_of 2 : 0 2
+con 0 1 : 0 1 | 1 0 | 2 1
+con 1 2 : 0 2 | 2 0
+`)
+	for name, variant := range map[string]string{
+		"constraint order": `
+vars 3
+dom 3
+dom_of 2 : 0 2
+con 1 2 : 0 2 | 2 0
+con 0 1 : 0 1 | 1 0 | 2 1
+`,
+		"tuple order": `
+vars 3
+dom 3
+dom_of 2 : 0 2
+con 0 1 : 2 1 | 0 1 | 1 0
+con 1 2 : 2 0 | 0 2
+`,
+		"scope column order": `
+vars 3
+dom 3
+dom_of 2 : 0 2
+con 1 0 : 1 0 | 0 1 | 1 2
+con 2 1 : 2 0 | 0 2
+`,
+		"dom_of value order and dups": `
+vars 3
+dom 3
+dom_of 2 : 2 0 2
+con 0 1 : 0 1 | 1 0 | 2 1
+con 1 2 : 0 2 | 2 0
+`,
+		"duplicate constraint": `
+vars 3
+dom 3
+dom_of 2 : 0 2
+con 0 1 : 0 1 | 1 0 | 2 1
+con 0 1 : 0 1 | 1 0 | 2 1
+con 1 2 : 0 2 | 2 0
+`,
+		"names ignored": `
+vars 3
+dom 3
+names a b c
+dom_of 2 : 0 2
+con 0 1 : 0 1 | 1 0 | 2 1
+con 1 2 : 0 2 | 2 0
+`,
+	} {
+		inst := parseT(t, variant)
+		if got, want := CanonicalHash(inst), CanonicalHash(base); got != want {
+			t.Errorf("%s: hash %#x != base %#x\nbase: %q\nvariant: %q",
+				name, got, want, Canonical(base), Canonical(inst))
+		}
+	}
+}
+
+// TestCanonicalDiscriminates checks that semantically different instances
+// get different encodings (hash collisions aside, the encodings themselves
+// must differ).
+func TestCanonicalDiscriminates(t *testing.T) {
+	base := parseT(t, "vars 2\ndom 2\ncon 0 1 : 0 1 | 1 0\n")
+	for name, variant := range map[string]string{
+		"extra tuple":      "vars 2\ndom 2\ncon 0 1 : 0 1 | 1 0 | 0 0\n",
+		"different scope":  "vars 3\ndom 2\ncon 0 2 : 0 1 | 1 0\n",
+		"more vars":        "vars 3\ndom 2\ncon 0 1 : 0 1 | 1 0\n",
+		"bigger domain":    "vars 2\ndom 3\ncon 0 1 : 0 1 | 1 0\n",
+		"restricted dom":   "vars 2\ndom 2\ndom_of 0 : 0\ncon 0 1 : 0 1 | 1 0\n",
+		"extra constraint": "vars 2\ndom 2\ncon 0 1 : 0 1 | 1 0\ncon 0 1 : 0 1\n",
+	} {
+		inst := parseT(t, variant)
+		if string(Canonical(inst)) == string(Canonical(base)) {
+			t.Errorf("%s: encoding identical to base: %q", name, Canonical(base))
+		}
+	}
+}
+
+// TestCanonicalScopePermutationKeepsColumns pins the column permutation: a
+// non-symmetric table under a reversed scope must canonicalize to the same
+// bytes only when the tuples are permuted consistently.
+func TestCanonicalScopePermutationKeepsColumns(t *testing.T) {
+	// x<y as scope (0,1) with tuples (0,1),(0,2),(1,2).
+	a := parseT(t, "vars 2\ndom 3\ncon 0 1 : 0 1 | 0 2 | 1 2\n")
+	// Same relation written with scope (1,0): tuples are (y,x).
+	b := parseT(t, "vars 2\ndom 3\ncon 1 0 : 1 0 | 2 0 | 2 1\n")
+	// A genuinely different relation (x>y) with the same tuple multiset
+	// under scope (0,1): must NOT collide.
+	c := parseT(t, "vars 2\ndom 3\ncon 0 1 : 1 0 | 2 0 | 2 1\n")
+	if CanonicalHash(a) != CanonicalHash(b) {
+		t.Errorf("permuted scope changed the hash: %q vs %q", Canonical(a), Canonical(b))
+	}
+	if string(Canonical(a)) == string(Canonical(c)) {
+		t.Errorf("transposed relation collided: %q", Canonical(a))
+	}
+}
+
+// TestCanonicalHashStable guards the encoding against accidental format
+// drift: the bytes are a cache key, so changing them silently invalidates
+// warm caches across daemon restarts within one build only — but a change
+// should at least be deliberate.
+func TestCanonicalHashStable(t *testing.T) {
+	inst := parseT(t, "vars 2\ndom 2\ncon 0 1 : 0 1 | 1 0\n")
+	want := "2 2 C0 1 :0 1 |1 0 |;"
+	if got := string(Canonical(inst)); got != want {
+		t.Errorf("canonical encoding drifted: got %q want %q", got, want)
+	}
+}

@@ -1,0 +1,66 @@
+package serve
+
+import "sync"
+
+// Group collapses concurrent duplicate work: while one call for a key is in
+// flight, further Do calls with the same key wait for it and share its
+// result instead of executing fn again. Unlike golang.org/x/sync's
+// singleflight (not vendored here — the repo is stdlib-only), the result is
+// an any and the second return value reports whether this caller was the
+// leader that executed fn.
+type Group struct {
+	mu    sync.Mutex
+	calls map[any]*flightCall
+}
+
+type flightCall struct {
+	wg     sync.WaitGroup
+	val    any
+	joined int // callers sharing this flight besides the leader (guarded by Group.mu)
+}
+
+// Do executes fn exactly once per in-flight key: the first caller (the
+// leader) runs it; callers that arrive before the leader finishes block and
+// receive the same value with leader=false. Once a flight completes, the key
+// is forgotten and a later Do starts a fresh flight — callers that must not
+// recompute across flights should consult a Cache inside fn.
+//
+// A panic in fn propagates to the leader; waiting followers receive the
+// zero value (nil) with leader=false rather than hanging.
+func (g *Group) Do(key any, fn func() any) (val any, leader bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[any]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.joined++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, false
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		c.wg.Done()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+	}()
+	c.val = fn()
+	return c.val, true
+}
+
+// waiting reports how many callers have joined key's in-flight call so far
+// (0 when no flight is active). Test hook: lets tests hold a flight open
+// until every follower has actually blocked on it.
+func (g *Group) waiting(key any) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.joined
+	}
+	return 0
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlightCollapsesConcurrentCalls(t *testing.T) {
+	const callers = 16
+	var g Group
+	var executions, leaders atomic.Int64
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var done sync.WaitGroup
+	results := make([]any, callers)
+	run := func(i int) {
+		defer done.Done()
+		v, leader := g.Do("key", func() any {
+			executions.Add(1)
+			close(entered)
+			<-gate // hold the flight open until every follower has joined
+			return 42
+		})
+		if leader {
+			leaders.Add(1)
+		}
+		results[i] = v
+	}
+	done.Add(1)
+	go run(0)
+	<-entered // the flight is now in progress
+	for i := 1; i < callers; i++ {
+		done.Add(1)
+		go run(i)
+	}
+	// Only release the leader once all followers are blocked on the flight.
+	waitFor(t, "followers to join the flight", func() bool { return g.waiting("key") == callers-1 })
+	close(gate)
+	done.Wait()
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	if n := leaders.Load(); n != 1 {
+		t.Fatalf("%d leaders, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %v, want 42", i, v)
+		}
+	}
+}
+
+func TestFlightDistinctKeysDoNotCollapse(t *testing.T) {
+	var g Group
+	var executions atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		key := key
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Do(key, func() any { executions.Add(1); return key })
+		}()
+	}
+	wg.Wait()
+	if n := executions.Load(); n != 3 {
+		t.Fatalf("fn executed %d times, want 3", n)
+	}
+}
+
+func TestFlightForgetsCompletedKeys(t *testing.T) {
+	var g Group
+	var executions atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, leader := g.Do("key", func() any { return executions.Add(1) })
+		if !leader {
+			t.Fatalf("call %d: lone caller was not the leader", i)
+		}
+		if v != int64(i+1) {
+			t.Fatalf("call %d: fn not re-executed (got %v)", i, v)
+		}
+	}
+}
+
+func TestFlightPanicPropagatesAndForgets(t *testing.T) {
+	var g Group
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic swallowed")
+			}
+		}()
+		g.Do("key", func() any { panic("boom") })
+	}()
+	// The key must be forgotten, so a later call runs fresh.
+	v, leader := g.Do("key", func() any { return "ok" })
+	if !leader || v != "ok" {
+		t.Fatalf("post-panic call: leader=%v v=%v", leader, v)
+	}
+}
