@@ -11,10 +11,10 @@ GO ?= go
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
-.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs race-serve bench bench-serve obs-overhead
+.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs race-serve race-dispatch bench bench-serve obs-overhead
 
 # Default target: everything a PR must pass locally.
-check: vet verify lint race-kernel race-obs race-serve
+check: vet verify lint race-kernel race-obs race-serve race-dispatch
 
 build:
 	$(GO) build ./...
@@ -36,10 +36,11 @@ lint:
 	$(GO) run ./cmd/csplint ./...
 
 # Briefly run every native fuzz target (differential join oracle, instance
-# parser). FUZZTIME=2m fuzz-smoke for a longer shake.
+# parser, tractability dispatcher). FUZZTIME=2m fuzz-smoke for a longer shake.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseInstance -fuzztime $(FUZZTIME) ./internal/cspio/
 	$(GO) test -run '^$$' -fuzz FuzzJoinDifferential -fuzztime $(FUZZTIME) ./internal/relation/
+	$(GO) test -run '^$$' -fuzz FuzzDispatch -fuzztime $(FUZZTIME) ./internal/dispatch/
 
 # Tier-1 verification (ROADMAP.md): the module builds and all tests pass.
 verify: build test
@@ -70,6 +71,13 @@ race-obs:
 # concurrent, so both packages always run under the detector.
 race-serve:
 	$(GO) test -race -count=1 ./internal/serve/ ./cmd/cspd/
+
+# The tractability dispatcher and its differential gate: the classification
+# cache is shared across goroutines (cspd routes through one analyzer) and
+# the gate's hard-class trials race the portfolio, so the whole suite runs
+# under the detector.
+race-dispatch:
+	$(GO) test -race -count=1 ./internal/dispatch/
 
 # Benchmark the join/semijoin/Yannakakis/engine hot paths and merge the
 # medians into BENCH_relation.json under $(BENCH_LABEL). Run with

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"csdb/internal/dispatch"
+)
+
+func TestRunAutoFlag(t *testing.T) {
+	sample := []string{"../../testdata/sample.csp"}
+	if err := run(config{strategy: "auto", auto: true, args: sample}); err != nil {
+		t.Fatalf("run -auto: %v", err)
+	}
+	if err := run(config{strategy: "auto", auto: true, width: 2, args: sample}); err != nil {
+		t.Fatalf("run -auto -width 2: %v", err)
+	}
+	if err := run(config{strategy: "auto", auto: true, portfolio: true, args: sample}); err == nil {
+		t.Fatal("-auto with -portfolio accepted")
+	}
+	if err := run(config{strategy: "auto", auto: true, parallel: true, args: sample}); err == nil {
+		t.Fatal("-auto with -parallel accepted")
+	}
+}
+
+// The -auto summary line must always report the route and the
+// classification time, and name the portfolio winner only on fallback.
+func TestAutoDetail(t *testing.T) {
+	out := dispatch.Outcome{Route: dispatch.Acyclic, ClassifyTime: 1500 * time.Microsecond}
+	got := autoDetail(out)
+	if !strings.Contains(got, "route=acyclic") || !strings.Contains(got, "classify 1.5ms") {
+		t.Fatalf("detail %q missing route or classify time", got)
+	}
+	if strings.Contains(got, "portfolio winner") {
+		t.Fatalf("detail %q names a winner without fallback", got)
+	}
+	out = dispatch.Outcome{Route: dispatch.Hard, Fallback: true, Winner: "mac"}
+	if got := autoDetail(out); !strings.Contains(got, "route=hard") ||
+		!strings.Contains(got, "portfolio winner mac") {
+		t.Fatalf("fallback detail %q missing route or winner", got)
+	}
+}

@@ -8,16 +8,21 @@
 //	csolve [-strategy auto|search|join|treewidth|schaefer] [-explain]
 //	       [-all max] [-timeout d] [-trace out.jsonl] instance.csp
 //	csolve -coloring k graph.col
+//	csolve -auto [-width k] instance.csp
 //	csolve -portfolio [-timeout 2s] instance.csp
 //	csolve -parallel [-workers n] instance.csp
 //
 // With no file argument the instance is read from standard input.
-// -portfolio races the MAC, FC, CBJ and join solvers and reports the first
-// verdict; -parallel splits the root domain across a worker pool; -timeout
-// bounds the solve wall-clock (the search reports UNKNOWN when it expires).
-// -trace turns on structured span tracing for the solve and writes the
-// drained spans as JSON lines (the same schema cspd's /trace endpoint
-// serves) to the given file.
+// -auto classifies the instance's structure (tree / schaefer / acyclic /
+// bounded width) and routes it to the matching polynomial solver, falling
+// back to the portfolio only for hard instances; the summary line reports
+// the chosen route and the classification time. -portfolio races the MAC,
+// FC, CBJ and join solvers and reports the first verdict; -parallel splits
+// the root domain across a worker pool; -timeout bounds the solve
+// wall-clock (the search reports UNKNOWN when it expires). -trace turns on
+// structured span tracing for the solve and writes the drained spans as
+// JSON lines (the same schema cspd's /trace endpoint serves) to the given
+// file.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"csdb/internal/core"
 	"csdb/internal/csp"
 	"csdb/internal/cspio"
+	"csdb/internal/dispatch"
 	"csdb/internal/gen"
 	"csdb/internal/obs"
 )
@@ -43,6 +49,8 @@ type config struct {
 	all       int64
 	count     bool
 	timeout   time.Duration
+	auto      bool
+	width     int
 	portfolio bool
 	parallel  bool
 	workers   int
@@ -57,6 +65,8 @@ func main() {
 	all := flag.Int64("all", 0, "enumerate up to this many solutions (search strategy)")
 	count := flag.Bool("count", false, "count solutions exactly via decomposition DP")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for solving (0 = none)")
+	auto := flag.Bool("auto", false, "classify the instance's structure and route it to a matching polynomial solver")
+	width := flag.Int("width", 0, "width budget for -auto's bounded-treewidth route (0 = default)")
 	portfolio := flag.Bool("portfolio", false, "race MAC, FC, CBJ and join solvers; first verdict wins")
 	parallel := flag.Bool("parallel", false, "split the root variable's domain across a parallel worker pool")
 	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
@@ -66,6 +76,7 @@ func main() {
 	cfg := config{
 		strategy: *strategy, coloring: *coloring, explain: *explain,
 		all: *all, count: *count, timeout: *timeout,
+		auto: *auto, width: *width,
 		portfolio: *portfolio, parallel: *parallel, workers: *workers,
 		trace: *trace, args: flag.Args(),
 	}
@@ -114,6 +125,9 @@ func run(cfg config) (err error) {
 	if cfg.portfolio && cfg.parallel {
 		return fmt.Errorf("-portfolio and -parallel are mutually exclusive")
 	}
+	if cfg.auto && (cfg.portfolio || cfg.parallel) {
+		return fmt.Errorf("-auto is mutually exclusive with -portfolio and -parallel")
+	}
 	ctx := context.Background()
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
@@ -137,6 +151,9 @@ func run(cfg config) (err error) {
 		}()
 	}
 
+	if cfg.auto {
+		return runAuto(ctx, inst, cfg.width)
+	}
 	if cfg.portfolio {
 		return runPortfolio(ctx, inst)
 	}
@@ -248,6 +265,38 @@ func printSearchResult(inst *csp.Instance, res csp.Result) {
 		fmt.Printf("UNSAT (%s, %d nodes, depth %d, %v)\n", res.Stats.Strategy, res.Stats.Nodes,
 			res.Stats.MaxDepth, res.Stats.Duration.Round(time.Microsecond))
 	}
+}
+
+// runAuto routes the instance through the tractability dispatcher. The
+// summary line always names the route the verdict came from and the time
+// classification took, so an auto-routed run is distinguishable from a
+// plain portfolio run (whose Stats.Strategy it would otherwise echo).
+func runAuto(ctx context.Context, inst *csp.Instance, width int) error {
+	an := dispatch.NewAnalyzer(width, 0)
+	out := an.Solve(ctx, inst)
+	detail := autoDetail(out)
+	switch {
+	case out.Found:
+		fmt.Printf("SAT (%s, %v)\n", detail, out.Stats.Duration.Round(time.Microsecond))
+		fmt.Println(formatSolution(inst, out.Solution))
+	case out.Aborted:
+		fmt.Printf("UNKNOWN (%s)\n", detail)
+	default:
+		fmt.Printf("UNSAT (%s, %v)\n", detail, out.Stats.Duration.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// autoDetail renders the dispatcher part of the summary line: the route the
+// verdict came from, the classification wall clock, and — when the
+// portfolio fallback produced the verdict — its winning strategy.
+func autoDetail(out dispatch.Outcome) string {
+	detail := fmt.Sprintf("route=%v, classify %v", out.Route,
+		out.ClassifyTime.Round(time.Microsecond))
+	if out.Fallback && out.Winner != "" {
+		detail += ", portfolio winner " + out.Winner
+	}
+	return detail
 }
 
 func runPortfolio(ctx context.Context, inst *csp.Instance) error {

@@ -18,6 +18,7 @@ import (
 
 	"csdb/internal/csp"
 	"csdb/internal/cspio"
+	"csdb/internal/dispatch"
 	"csdb/internal/obs"
 	"csdb/internal/serve"
 )
@@ -35,9 +36,15 @@ import (
 //
 // Solve requests are parameterized by query string:
 //
-//	strategy  mac|fc|bt|cbj|join|portfolio|parallel  (default portfolio)
-//	timeout   Go duration, capped by -max-timeout    (default 30s)
+//	strategy  mac|fc|bt|cbj|join|portfolio|parallel|auto  (default portfolio)
+//	timeout   Go duration, capped by -max-timeout         (default 30s)
 //	workers   worker bound for strategy=parallel
+//	route     auto|portfolio — alias for strategy, the dispatcher surface:
+//	          route=auto classifies the instance's structure and runs the
+//	          matching polynomial solver (internal/dispatch); the response
+//	          then carries the chosen route in "route". route and strategy
+//	          are distinct cache keys, so an auto-routed result is never
+//	          replayed to a portfolio caller or vice versa.
 //
 // Every request gets a trace ID (req-N); the solve runs under a root span
 // carrying it, so /trace output can be attributed per request even when
@@ -92,7 +99,7 @@ type solveParams struct {
 // boundary so the dispatch switch never sees an unknown name.
 var strategies = map[string]bool{
 	"mac": true, "fc": true, "bt": true, "cbj": true,
-	"join": true, "portfolio": true, "parallel": true,
+	"join": true, "portfolio": true, "parallel": true, "auto": true,
 }
 
 // server carries daemon configuration and the serving layers shared by
@@ -104,6 +111,11 @@ type server struct {
 	admit   *serve.Admission
 	cache   *serve.Cache
 	flights serve.Group
+
+	// analyzer backs strategy=auto: it classifies instances and routes them
+	// to polynomial solvers, keeping its own classification LRU so repeat
+	// structure skips straight to the routed solver.
+	analyzer *dispatch.Analyzer
 
 	// baseCtx parents every engine solve; cancelSolves aborts them all (the
 	// drain deadline's hard stop).
@@ -117,15 +129,17 @@ type server struct {
 
 func newServer(cfg daemonConfig) *server {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &server{
+	s := &server{
 		cfg:          cfg,
 		start:        time.Now(),
 		admit:        serve.NewAdmission(cfg.maxInflight, cfg.maxQueue),
 		cache:        serve.NewCache(cfg.cacheSize),
+		analyzer:     dispatch.NewAnalyzer(0, cfg.cacheSize),
 		baseCtx:      ctx,
 		cancelSolves: cancel,
-		dispatch:     realDispatch,
 	}
+	s.dispatch = s.realDispatch
+	return s
 }
 
 // mux builds the daemon's routing table. /solve is registered without a
@@ -190,16 +204,19 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // dedicated engine run; for such responses WallNs (and Stats) describe the
 // original engine solve, not this request.
 type solveResponse struct {
-	TraceID  string    `json:"trace_id"`
-	Strategy string    `json:"strategy"`
-	Cached   bool      `json:"cached"`
-	Found    bool      `json:"found"`
-	Aborted  bool      `json:"aborted"`
-	Solution []int     `json:"solution,omitempty"`
-	Winner   string    `json:"winner,omitempty"`
-	Subtrees int       `json:"subtrees,omitempty"`
-	Stats    csp.Stats `json:"stats"`
-	WallNs   int64     `json:"wall_ns"`
+	TraceID  string `json:"trace_id"`
+	Strategy string `json:"strategy"`
+	Cached   bool   `json:"cached"`
+	Found    bool   `json:"found"`
+	Aborted  bool   `json:"aborted"`
+	Solution []int  `json:"solution,omitempty"`
+	Winner   string `json:"winner,omitempty"`
+	Subtrees int    `json:"subtrees,omitempty"`
+	// Route is set for strategy=auto: the structural class the dispatcher
+	// routed the instance to (tree, schaefer, acyclic, width, hard).
+	Route  string    `json:"route,omitempty"`
+	Stats  csp.Stats `json:"stats"`
+	WallNs int64     `json:"wall_ns"`
 }
 
 // flightKey identifies collapsible requests: the cache key plus the
@@ -335,6 +352,18 @@ func (s *server) parseParams(q url.Values) (solveParams, error) {
 		}
 		p.strategy = st
 	}
+	if rt := q.Get("route"); rt != "" {
+		// The dispatcher surface: route=auto turns structural routing on,
+		// route=portfolio pins the generic engine. A conflicting strategy=
+		// in the same query is rejected rather than silently overridden.
+		if rt != "auto" && rt != "portfolio" {
+			return p, fmt.Errorf("bad route %s (want auto or portfolio)", strconv.Quote(rt))
+		}
+		if st := q.Get("strategy"); st != "" && st != rt {
+			return p, fmt.Errorf("conflicting strategy=%s and route=%s", st, rt)
+		}
+		p.strategy = rt
+	}
 	if t := q.Get("timeout"); t != "" {
 		d, err := time.ParseDuration(t)
 		if err != nil || d <= 0 {
@@ -358,10 +387,15 @@ func (s *server) parseParams(q url.Values) (solveParams, error) {
 // realDispatch runs one engine solve. The strategy has been validated at
 // the HTTP boundary; ctx carries the request's root span and is bounded by
 // the solve timeout and daemon shutdown.
-func realDispatch(ctx context.Context, inst *csp.Instance, p solveParams) solveResponse {
+func (s *server) realDispatch(ctx context.Context, inst *csp.Instance, p solveParams) solveResponse {
 	resp := solveResponse{Strategy: p.strategy}
 	start := time.Now()
 	switch p.strategy {
+	case "auto":
+		out := s.analyzer.Solve(ctx, inst)
+		resp.Found, resp.Aborted = out.Found, out.Aborted
+		resp.Solution, resp.Stats = out.Solution, out.Stats
+		resp.Route, resp.Winner = out.Route.String(), out.Winner
 	case "portfolio":
 		res := csp.Portfolio(ctx, inst, csp.PortfolioOptions{})
 		resp.Found, resp.Aborted = res.Found, res.Aborted

@@ -1,4 +1,4 @@
-// Command experiments runs the reproduction experiments E1–E12 (one per
+// Command experiments runs the reproduction experiments E1–E13 (one per
 // theorem/proposition of the paper; see DESIGN.md) and prints their tables
 // as markdown — the source of EXPERIMENTS.md.
 //

@@ -13,27 +13,28 @@ import (
 // free search possible. (It is also the width-1 case of Theorem 6.2.)
 
 // IsTreeStructured reports whether the instance is binary (all scopes have
-// at most 2 distinct variables after normalization) and its primal graph is
-// a forest.
+// at most 2 distinct variables) and its primal graph is a forest. It is a
+// pure shape check on scopes — no constraint tables are cloned or rewritten
+// — so the dispatcher can afford to call it on every instance.
 func IsTreeStructured(p *csp.Instance) bool {
-	q := p.NormalizeDistinct()
-	for _, con := range q.Constraints {
-		if len(con.Scope) > 2 {
-			return false
-		}
-	}
-	g := primalForest(q)
-	return isForest(g)
-}
-
-func primalForest(p *csp.Instance) *graph.Graph {
 	g := graph.New(p.Vars)
 	for _, con := range p.Constraints {
-		if len(con.Scope) == 2 && con.Scope[0] != con.Scope[1] {
-			g.AddEdge(con.Scope[0], con.Scope[1])
+		a, b := -1, -1
+		for _, v := range con.Scope {
+			switch {
+			case a < 0 || v == a:
+				a = v
+			case b < 0 || v == b:
+				b = v
+			default:
+				return false // a third distinct variable in one scope
+			}
+		}
+		if a >= 0 && b >= 0 {
+			g.AddEdge(a, b)
 		}
 	}
-	return g
+	return isForest(g)
 }
 
 func isForest(g *graph.Graph) bool {

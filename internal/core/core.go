@@ -185,7 +185,7 @@ func (p *Problem) Solve(opts Options) (Result, error) {
 		}
 		return Result{Satisfiable: res.Found, Assignment: res.Solution, Used: TreewidthDP, Stats: res.Stats}, nil
 	case SchaeferSolver:
-		sp, err := toSchaefer(inst)
+		sp, err := schaefer.FromCSP(inst)
 		if err != nil {
 			return Result{}, err
 		}
@@ -212,7 +212,7 @@ func (p *Problem) pick(opts Options) Strategy {
 	inst := p.inst
 	// Boolean instance in a Schaefer class?
 	if inst.Dom == 2 {
-		if sp, err := toSchaefer(inst); err == nil && sp.Template.IsTractable() {
+		if sp, err := schaefer.FromCSP(inst); err == nil && sp.Template.IsTractable() {
 			return SchaeferSolver
 		}
 	}
@@ -236,7 +236,7 @@ func (p *Problem) pick(opts Options) Strategy {
 func (p *Problem) Explain(opts Options) string {
 	inst := p.inst
 	if inst.Dom == 2 {
-		if sp, err := toSchaefer(inst); err == nil {
+		if sp, err := schaefer.FromCSP(inst); err == nil {
 			if classes := sp.Template.Classify(); len(classes) > 0 {
 				return fmt.Sprintf("boolean template in Schaefer classes %v: dedicated polynomial solver", classes)
 			}
@@ -254,58 +254,6 @@ func (p *Problem) Explain(opts Options) string {
 		return fmt.Sprintf("primal graph has heuristic treewidth %d <= %d: decomposition DP (Theorem 6.2)", d.Width(), threshold)
 	}
 	return fmt.Sprintf("heuristic treewidth %d above threshold %d, domain size %d: MAC search", d.Width(), threshold, inst.Dom)
-}
-
-// toSchaefer converts a 2-valued CSP instance to a Schaefer template
-// instance, deduplicating constraint tables into template relations.
-func toSchaefer(inst *csp.Instance) (*schaefer.Instance, error) {
-	if inst.Dom != 2 {
-		return nil, fmt.Errorf("core: Schaefer solver needs a Boolean domain, got %d values", inst.Dom)
-	}
-	q := inst.Normalize()
-	tpl := &schaefer.Template{}
-	byKey := make(map[string]int)
-	out := &schaefer.Instance{Template: tpl, NumVars: q.Vars}
-	// Fold per-variable domain restrictions into unary constraints.
-	if q.Domains != nil {
-		for v, dom := range q.Domains {
-			if dom == nil {
-				continue
-			}
-			rel, err := schaefer.NewBoolRel(1)
-			if err != nil {
-				return nil, err
-			}
-			for _, val := range dom {
-				if err := rel.Add([]int{val}); err != nil {
-					return nil, err
-				}
-			}
-			idx := len(tpl.Rels)
-			tpl.Rels = append(tpl.Rels, rel)
-			out.Cons = append(out.Cons, schaefer.Application{Rel: idx, Scope: []int{v}})
-		}
-	}
-	for _, con := range q.Constraints {
-		k := con.Table.Key()
-		idx, ok := byKey[k]
-		if !ok {
-			rel, err := schaefer.NewBoolRel(con.Table.Arity())
-			if err != nil {
-				return nil, err
-			}
-			for _, t := range con.Table.Tuples() {
-				if err := rel.Add(t); err != nil {
-					return nil, err
-				}
-			}
-			idx = len(tpl.Rels)
-			tpl.Rels = append(tpl.Rels, rel)
-			byKey[k] = idx
-		}
-		out.Cons = append(out.Cons, schaefer.Application{Rel: idx, Scope: con.Scope})
-	}
-	return out, nil
 }
 
 // Homomorphism finds a homomorphism a → b (nil, false when none exists).

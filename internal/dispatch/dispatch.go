@@ -1,0 +1,319 @@
+// Package dispatch routes CSP instances to provably polynomial-time solvers
+// by consulting their structure first — the paper's central advice. An
+// Analyzer classifies each instance along the tractability lines the
+// library implements:
+//
+//	tree      tree-shaped binary CSP        → directional arc consistency
+//	                                           (Freuder; width-1 of Thm 6.2)
+//	schaefer  Boolean template in a Schaefer
+//	          class                          → dedicated dichotomy solver
+//	acyclic   α-acyclic constraint
+//	          hypergraph (GYO)               → Yannakakis full reducer
+//	width     primal-graph tree decomposition
+//	          of width ≤ budget              → decomposition DP (Thm 6.2)
+//	hard      none of the above              → csp.Portfolio
+//
+// Classification verdicts and their computed witnesses (join trees, tree
+// decompositions) are cached in an LRU keyed on cspio.CanonicalHash, so
+// repeat structure is classified for free. The canonical hash is
+// insensitive to constraint order while the cached witnesses are indexed by
+// constraint position, so a cached witness is always revalidated against
+// the live instance and recomputed when it does not fit — a cache hit can
+// therefore change the route's cost, never its correctness. Every SAT
+// answer from a routed solver is verified against the instance, and any
+// routed-solver error falls back to the portfolio, so misclassification
+// cannot corrupt a verdict.
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"csdb/internal/consistency"
+	"csdb/internal/csp"
+	"csdb/internal/cspio"
+	"csdb/internal/hypergraph"
+	"csdb/internal/obs"
+	"csdb/internal/schaefer"
+	"csdb/internal/serve"
+	"csdb/internal/treewidth"
+)
+
+// Per-class routing counters, the fallback counter the differential gate
+// asserts on (every portfolio invocation, hard-class or defensive), and the
+// cache effectiveness counters.
+var (
+	obsClassTree     = obs.NewCounter("dispatch.class.tree")
+	obsClassSchaefer = obs.NewCounter("dispatch.class.schaefer")
+	obsClassAcyclic  = obs.NewCounter("dispatch.class.acyclic")
+	obsClassWidth    = obs.NewCounter("dispatch.class.width")
+	obsClassHard     = obs.NewCounter("dispatch.class.hard")
+	obsFallback      = obs.NewCounter("dispatch.fallback")
+	obsReroute       = obs.NewCounter("dispatch.reroute")
+	obsCacheHits     = obs.NewCounter("dispatch.cache.hits")
+	obsCacheStale    = obs.NewCounter("dispatch.cache.stale")
+)
+
+// Class is the structural class the analyzer assigns to an instance.
+type Class int
+
+const (
+	// Tree: binary constraints whose primal graph is a forest.
+	Tree Class = iota
+	// Schaefer: Boolean template inside one of Schaefer's six classes.
+	Schaefer
+	// Acyclic: α-acyclic constraint hypergraph (GYO reduces it away).
+	Acyclic
+	// BoundedWidth: a heuristic tree decomposition of the primal graph
+	// within the analyzer's width budget was found.
+	BoundedWidth
+	// Hard: no polynomial witness found; only this class may reach the
+	// portfolio.
+	Hard
+)
+
+func (c Class) String() string {
+	switch c {
+	case Tree:
+		return "tree"
+	case Schaefer:
+		return "schaefer"
+	case Acyclic:
+		return "acyclic"
+	case BoundedWidth:
+		return "width"
+	case Hard:
+		return "hard"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+func (c Class) counter() *obs.Counter {
+	switch c {
+	case Tree:
+		return obsClassTree
+	case Schaefer:
+		return obsClassSchaefer
+	case Acyclic:
+		return obsClassAcyclic
+	case BoundedWidth:
+		return obsClassWidth
+	}
+	return obsClassHard
+}
+
+// Classification is a class verdict plus the witness that makes the routed
+// solver applicable: a join tree for Acyclic, a tree decomposition (and its
+// width) for BoundedWidth. Tree, Schaefer and Hard carry no witness — their
+// routes re-derive everything they need from the instance.
+type Classification struct {
+	Class    Class
+	Width    int
+	JoinTree *hypergraph.JoinTree
+	Decomp   *treewidth.Decomposition
+}
+
+// Default analyzer knobs.
+const (
+	// DefaultWidthBudget is the largest witnessed primal-graph width routed
+	// to the decomposition DP. The DP enumerates up to d^(w+1) assignments
+	// per bag, so the budget keeps the "polynomial" honest.
+	DefaultWidthBudget = 3
+	// DefaultCacheSize is the classification LRU capacity.
+	DefaultCacheSize = 256
+)
+
+// Analyzer classifies instances and routes them to matching solvers. It is
+// safe for concurrent use (the cache is mutex-guarded; classification
+// itself is stateless).
+type Analyzer struct {
+	// WidthBudget bounds the BoundedWidth class (see DefaultWidthBudget).
+	WidthBudget int
+	cache       *serve.Cache
+}
+
+// NewAnalyzer returns an analyzer with the given width budget and
+// classification-cache capacity; zero or negative values select the
+// defaults.
+func NewAnalyzer(widthBudget, cacheSize int) *Analyzer {
+	if widthBudget <= 0 {
+		widthBudget = DefaultWidthBudget
+	}
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	return &Analyzer{WidthBudget: widthBudget, cache: serve.NewCache(cacheSize)}
+}
+
+// Classify determines the instance's structural class, consulting the cache
+// first. The second result reports whether a (revalidated) cached verdict
+// was used.
+func (a *Analyzer) Classify(p *csp.Instance) (Classification, bool) {
+	key := serve.CacheKey{
+		Hash:     cspio.CanonicalHash(p),
+		Strategy: "dispatch",
+		Workers:  a.WidthBudget,
+	}
+	if v, ok := a.cache.Get(key); ok {
+		cls := v.(Classification)
+		if a.revalidate(p, cls) {
+			obsCacheHits.Inc()
+			return cls, true
+		}
+		// The canonical hash is order-insensitive but witnesses are indexed
+		// by constraint position: a permuted twin (or a hash collision) can
+		// hit the cache with a witness that does not fit this instance.
+		obsCacheStale.Inc()
+	}
+	cls := a.classify(p)
+	a.cache.Add(key, cls)
+	return cls, false
+}
+
+// classify runs the decision tree. Order matters: trees are the cheapest
+// check and the cheapest solve; acyclicity is tested before width because a
+// single wide hyperedge turns the primal graph into a clique that no width
+// budget admits, while GYO handles it in one ear removal.
+func (a *Analyzer) classify(p *csp.Instance) Classification {
+	if consistency.IsTreeStructured(p) {
+		return Classification{Class: Tree}
+	}
+	if p.Dom == 2 {
+		if sp, err := schaefer.FromCSP(p); err == nil && sp.Template.IsTractable() {
+			return Classification{Class: Schaefer}
+		}
+	}
+	if acyclic, jt := hypergraph.FromInstance(p).GYO(); acyclic {
+		return Classification{Class: Acyclic, JoinTree: jt}
+	}
+	if d, ok := treewidth.DecomposeWithin(treewidth.PrimalGraph(p), a.WidthBudget); ok {
+		return Classification{Class: BoundedWidth, Width: d.Width(), Decomp: d}
+	}
+	return Classification{Class: Hard}
+}
+
+// revalidate checks a cached classification against the live instance:
+// witness-free classes are recheckable from scratch at near-witness cost,
+// and witnessed classes must fit this instance's constraint ordering. A
+// Hard verdict is accepted as-is — routing a tractable twin to the
+// portfolio would cost time, never correctness, and canonical-hash equality
+// preserves every property the classifier tests.
+func (a *Analyzer) revalidate(p *csp.Instance, cls Classification) bool {
+	switch cls.Class {
+	case Tree:
+		return consistency.IsTreeStructured(p)
+	case Schaefer:
+		if p.Dom != 2 {
+			return false
+		}
+		sp, err := schaefer.FromCSP(p)
+		return err == nil && sp.Template.IsTractable()
+	case Acyclic:
+		return cls.JoinTree != nil &&
+			hypergraph.FromInstance(p).ValidateJoinTree(cls.JoinTree) == nil
+	case BoundedWidth:
+		return cls.Decomp != nil && cls.Decomp.Width() <= a.WidthBudget &&
+			cls.Decomp.Validate(treewidth.PrimalGraph(p)) == nil
+	}
+	return true
+}
+
+// Outcome is the result of a dispatched solve: the verdict plus how it was
+// reached.
+type Outcome struct {
+	csp.Result
+	// Route is the class whose solver produced the verdict. It is Hard
+	// whenever the portfolio ran — including a defensive reroute after a
+	// routed solver failed.
+	Route Class
+	// Fallback reports that the portfolio produced the verdict.
+	Fallback bool
+	// Winner is the portfolio's winning strategy when Fallback is set.
+	Winner string
+	// ClassifyTime is the wall clock spent classifying (including the cache
+	// lookup and any witness revalidation).
+	ClassifyTime time.Duration
+	// CacheHit reports that a cached classification was reused.
+	CacheHit bool
+}
+
+// Solve classifies the instance and runs the matching solver; only
+// Hard-classified instances (or a routed solver failing, which the reroute
+// counter records and the test suite pins to zero) reach the portfolio.
+func (a *Analyzer) Solve(ctx context.Context, p *csp.Instance) Outcome {
+	t0 := time.Now()
+	cls, hit := a.Classify(p)
+	out := Outcome{Route: cls.Class, CacheHit: hit, ClassifyTime: time.Since(t0)}
+	cls.Class.counter().Inc()
+
+	if cls.Class != Hard {
+		solveStart := time.Now()
+		res, err := a.solveClass(p, cls)
+		if err == nil {
+			out.Result = res
+			if out.Result.Stats.Strategy == "" {
+				out.Result.Stats.Strategy = cls.Class.String()
+			}
+			if out.Result.Stats.Duration == 0 {
+				out.Result.Stats.Duration = time.Since(solveStart)
+			}
+			return out
+		}
+		// A routed solver refusing an instance it was classified for is a
+		// bug; stay correct by rerouting to the portfolio.
+		obsReroute.Inc()
+	}
+
+	obsFallback.Inc()
+	pres := csp.Portfolio(ctx, p, csp.PortfolioOptions{})
+	out.Result = pres.Result
+	out.Winner = pres.Winner
+	out.Route = Hard
+	out.Fallback = true
+	return out
+}
+
+// solveClass runs the class's dedicated solver. Every SAT verdict is
+// checked against the original instance before it is returned.
+func (a *Analyzer) solveClass(p *csp.Instance, cls Classification) (csp.Result, error) {
+	var res csp.Result
+	var err error
+	switch cls.Class {
+	case Tree:
+		res, err = consistency.SolveTree(p)
+	case Schaefer:
+		var sp *schaefer.Instance
+		sp, err = schaefer.FromCSP(p)
+		if err == nil {
+			var assign []int
+			var ok bool
+			assign, ok, _, err = schaefer.Solve(sp)
+			res = csp.Result{Found: ok, Solution: assign}
+		}
+	case Acyclic:
+		res, err = hypergraph.SolveAcyclicCSP(p, cls.JoinTree)
+	case BoundedWidth:
+		d := cls.Decomp
+		if d == nil {
+			d = treewidth.BestHeuristic(treewidth.PrimalGraph(p))
+		}
+		res, err = treewidth.SolveDecomposed(p, d)
+	default:
+		err = fmt.Errorf("dispatch: class %v has no routed solver", cls.Class)
+	}
+	if err != nil {
+		return csp.Result{}, err
+	}
+	if res.Found && !p.Satisfies(res.Solution) {
+		return csp.Result{}, fmt.Errorf("dispatch: %v solver returned a non-solution", cls.Class)
+	}
+	return res, nil
+}
+
+// FallbackCount exposes the portfolio-invocation counter for tests and
+// front ends that assert "no PTIME instance reached the portfolio".
+func FallbackCount() int64 { return obsFallback.Load() }
+
+// RerouteCount exposes the defensive-reroute counter.
+func RerouteCount() int64 { return obsReroute.Load() }

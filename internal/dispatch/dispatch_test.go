@@ -1,0 +1,219 @@
+package dispatch
+
+import (
+	"context"
+	"testing"
+
+	"csdb/internal/csp"
+	"csdb/internal/gen"
+	"csdb/internal/graph"
+	"csdb/internal/obs"
+)
+
+// enableObs turns observability on for the test so the dispatch counters
+// (fallback, reroute, per-class) record. Tests reading the global counters
+// must not run in parallel with each other.
+func enableObs(t *testing.T) {
+	t.Helper()
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(prev) })
+}
+
+func completeGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// pathCSP is a 4-variable not-equal chain: binary, primal graph a path.
+func pathCSP(d int) *csp.Instance {
+	p := csp.NewInstance(4, d)
+	ne := gen.NotEqualTable(d)
+	p.MustAddConstraint([]int{0, 1}, ne)
+	p.MustAddConstraint([]int{1, 2}, ne)
+	p.MustAddConstraint([]int{2, 3}, ne)
+	return p
+}
+
+// triangleCSP is a not-equal triangle over a d-valued domain: cyclic, so
+// never Tree or Acyclic; Schaefer exactly when d == 2 (x != y over {0,1} is
+// XOR, which is affine and bijunctive).
+func triangleCSP(d int) *csp.Instance {
+	p := csp.NewInstance(3, d)
+	ne := gen.NotEqualTable(d)
+	p.MustAddConstraint([]int{0, 1}, ne)
+	p.MustAddConstraint([]int{1, 2}, ne)
+	p.MustAddConstraint([]int{2, 0}, ne)
+	return p
+}
+
+// ternaryAcyclicCSP has a ternary constraint (so it is not a binary tree)
+// and an α-acyclic hypergraph.
+func ternaryAcyclicCSP() *csp.Instance {
+	p := csp.NewInstance(4, 3)
+	t := csp.TableOf(3, []int{0, 1, 2}, []int{1, 2, 0}, []int{2, 0, 1})
+	p.MustAddConstraint([]int{0, 1, 2}, t)
+	p.MustAddConstraint([]int{2, 3}, csp.TableOf(2, []int{0, 1}, []int{1, 2}))
+	return p
+}
+
+func TestClassifyCanonical(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *csp.Instance
+		want Class
+	}{
+		{"path", pathCSP(3), Tree},
+		{"boolean-triangle", triangleCSP(2), Schaefer},
+		{"ternary-acyclic", ternaryAcyclicCSP(), Acyclic},
+		{"triangle-d3", triangleCSP(3), BoundedWidth},
+		{"k6-coloring", gen.Coloring(completeGraph(6), 4), Hard},
+	}
+	an := NewAnalyzer(0, 0)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cls, hit := an.Classify(tc.p)
+			if cls.Class != tc.want {
+				t.Fatalf("class = %v, want %v", cls.Class, tc.want)
+			}
+			if hit {
+				t.Fatal("first classification reported a cache hit")
+			}
+			// The witness must match the class.
+			switch cls.Class {
+			case Acyclic:
+				if cls.JoinTree == nil {
+					t.Fatal("acyclic verdict without a join tree")
+				}
+			case BoundedWidth:
+				if cls.Decomp == nil || cls.Width > an.WidthBudget {
+					t.Fatalf("width verdict without a fitting decomposition (width %d)", cls.Width)
+				}
+			}
+		})
+	}
+}
+
+// TestSolveRoutes runs each canonical instance through the dispatcher and
+// checks the route taken, the verdict against the complete search engine,
+// and that only the Hard instance moved the fallback counter.
+func TestSolveRoutes(t *testing.T) {
+	enableObs(t)
+	cases := []struct {
+		name string
+		p    *csp.Instance
+		want Class
+	}{
+		{"path", pathCSP(3), Tree},
+		{"boolean-triangle", triangleCSP(2), Schaefer},
+		{"ternary-acyclic", ternaryAcyclicCSP(), Acyclic},
+		{"triangle-d3", triangleCSP(3), BoundedWidth},
+		{"k6-coloring-unsat", gen.Coloring(completeGraph(6), 4), Hard},
+		{"k5-coloring-sat", gen.Coloring(completeGraph(5), 5), Hard},
+	}
+	an := NewAnalyzer(0, 0)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fb0, rr0 := FallbackCount(), RerouteCount()
+			out := an.Solve(context.Background(), tc.p)
+			if out.Route != tc.want {
+				t.Fatalf("route = %v, want %v", out.Route, tc.want)
+			}
+			if out.Fallback != (tc.want == Hard) {
+				t.Fatalf("fallback = %v for class %v", out.Fallback, tc.want)
+			}
+			want := csp.Solve(tc.p, csp.Options{})
+			if out.Found != want.Found {
+				t.Fatalf("dispatcher found=%v, search found=%v", out.Found, want.Found)
+			}
+			if out.Found && !tc.p.Satisfies(out.Solution) {
+				t.Fatalf("non-solution %v", out.Solution)
+			}
+			wantFB := int64(0)
+			if tc.want == Hard {
+				wantFB = 1
+			}
+			if d := FallbackCount() - fb0; d != wantFB {
+				t.Fatalf("fallback counter moved by %d, want %d", d, wantFB)
+			}
+			if d := RerouteCount() - rr0; d != 0 {
+				t.Fatalf("defensive reroute fired %d times", d)
+			}
+		})
+	}
+}
+
+// TestWidthBudget pins the budget semantics: K4 has treewidth 3, so it is
+// BoundedWidth under the default budget and Hard under budget 2.
+func TestWidthBudget(t *testing.T) {
+	p := gen.Coloring(completeGraph(4), 4)
+	if cls, _ := NewAnalyzer(3, 0).Classify(p); cls.Class != BoundedWidth {
+		t.Fatalf("budget 3: class = %v, want %v", cls.Class, BoundedWidth)
+	}
+	if cls, _ := NewAnalyzer(2, 0).Classify(p); cls.Class != Hard {
+		t.Fatalf("budget 2: class = %v, want %v", cls.Class, Hard)
+	}
+}
+
+// TestClassificationCache: the same instance hits the cache on
+// reclassification, and a constraint-permuted twin — which shares the
+// canonical hash but not the constraint ordering the witnesses are indexed
+// by — must still be classified correctly (revalidated or recomputed) and
+// solved correctly, with no defensive reroute.
+func TestClassificationCache(t *testing.T) {
+	enableObs(t)
+	an := NewAnalyzer(0, 0)
+	p := ternaryAcyclicCSP()
+
+	cls1, hit := an.Classify(p)
+	if hit {
+		t.Fatal("cold cache reported a hit")
+	}
+	cls2, hit := an.Classify(p)
+	if !hit {
+		t.Fatal("identical instance missed the cache")
+	}
+	if cls1.Class != cls2.Class {
+		t.Fatalf("cache changed the class: %v vs %v", cls1.Class, cls2.Class)
+	}
+
+	// Constraint-reversed twin: same canonical hash, different positions.
+	twin := csp.NewInstance(p.Vars, p.Dom)
+	for i := len(p.Constraints) - 1; i >= 0; i-- {
+		twin.MustAddConstraint(p.Constraints[i].Scope, p.Constraints[i].Table)
+	}
+	rr0 := RerouteCount()
+	clsT, _ := an.Classify(twin)
+	if clsT.Class != cls1.Class {
+		t.Fatalf("permuted twin classified %v, original %v", clsT.Class, cls1.Class)
+	}
+	out := an.Solve(context.Background(), twin)
+	if out.Route != cls1.Class || out.Fallback {
+		t.Fatalf("twin routed %v (fallback=%v), want %v", out.Route, out.Fallback, cls1.Class)
+	}
+	want := csp.Solve(twin, csp.Options{})
+	if out.Found != want.Found {
+		t.Fatalf("twin verdict %v, search %v", out.Found, want.Found)
+	}
+	if out.Found && !twin.Satisfies(out.Solution) {
+		t.Fatalf("twin non-solution %v", out.Solution)
+	}
+	if d := RerouteCount() - rr0; d != 0 {
+		t.Fatalf("permuted twin triggered %d defensive reroutes", d)
+	}
+}
+
+func TestAnalyzerDefaults(t *testing.T) {
+	an := NewAnalyzer(0, 0)
+	if an.WidthBudget != DefaultWidthBudget {
+		t.Fatalf("WidthBudget = %d, want %d", an.WidthBudget, DefaultWidthBudget)
+	}
+	if an.cache == nil {
+		t.Fatal("analyzer built without a cache")
+	}
+}

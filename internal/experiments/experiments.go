@@ -1,6 +1,7 @@
-// Package experiments implements the reproduction experiments E1–E12 of
+// Package experiments implements the reproduction experiments E1–E13 of
 // DESIGN.md: one per theorem/proposition of the paper with algorithmic
-// content. Each experiment returns a table; cmd/experiments renders them
+// content (E13 exercises the tractability dispatcher built on top of
+// them). Each experiment returns a table; cmd/experiments renders them
 // and EXPERIMENTS.md records the results.
 //
 // The tutorial paper contains no empirical tables of its own, so these
@@ -65,6 +66,7 @@ var Registry = []Entry{
 	{"E10", "acyclic joins and width notions (Section 6)", E10},
 	{"E11", "certain answers via constraint templates (Thm 7.1/7.5)", E11},
 	{"E12", "CSP-to-views reduction and maximal rewritings (Thm 7.3, PODS'99)", E12},
+	{"E13", "tractability dispatcher vs portfolio (Sections 3/6)", E13},
 }
 
 // Find returns the registered experiment with the given id (case-insensitive).

@@ -6,8 +6,8 @@ import (
 )
 
 func TestRegistryIntegrity(t *testing.T) {
-	if len(Registry) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(Registry))
+	if len(Registry) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(Registry))
 	}
 	seen := map[string]bool{}
 	for i, e := range Registry {

@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"math/rand"
+
+	"csdb/internal/csp"
+	"csdb/internal/graph"
+)
+
+// Generators for the structurally tractable families the dispatcher routes:
+// random trees (Freuder's class) and instances whose constraint hypergraph
+// is α-acyclic by construction (ear-by-ear growth).
+
+// RandomTree returns a random tree on n vertices: each vertex i > 0
+// attaches to a uniformly random earlier vertex.
+func RandomTree(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i))
+	}
+	return g
+}
+
+// RandomTable returns a table of the given arity over d values keeping each
+// of the d^arity tuples with probability 1-tightness. Callers keep
+// d^arity small (the generators below bound arity).
+func RandomTable(rng *rand.Rand, arity, d int, tightness float64) *csp.Table {
+	t := csp.NewTable(arity)
+	row := make([]int, arity)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == arity {
+			if rng.Float64() >= tightness {
+				t.Add(row)
+			}
+			return
+		}
+		for v := 0; v < d; v++ {
+			row[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return t
+}
+
+// AcyclicCSP returns an instance of `edges` constraints over a d-valued
+// domain whose constraint hypergraph is α-acyclic by construction: scopes
+// are grown ear by ear — every new scope takes a nonempty subset of one
+// existing scope plus fresh variables — so GYO reduces the hypergraph in
+// reverse construction order. Arities are 1..maxArity; each constraint gets
+// a random table of the matching arity (tables forbid each tuple with
+// probability tightness).
+func AcyclicCSP(rng *rand.Rand, edges, maxArity, d int, tightness float64) *csp.Instance {
+	if maxArity < 1 {
+		maxArity = 1
+	}
+	if edges < 1 {
+		edges = 1
+	}
+	scopes := make([][]int, 0, edges)
+	nextVar := 0
+	fresh := func(k int) []int {
+		vs := make([]int, k)
+		for i := range vs {
+			vs[i] = nextVar
+			nextVar++
+		}
+		return vs
+	}
+	scopes = append(scopes, fresh(1+rng.Intn(maxArity)))
+	for len(scopes) < edges {
+		base := scopes[rng.Intn(len(scopes))]
+		arity := 1 + rng.Intn(maxArity)
+		shared := 1 + rng.Intn(min(len(base), arity))
+		rng.Shuffle(len(base), func(i, j int) { base[i], base[j] = base[j], base[i] })
+		scope := append([]int(nil), base[:shared]...)
+		scope = append(scope, fresh(arity-shared)...)
+		scopes = append(scopes, scope)
+	}
+	p := csp.NewInstance(nextVar, d)
+	for _, scope := range scopes {
+		p.MustAddConstraint(scope, RandomTable(rng, len(scope), d, tightness))
+	}
+	return p
+}

@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"csdb/internal/hypergraph"
+)
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(20)
+		g := RandomTree(rng, n)
+		if g.N() != n {
+			t.Fatalf("trial %d: %d vertices, want %d", trial, g.N(), n)
+		}
+		if m := len(g.Edges()); m != n-1 {
+			t.Fatalf("trial %d: %d edges on %d vertices", trial, m, n)
+		}
+		// n vertices, n-1 edges and connectivity-by-construction (each
+		// vertex attaches to an earlier one) make it a tree; double-check
+		// acyclicity through the hypergraph view.
+		h := hypergraph.New(n)
+		for _, e := range g.Edges() {
+			h.MustAddEdge(e[0], e[1])
+		}
+		if n > 1 && !h.IsAcyclic() {
+			t.Fatalf("trial %d: RandomTree produced a cycle", trial)
+		}
+	}
+}
+
+func TestRandomTableDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	// tightness 0 keeps everything, 1 keeps nothing.
+	if got := RandomTable(rng, 2, 3, 0).Len(); got != 9 {
+		t.Fatalf("tightness 0: %d tuples, want 9", got)
+	}
+	if got := RandomTable(rng, 2, 3, 1).Len(); got != 0 {
+		t.Fatalf("tightness 1: %d tuples, want 0", got)
+	}
+	// Intermediate tightness lands near the expected density.
+	total, keeps := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		tbl := RandomTable(rng, 3, 3, 0.4)
+		total += 27
+		keeps += tbl.Len()
+	}
+	want := 0.6
+	if got := float64(keeps) / float64(total); math.Abs(got-want) > 0.05 {
+		t.Fatalf("tightness 0.4 kept %.3f of tuples, want ≈ %.2f", got, want)
+	}
+}
+
+func TestAcyclicCSPIsAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 100; trial++ {
+		edges := 1 + rng.Intn(10)
+		maxArity := 1 + rng.Intn(4)
+		p := AcyclicCSP(rng, edges, maxArity, 2+rng.Intn(3), 0.3)
+		if len(p.Constraints) != edges {
+			t.Fatalf("trial %d: %d constraints, want %d", trial, len(p.Constraints), edges)
+		}
+		for _, con := range p.Constraints {
+			if len(con.Scope) > maxArity {
+				t.Fatalf("trial %d: scope %v exceeds max arity %d", trial, con.Scope, maxArity)
+			}
+		}
+		if acyclic, _ := hypergraph.FromInstance(p).GYO(); !acyclic {
+			t.Fatalf("trial %d: AcyclicCSP produced a cyclic hypergraph", trial)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"csdb/internal/csp"
+	"csdb/internal/gen"
+)
+
+// Differential gate for the acyclic CSP solver: on random instances whose
+// constraint hypergraph is α-acyclic by construction, SolveAcyclicCSP must
+// agree with the generic search engine on satisfiability, and any solution
+// it returns must actually satisfy the instance (the solver verifies this
+// itself; the test asserts it once more from the outside).
+func TestSolveAcyclicDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		edges := 2 + rng.Intn(8)
+		d := 2 + rng.Intn(3)
+		tight := 0.15 + 0.5*rng.Float64()
+		p := gen.AcyclicCSP(rng, edges, 3, d, tight)
+
+		got, err := SolveAcyclicCSP(p, nil)
+		if err != nil {
+			t.Fatalf("trial %d: SolveAcyclicCSP: %v", trial, err)
+		}
+		want := csp.Solve(p, csp.Options{})
+		if got.Found != want.Found {
+			t.Fatalf("trial %d (%d vars, %d cons, d=%d): acyclic=%v search=%v",
+				trial, p.Vars, len(p.Constraints), d, got.Found, want.Found)
+		}
+		if got.Found && !p.Satisfies(got.Solution) {
+			t.Fatalf("trial %d: returned non-solution %v", trial, got.Solution)
+		}
+	}
+}
+
+func TestSolveAcyclicRejectsCyclic(t *testing.T) {
+	// A binary triangle: the constraint hypergraph is the 3-cycle, which is
+	// not α-acyclic.
+	p := csp.NewInstance(3, 2)
+	tbl := gen.NotEqualTable(2)
+	p.MustAddConstraint([]int{0, 1}, tbl)
+	p.MustAddConstraint([]int{1, 2}, tbl)
+	p.MustAddConstraint([]int{2, 0}, tbl)
+	if _, err := SolveAcyclicCSP(p, nil); err == nil {
+		t.Fatal("cyclic instance accepted")
+	}
+}
+
+func TestSolveAcyclicEdgeCases(t *testing.T) {
+	// No variables at all: trivially satisfiable.
+	res, err := SolveAcyclicCSP(csp.NewInstance(0, 2), nil)
+	if err != nil || !res.Found {
+		t.Fatalf("empty instance: found=%v err=%v", res.Found, err)
+	}
+
+	// Variables but no constraints: satisfiable, every variable assigned
+	// from its domain.
+	p := csp.NewInstance(3, 3)
+	p.Domains = [][]int{{2}, nil, {1, 2}}
+	res, err = SolveAcyclicCSP(p, nil)
+	if err != nil || !res.Found {
+		t.Fatalf("unconstrained instance: found=%v err=%v", res.Found, err)
+	}
+	if res.Solution[0] != 2 {
+		t.Fatalf("domain restriction ignored: got %v", res.Solution)
+	}
+
+	// An empty domain makes the instance unsatisfiable outright.
+	p = csp.NewInstance(2, 2)
+	p.Domains = [][]int{{}, nil}
+	res, err = SolveAcyclicCSP(p, nil)
+	if err != nil || res.Found {
+		t.Fatalf("empty domain: found=%v err=%v", res.Found, err)
+	}
+
+	// Domain restrictions must also prune constraint tables: x=y with
+	// disjoint domains is UNSAT even though the table itself is nonempty.
+	p = csp.NewInstance(2, 3)
+	p.Domains = [][]int{{0}, {1, 2}}
+	eq := csp.TableOf(2, []int{0, 0}, []int{1, 1}, []int{2, 2})
+	p.MustAddConstraint([]int{0, 1}, eq)
+	res, err = SolveAcyclicCSP(p, nil)
+	if err != nil || res.Found {
+		t.Fatalf("disjoint-domain equality: found=%v err=%v", res.Found, err)
+	}
+
+	// Repeated scope variables are normalized away, not mis-joined.
+	p = csp.NewInstance(2, 2)
+	diag := csp.TableOf(2, []int{0, 0}, []int{1, 0})
+	p.MustAddConstraint([]int{0, 0}, diag) // forces x0 = 0
+	res, err = SolveAcyclicCSP(p, nil)
+	if err != nil || !res.Found || res.Solution[0] != 0 {
+		t.Fatalf("repeated-scope constraint: res=%+v err=%v", res, err)
+	}
+}
+
+// A stale or foreign join tree must never corrupt a verdict: the solver
+// validates it against the live instance and recomputes on mismatch.
+func TestSolveAcyclicStaleJoinTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := gen.AcyclicCSP(rng, 6, 3, 3, 0.3)
+	want, err := SolveAcyclicCSP(p, nil)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	bogus := []*JoinTree{
+		{Parent: []int{-1}, Root: 0},                       // wrong edge count
+		{Parent: make([]int, len(p.Constraints)), Root: 5}, // root claims parent 0
+	}
+	for i, jt := range bogus {
+		got, err := SolveAcyclicCSP(p, jt)
+		if err != nil {
+			t.Fatalf("bogus jt %d: %v", i, err)
+		}
+		if got.Found != want.Found {
+			t.Fatalf("bogus jt %d changed the verdict: %v vs %v", i, got.Found, want.Found)
+		}
+	}
+}

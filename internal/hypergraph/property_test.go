@@ -1,0 +1,177 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests pinning the classifier's acyclicity source of truth
+// (satellite of the dispatcher PR): on hypergraphs that are α-acyclic by
+// construction, GYO and IsAcyclic agree (and GYO's join tree is valid), and
+// adding a single edge between two connected vertices that never co-occur
+// flips both to cyclic. The flip is guaranteed, not just likely: α-acyclic
+// ⟺ primal graph chordal ∧ conformal, and the new edge {u,v} either closes
+// a triangle no hyperedge covers (primal distance 2 → non-conformal) or an
+// induced cycle of length ≥ 4 (distance ≥ 3 → non-chordal).
+
+// earHypergraph grows a connected hypergraph ear by ear: every new edge
+// takes a nonempty subset of one existing edge plus fresh vertices, which
+// is exactly the shape GYO reduces away. (A looser acyclic generator,
+// randomAcyclicHypergraph, lives in hypergraph_test.go; this one guarantees
+// connectivity, which the flip test's distance search relies on.)
+func earHypergraph(rng *rand.Rand, edges, maxArity int) *Hypergraph {
+	type edge = []int
+	var scopes []edge
+	nextVertex := 0
+	fresh := func(k int) []int {
+		vs := make([]int, k)
+		for i := range vs {
+			vs[i] = nextVertex
+			nextVertex++
+		}
+		return vs
+	}
+	scopes = append(scopes, fresh(1+rng.Intn(maxArity)))
+	for len(scopes) < edges {
+		base := scopes[rng.Intn(len(scopes))]
+		arity := 1 + rng.Intn(maxArity)
+		shared := 1 + rng.Intn(minInt(len(base), arity))
+		perm := rng.Perm(len(base))
+		scope := make([]int, 0, arity)
+		for _, i := range perm[:shared] {
+			scope = append(scope, base[i])
+		}
+		scope = append(scope, fresh(arity-shared)...)
+		scopes = append(scopes, scope)
+	}
+	h := New(nextVertex)
+	for _, s := range scopes {
+		h.MustAddEdge(s...)
+	}
+	return h
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// primalDistances returns BFS distances from u in the primal graph of h.
+func primalDistances(h *Hypergraph, u int) []int {
+	adj := make([]map[int]bool, h.N)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	for _, e := range h.Edges {
+		for i := 0; i < len(e); i++ {
+			for j := i + 1; j < len(e); j++ {
+				adj[e[i]][e[j]] = true
+				adj[e[j]][e[i]] = true
+			}
+		}
+	}
+	dist := make([]int, h.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []int{u}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for w := range adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func TestGYOAcyclicByConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		h := earHypergraph(rng, 2+rng.Intn(10), 1+rng.Intn(4))
+		acyclic, jt := h.GYO()
+		if !acyclic {
+			t.Fatalf("trial %d: ear-constructed hypergraph judged cyclic (%v)", trial, h.Edges)
+		}
+		if !h.IsAcyclic() {
+			t.Fatalf("trial %d: GYO and IsAcyclic disagree", trial)
+		}
+		if err := h.ValidateJoinTree(jt); err != nil {
+			t.Fatalf("trial %d: GYO join tree invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestClosingEdgeFlipsAcyclicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	flipped := 0
+	for trial := 0; trial < 300; trial++ {
+		h := earHypergraph(rng, 3+rng.Intn(8), 2+rng.Intn(3))
+		// Find u,v connected in the primal graph but never co-occurring in a
+		// hyperedge (primal distance >= 2). Dense instances may have none.
+		u, v := -1, -1
+	search:
+		for a := 0; a < h.N; a++ {
+			dist := primalDistances(h, a)
+			for b := 0; b < h.N; b++ {
+				if dist[b] >= 2 {
+					u, v = a, b
+					break search
+				}
+			}
+		}
+		if u < 0 {
+			continue // every connected pair co-occurs; no cycle to close
+		}
+		flipped++
+		h.MustAddEdge(u, v)
+		acyclic, _ := h.GYO()
+		if acyclic {
+			t.Fatalf("trial %d: closing edge {%d,%d} left hypergraph acyclic (%v)",
+				trial, u, v, h.Edges)
+		}
+		if h.IsAcyclic() {
+			t.Fatalf("trial %d: GYO and IsAcyclic disagree after the flip", trial)
+		}
+	}
+	if flipped < 50 {
+		t.Fatalf("only %d/300 trials exercised the flip; generator too dense", flipped)
+	}
+}
+
+// GYO and IsAcyclic must agree on arbitrary hypergraphs too, cyclic ones
+// included.
+func TestGYOIsAcyclicAgreeOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cyclicSeen := false
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(8)
+		h := New(n)
+		m := 2 + rng.Intn(8)
+		for i := 0; i < m; i++ {
+			k := 1 + rng.Intn(3)
+			vs := rng.Perm(n)[:k]
+			h.MustAddEdge(vs...)
+		}
+		acyclic, jt := h.GYO()
+		if acyclic != h.IsAcyclic() {
+			t.Fatalf("trial %d: GYO=%v IsAcyclic=%v", trial, acyclic, h.IsAcyclic())
+		}
+		if acyclic {
+			if err := h.ValidateJoinTree(jt); err != nil {
+				t.Fatalf("trial %d: join tree invalid: %v", trial, err)
+			}
+		} else {
+			cyclicSeen = true
+		}
+	}
+	if !cyclicSeen {
+		t.Fatal("random sweep produced no cyclic hypergraph; widen the generator")
+	}
+}

@@ -1,0 +1,62 @@
+package schaefer
+
+import (
+	"fmt"
+
+	"csdb/internal/csp"
+)
+
+// FromCSP converts a 2-valued CSP instance to a Schaefer template instance,
+// deduplicating constraint tables into template relations. Per-variable
+// domain restrictions become unary relations of the template, so a
+// restricted domain participates in the template's classification exactly
+// like any other constraint (a {1}-restriction, say, breaks 0-validity).
+func FromCSP(inst *csp.Instance) (*Instance, error) {
+	if inst.Dom != 2 {
+		return nil, fmt.Errorf("schaefer: FromCSP needs a Boolean domain, got %d values", inst.Dom)
+	}
+	q := inst.Normalize()
+	tpl := &Template{}
+	byKey := make(map[string]int)
+	out := &Instance{Template: tpl, NumVars: q.Vars}
+	// Fold per-variable domain restrictions into unary constraints.
+	if q.Domains != nil {
+		for v, dom := range q.Domains {
+			if dom == nil {
+				continue
+			}
+			rel, err := NewBoolRel(1)
+			if err != nil {
+				return nil, err
+			}
+			for _, val := range dom {
+				if err := rel.Add([]int{val}); err != nil {
+					return nil, err
+				}
+			}
+			idx := len(tpl.Rels)
+			tpl.Rels = append(tpl.Rels, rel)
+			out.Cons = append(out.Cons, Application{Rel: idx, Scope: []int{v}})
+		}
+	}
+	for _, con := range q.Constraints {
+		k := con.Table.Key()
+		idx, ok := byKey[k]
+		if !ok {
+			rel, err := NewBoolRel(con.Table.Arity())
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range con.Table.Tuples() {
+				if err := rel.Add(t); err != nil {
+					return nil, err
+				}
+			}
+			idx = len(tpl.Rels)
+			tpl.Rels = append(tpl.Rels, rel)
+			byKey[k] = idx
+		}
+		out.Cons = append(out.Cons, Application{Rel: idx, Scope: con.Scope})
+	}
+	return out, nil
+}

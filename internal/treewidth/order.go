@@ -227,6 +227,16 @@ func Decompose(g *graph.Graph, h Heuristic) *Decomposition {
 	return FromOrdering(g, Ordering(g, h))
 }
 
+// DecomposeWithin tries the heuristics for a decomposition of width at most
+// budget and reports whether one was found (the decomposition is returned
+// either way — callers that can use a wider one may still want it). Since
+// the heuristics only upper-bound the true treewidth, a false answer means
+// "no witness found", not "treewidth exceeds budget".
+func DecomposeWithin(g *graph.Graph, budget int) (*Decomposition, bool) {
+	d := BestHeuristic(g)
+	return d, d.Width() <= budget
+}
+
 // BestHeuristic runs all three heuristics and returns the decomposition of
 // smallest width.
 func BestHeuristic(g *graph.Graph) *Decomposition {
