@@ -11,10 +11,10 @@ GO ?= go
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
-.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs race-serve race-dispatch bench bench-serve obs-overhead
+.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs race-serve race-dispatch race-search bench bench-serve bench-search obs-overhead
 
 # Default target: everything a PR must pass locally.
-check: vet verify lint race-kernel race-obs race-serve race-dispatch
+check: vet verify lint race-kernel race-obs race-serve race-dispatch race-search
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseInstance -fuzztime $(FUZZTIME) ./internal/cspio/
 	$(GO) test -run '^$$' -fuzz FuzzJoinDifferential -fuzztime $(FUZZTIME) ./internal/relation/
 	$(GO) test -run '^$$' -fuzz FuzzDispatch -fuzztime $(FUZZTIME) ./internal/dispatch/
+	$(GO) test -run '^$$' -fuzz FuzzSearchDifferential -fuzztime $(FUZZTIME) ./internal/csp/
 
 # Tier-1 verification (ROADMAP.md): the module builds and all tests pass.
 verify: build test
@@ -79,6 +80,12 @@ race-serve:
 race-dispatch:
 	$(GO) test -race -count=1 ./internal/dispatch/
 
+# The search core (bitset domains, watched supports, nogood learning) and
+# the hard-instance generators behind its differential gate: the portfolio
+# races learning against MAC, so the whole suite runs under the detector.
+race-search:
+	$(GO) test -race -count=1 ./internal/csp/ ./internal/gen/
+
 # Benchmark the join/semijoin/Yannakakis/engine hot paths and merge the
 # medians into BENCH_relation.json under $(BENCH_LABEL). Run with
 # BENCH_LABEL=before on a pre-change tree to record a baseline.
@@ -96,6 +103,14 @@ bench-serve:
 		-benchtime=0.3s -run '^$$' -timeout 30m ./cmd/cspd/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_serve.json -label $(BENCH_LABEL) \
 		-note "cspd request latency: cold engine solve vs canonical result-cache hit on PHP(8), plus the cache-key (parse+hash) cost"
+
+# Time the search-core engines (seed vs bitset MAC vs restart/nogood
+# learning) in-process on the fixed hard-instance suite — pigeonhole,
+# quasigroup completion, phase-transition Model B — into BENCH_search.json.
+# The recorded speedups are the acceptance bar for the search-core rewrite
+# (learning >= 5x over the seed engine on a hard family).
+bench-search:
+	$(GO) run ./cmd/benchjson -search -label $(BENCH_LABEL)
 
 # Measure what the observability instrumentation costs when it is off (the
 # library default; the acceptance bar is <2% vs the pre-instrumentation

@@ -13,6 +13,15 @@
 // resulting metrics snapshot (join/planner counters, the planner's
 // estimate-vs-actual error histogram, workload allocation bytes) under the
 // label, so planner quality is versioned alongside the timing trajectory.
+//
+// With -search the tool ignores stdin and instead times the search-core
+// engines (seed, bitset MAC, restart/nogood learning) in-process on a fixed
+// suite of hard instances — pigeonhole, quasigroup completion, and Model B
+// at the phase transition — recording wall-clock runs, medians, node counts,
+// and seed-relative speedups. The default output switches to
+// BENCH_search.json:
+//
+//	go run ./cmd/benchjson -search -label after
 package main
 
 import (
@@ -65,13 +74,32 @@ func main() {
 	out := flag.String("o", "BENCH_relation.json", "output JSON file (merged in place)")
 	label := flag.String("label", "current", "label for this capture (e.g. before, after)")
 	withObs := flag.Bool("obs", false, "embed a metrics snapshot of the canonical chain-join workload")
+	search := flag.Bool("search", false, "time the search-core engine suite in-process instead of reading stdin")
 	note := flag.String("note", "", "override the file's note line (kept from the existing file when empty)")
 	flag.Parse()
 
-	runs := parseBench(os.Stdin)
-	if len(runs) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
-		os.Exit(1)
+	var runs map[string][]Run
+	var searchBenches map[string]Bench
+	var searchSnap map[string]any
+	if *search {
+		// The search suite produces its own timings; -o keeps its flag
+		// default only if the user did not set it explicitly.
+		explicitOut := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "o" {
+				explicitOut = true
+			}
+		})
+		if !explicitOut {
+			*out = "BENCH_search.json"
+		}
+		searchBenches, searchSnap = runSearchBench()
+	} else {
+		runs = parseBench(os.Stdin)
+		if len(runs) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+			os.Exit(1)
+		}
 	}
 
 	f := File{Labels: map[string]Label{}}
@@ -87,6 +115,8 @@ func main() {
 	switch {
 	case *note != "":
 		f.Note = *note
+	case f.Note == "" && *search:
+		f.Note = "search-core wall-clock per (instance, engine): seed vs bitset MAC vs restart/nogood learning; medians plus node counts and seed-relative speedups"
 	case f.Note == "":
 		f.Note = "per-benchmark ns/op, B/op, allocs/op across -count repetitions; medians for comparison"
 	}
@@ -108,9 +138,15 @@ func main() {
 			MedianAllocsOp: median(rs, func(r Run) float64 { return r.AllocsOp }),
 		}
 	}
+	for name, b := range searchBenches {
+		benches[name] = b
+	}
 	obsSnap := f.Labels[*label].Obs // keep an earlier snapshot unless replaced
 	if *withObs {
 		obsSnap = captureObsSnapshot()
+	}
+	if searchSnap != nil {
+		obsSnap = searchSnap
 	}
 	f.Labels[*label] = Label{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"csdb/internal/csp"
+	"csdb/internal/gen"
+)
+
+// searchReps is how many times each (instance, engine) cell is timed; the
+// JSON records every run plus the median, mirroring `go test -bench -count`.
+const searchReps = 3
+
+// searchCase is one hard instance in the search benchmark suite. Every
+// generator is seeded, so the suite is the same set of instances on every
+// machine and the trajectory file stays comparable across captures.
+type searchCase struct {
+	name string
+	inst *csp.Instance
+}
+
+func searchCases() []searchCase {
+	return []searchCase{
+		// Fully symmetric UNSAT: the classic worst case for learning
+		// (restarts redo interchangeable subtrees) and the best case for
+		// raw per-node propagation speed.
+		{"SearchPigeonhole9x8", gen.Pigeonhole(9, 8)},
+		// Quasigroup completion: structured SAT where conflict-weighted
+		// branching collapses the search tree.
+		{"SearchQuasigroup18h130", gen.Quasigroup(rand.New(rand.NewSource(1)), 18, 130)},
+		// Model B at the phase transition, one UNSAT seed and one SAT seed.
+		{"SearchPhase35x20d25s1", gen.PhaseTransition(rand.New(rand.NewSource(1)), 35, 20, 0.25)},
+		{"SearchPhase35x20d25s2", gen.PhaseTransition(rand.New(rand.NewSource(2)), 35, 20, 0.25)},
+	}
+}
+
+// searchEngines are the three engines the rewrite is measured across: the
+// retained seed solver (the "before"), the bitset MAC engine, and the
+// restart/nogood learning engine.
+var searchEngines = []struct {
+	name  string
+	solve func(*csp.Instance) csp.Result
+}{
+	{"seed", func(p *csp.Instance) csp.Result {
+		return csp.SolveSeed(p, csp.Options{Algorithm: csp.MAC, VarOrder: csp.MRV})
+	}},
+	{"bitset", func(p *csp.Instance) csp.Result {
+		return csp.Solve(p, csp.Options{Algorithm: csp.MAC, VarOrder: csp.MRV})
+	}},
+	{"learn", func(p *csp.Instance) csp.Result {
+		return csp.Solve(p, csp.Options{Learn: true})
+	}},
+}
+
+// runSearchBench times every engine on every case in-process and returns
+// benchjson-shaped results: one Bench per "Case/engine" name, plus a summary
+// snapshot (node counts, verdicts, seed-relative speedups) for the label's
+// obs field. Engines must agree on every verdict — a mismatch is a
+// correctness bug, and the tool exits nonzero rather than record it.
+func runSearchBench() (map[string]Bench, map[string]any) {
+	benches := map[string]Bench{}
+	snap := map[string]any{
+		"suite": fmt.Sprintf("%d instances x %d engines x %d reps", len(searchCases()), len(searchEngines), searchReps),
+	}
+	for _, c := range searchCases() {
+		verdicts := make([]bool, len(searchEngines))
+		medians := make([]float64, len(searchEngines))
+		for ei, eng := range searchEngines {
+			var runs []Run
+			var res csp.Result
+			for r := 0; r < searchReps; r++ {
+				t0 := time.Now()
+				res = eng.solve(c.inst)
+				runs = append(runs, Run{NsOp: float64(time.Since(t0).Nanoseconds())})
+			}
+			if res.Aborted {
+				fmt.Fprintf(os.Stderr, "benchjson: %s/%s aborted\n", c.name, eng.name)
+				os.Exit(1)
+			}
+			verdicts[ei] = res.Found
+			b := Bench{
+				Runs:       runs,
+				MedianNsOp: median(runs, func(r Run) float64 { return r.NsOp }),
+			}
+			medians[ei] = b.MedianNsOp
+			benches[c.name+"/"+eng.name] = b
+			snap[c.name+".nodes."+eng.name] = res.Stats.Nodes
+			if eng.name == "learn" {
+				snap[c.name+".restarts"] = res.Stats.Restarts
+				snap[c.name+".nogoods"] = res.Stats.NogoodsRecorded
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %-24s %-7s median %12v nodes %d found=%v\n",
+				c.name, eng.name, time.Duration(b.MedianNsOp).Round(time.Millisecond), res.Stats.Nodes, res.Found)
+		}
+		for ei := 1; ei < len(searchEngines); ei++ {
+			if verdicts[ei] != verdicts[0] {
+				fmt.Fprintf(os.Stderr, "benchjson: VERDICT MISMATCH on %s: %s=%v %s=%v\n",
+					c.name, searchEngines[0].name, verdicts[0], searchEngines[ei].name, verdicts[ei])
+				os.Exit(1)
+			}
+			snap[c.name+".speedup."+searchEngines[ei].name] = round2(medians[0] / medians[ei])
+		}
+		snap[c.name+".found"] = verdicts[0]
+	}
+	return benches, snap
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

@@ -11,6 +11,7 @@
 //	csolve -auto [-width k] instance.csp
 //	csolve -portfolio [-timeout 2s] instance.csp
 //	csolve -parallel [-workers n] instance.csp
+//	csolve -learn [-timeout 2s] instance.csp
 //
 // With no file argument the instance is read from standard input.
 // -auto classifies the instance's structure (tree / schaefer / acyclic /
@@ -19,7 +20,9 @@
 // the chosen route and the classification time. -portfolio races the MAC,
 // FC, CBJ and join solvers and reports the first verdict; -parallel splits
 // the root domain across a worker pool; -timeout bounds the solve
-// wall-clock (the search reports UNKNOWN when it expires). -trace turns on
+// wall-clock (the search reports UNKNOWN when it expires). -learn runs the
+// restart/nogood learning engine and extends the summary line with its
+// restart and nogood counters. -trace turns on
 // structured span tracing for the solve and writes the drained spans as
 // JSON lines (the same schema cspd's /trace endpoint serves) to the given
 // file.
@@ -54,6 +57,7 @@ type config struct {
 	portfolio bool
 	parallel  bool
 	workers   int
+	learn     bool
 	trace     string
 	args      []string
 }
@@ -70,6 +74,7 @@ func main() {
 	portfolio := flag.Bool("portfolio", false, "race MAC, FC, CBJ and join solvers; first verdict wins")
 	parallel := flag.Bool("parallel", false, "split the root variable's domain across a parallel worker pool")
 	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+	learn := flag.Bool("learn", false, "solve with the restart/nogood learning engine")
 	trace := flag.String("trace", "", "write the solve's span trace to this file as JSON lines")
 	flag.Parse()
 
@@ -78,7 +83,7 @@ func main() {
 		all: *all, count: *count, timeout: *timeout,
 		auto: *auto, width: *width,
 		portfolio: *portfolio, parallel: *parallel, workers: *workers,
-		trace: *trace, args: flag.Args(),
+		learn: *learn, trace: *trace, args: flag.Args(),
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "csolve:", err)
@@ -122,11 +127,14 @@ func run(cfg config) (err error) {
 	if err != nil {
 		return err
 	}
-	if cfg.portfolio && cfg.parallel {
-		return fmt.Errorf("-portfolio and -parallel are mutually exclusive")
+	exclusive := 0
+	for _, on := range []bool{cfg.auto, cfg.portfolio, cfg.parallel, cfg.learn} {
+		if on {
+			exclusive++
+		}
 	}
-	if cfg.auto && (cfg.portfolio || cfg.parallel) {
-		return fmt.Errorf("-auto is mutually exclusive with -portfolio and -parallel")
+	if exclusive > 1 {
+		return fmt.Errorf("-auto, -portfolio, -parallel and -learn are mutually exclusive")
 	}
 	ctx := context.Background()
 	if cfg.timeout > 0 {
@@ -159,6 +167,9 @@ func run(cfg config) (err error) {
 	}
 	if cfg.parallel {
 		return runParallel(ctx, inst, cfg.workers)
+	}
+	if cfg.learn {
+		return runLearn(ctx, inst)
 	}
 
 	problem := core.FromCSP(inst)
@@ -331,5 +342,26 @@ func runParallel(ctx context.Context, inst *csp.Instance, workers int) error {
 	res := csp.SolveParallel(ctx, inst, csp.ParallelOptions{Workers: workers})
 	fmt.Printf("split into %d subtrees on %d workers\n", res.Subtrees, res.Workers)
 	printSearchResult(inst, res.Result)
+	return nil
+}
+
+// runLearn solves with the restart/nogood learning engine. The summary line
+// extends the search format with the engine's own effort counters: restarts
+// taken, nogoods recorded, and nogood propagation hits.
+func runLearn(ctx context.Context, inst *csp.Instance) error {
+	res := csp.SolveCtx(ctx, inst, csp.Options{Learn: true})
+	st := res.Stats
+	detail := fmt.Sprintf("%s, %d nodes, depth %d, %d restarts, %d nogoods (%d hits), %v",
+		st.Strategy, st.Nodes, st.MaxDepth, st.Restarts, st.NogoodsRecorded, st.NogoodHits,
+		st.Duration.Round(time.Microsecond))
+	switch {
+	case res.Found:
+		fmt.Printf("SAT (%s)\n", detail)
+		fmt.Println(formatSolution(inst, res.Solution))
+	case res.Aborted:
+		fmt.Printf("UNKNOWN (%s)\n", detail)
+	default:
+		fmt.Printf("UNSAT (%s)\n", detail)
+	}
 	return nil
 }

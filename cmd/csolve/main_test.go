@@ -52,8 +52,14 @@ func TestRunEngineFlags(t *testing.T) {
 	if err := run(config{strategy: "auto", timeout: 5 * time.Second, args: sample}); err != nil {
 		t.Fatalf("run -timeout: %v", err)
 	}
+	if err := run(config{strategy: "auto", learn: true, timeout: 5 * time.Second, args: sample}); err != nil {
+		t.Fatalf("run -learn: %v", err)
+	}
 	if err := run(config{strategy: "auto", portfolio: true, parallel: true, args: sample}); err == nil {
 		t.Fatal("-portfolio with -parallel accepted")
+	}
+	if err := run(config{strategy: "auto", learn: true, parallel: true, args: sample}); err == nil {
+		t.Fatal("-learn with -parallel accepted")
 	}
 }
 

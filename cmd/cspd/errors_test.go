@@ -21,6 +21,7 @@ func TestSolveRejectsHostileParams(t *testing.T) {
 		{"non-duration timeout", "timeout=5", sampleInstance, "bad timeout"},
 		{"non-numeric workers", "workers=banana", sampleInstance, "bad workers"},
 		{"unknown strategy", "strategy=oracle", sampleInstance, "unknown strategy"},
+		{"workers with learn", "strategy=learn&workers=2", sampleInstance, "conflicting workers"},
 		{"empty body", "", "", "parse"},
 		{"truncated tuple", "", "vars 2\ndom 2\ncon 0 1 : 0\n", "parse"},
 	} {

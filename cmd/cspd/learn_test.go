@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+)
+
+// strategy=learn is a first-class engine on /solve: it solves, it is cached
+// under its own key (never sharing a mac entry for the same instance), and a
+// replay skips the engine.
+func TestSolveLearnStrategy(t *testing.T) {
+	ts, _ := startDaemon(t)
+	executedBefore := obsExecuted.Load()
+
+	mac := postSolve(t, ts, "strategy=mac&timeout=10s", sampleInstance)
+	learn := postSolve(t, ts, "strategy=learn&timeout=10s", sampleInstance)
+	if d := obsExecuted.Load() - executedBefore; d != 2 {
+		t.Fatalf("mac and learn shared a cache entry: %d engine runs, want 2", d)
+	}
+	if mac.Cached || learn.Cached {
+		t.Fatalf("fresh solves reported cached: mac=%v learn=%v", mac.Cached, learn.Cached)
+	}
+	if !learn.Found || learn.Aborted {
+		t.Fatalf("learn on satisfiable sample: found=%v aborted=%v", learn.Found, learn.Aborted)
+	}
+	if learn.Stats.Strategy != "Learn+DomWdeg" {
+		t.Fatalf("learn response strategy label %q", learn.Stats.Strategy)
+	}
+
+	learn2 := postSolve(t, ts, "strategy=learn&timeout=10s", sampleInstance)
+	if !learn2.Cached {
+		t.Fatal("learn replay not served from cache")
+	}
+	if d := obsExecuted.Load() - executedBefore; d != 2 {
+		t.Fatalf("cached learn replay ran the engine: %d runs, want 2", d)
+	}
+
+	if res := postSolve(t, ts, "strategy=learn&timeout=10s", unsatInstance); res.Found || res.Aborted {
+		t.Fatalf("learn on unsat instance: found=%v aborted=%v", res.Found, res.Aborted)
+	}
+}

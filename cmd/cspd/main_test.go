@@ -120,7 +120,7 @@ func drainSpans(t *testing.T, ts *httptest.Server, query string) []obs.SpanRecor
 // TestSolveEndToEnd drives /solve across strategies and checks verdicts.
 func TestSolveEndToEnd(t *testing.T) {
 	ts, _ := startDaemon(t)
-	for _, strategy := range []string{"mac", "fc", "bt", "cbj", "join", "portfolio", "parallel"} {
+	for _, strategy := range []string{"mac", "fc", "bt", "cbj", "join", "learn", "portfolio", "parallel"} {
 		res := postSolve(t, ts, "strategy="+strategy+"&timeout=10s", sampleInstance)
 		if !res.Found || res.Aborted {
 			t.Fatalf("strategy %s: found=%v aborted=%v", strategy, res.Found, res.Aborted)

@@ -36,9 +36,11 @@ import (
 //
 // Solve requests are parameterized by query string:
 //
-//	strategy  mac|fc|bt|cbj|join|portfolio|parallel|auto  (default portfolio)
+//	strategy  mac|fc|bt|cbj|join|learn|portfolio|parallel|auto
+//	          (default portfolio); learn is the restart/nogood engine
 //	timeout   Go duration, capped by -max-timeout         (default 30s)
-//	workers   worker bound for strategy=parallel
+//	workers   worker bound for strategy=parallel; rejected with strategy=learn
+//	          (the learning engine is single-threaded)
 //	route     auto|portfolio — alias for strategy, the dispatcher surface:
 //	          route=auto classifies the instance's structure and runs the
 //	          matching polynomial solver (internal/dispatch); the response
@@ -98,7 +100,7 @@ type solveParams struct {
 // strategies is the accepted strategy set; validation happens at the HTTP
 // boundary so the dispatch switch never sees an unknown name.
 var strategies = map[string]bool{
-	"mac": true, "fc": true, "bt": true, "cbj": true,
+	"mac": true, "fc": true, "bt": true, "cbj": true, "learn": true,
 	"join": true, "portfolio": true, "parallel": true, "auto": true,
 }
 
@@ -381,6 +383,11 @@ func (s *server) parseParams(q url.Values) (solveParams, error) {
 		}
 		p.workers = n
 	}
+	if p.workers > 0 && p.strategy == "learn" {
+		// The learning engine is single-threaded; a worker bound is a
+		// request for a different engine, not a tunable, so reject it.
+		return p, fmt.Errorf("conflicting workers=%d with strategy=learn", p.workers)
+	}
 	return p, nil
 }
 
@@ -406,6 +413,10 @@ func (s *server) realDispatch(ctx context.Context, inst *csp.Instance, p solvePa
 		resp.Solution, resp.Subtrees, resp.Stats = res.Solution, res.Subtrees, res.Stats
 	case "cbj":
 		res := csp.SolveCBJCtx(ctx, inst, csp.Options{})
+		resp.Found, resp.Aborted = res.Found, res.Aborted
+		resp.Solution, resp.Stats = res.Solution, res.Stats
+	case "learn":
+		res := csp.SolveCtx(ctx, inst, csp.Options{Learn: true})
 		resp.Found, resp.Aborted = res.Found, res.Aborted
 		resp.Solution, resp.Stats = res.Solution, res.Stats
 	case "join":

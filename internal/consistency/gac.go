@@ -36,9 +36,12 @@ func GAC(p *csp.Instance) (domains [][]int, consistent bool) {
 // context is cancelled or its deadline passes, in which case the returned
 // domains are nil and no consistency verdict is implied.
 //
-// Effort (revisions fired, tuple-scan support hits/misses, prunings) is
-// tallied in locals and flushed to the obs registry — and onto a
-// "consistency.gac" span when tracing — once per call.
+// Domains are csp.DomainSet bitsets and every constraint is compiled into
+// per-(position, value) support masks, so one revision is word arithmetic
+// over tuple-index bitmasks instead of a tuple-by-tuple rescan. Effort
+// (revisions fired, live/dead tuples per revision as support hits/misses,
+// prunings) is tallied in locals and flushed to the obs registry — and onto
+// a "consistency.gac" span when tracing — once per call.
 func GACCtx(ctx context.Context, p *csp.Instance) (domains [][]int, consistent bool, err error) {
 	if e := ctx.Err(); e != nil {
 		return nil, false, e
@@ -49,45 +52,53 @@ func GACCtx(ctx context.Context, p *csp.Instance) (domains [][]int, consistent b
 		effort.wipeout = !consistent && err == nil
 		effort.flush(sp)
 	}()
-	dom := make([][]bool, p.Vars)
-	size := make([]int, p.Vars)
+	d := csp.NewDomainSet(p)
 	for v := 0; v < p.Vars; v++ {
-		dom[v] = make([]bool, p.Dom)
-		for _, val := range p.DomainOf(v) {
-			if val >= 0 && val < p.Dom && !dom[v][val] {
-				dom[v][val] = true
-				size[v]++
-			}
-		}
-		if size[v] == 0 {
+		if d.Size(v) == 0 {
 			return nil, false, nil
 		}
 	}
 
-	watch := make([][]*csp.Constraint, p.Vars)
-	for _, con := range p.Constraints {
-		seen := map[int]bool{}
-		for _, v := range con.Scope {
-			if !seen[v] {
-				seen[v] = true
-				watch[v] = append(watch[v], con)
+	sup := make([]*csp.Supports, len(p.Constraints))
+	watch := make([][]int32, p.Vars)
+	maxWords := 1
+	queue := make([]int32, 0, len(p.Constraints))
+	inQueue := make([]bool, len(p.Constraints))
+	for cid, con := range p.Constraints {
+		s := csp.CompileSupports(con, p.Dom)
+		sup[cid] = s
+		if s.Words() > maxWords {
+			maxWords = s.Words()
+		}
+		for i, v := range con.Scope {
+			if !scopeRepeat(con.Scope, i) {
+				watch[v] = append(watch[v], int32(cid))
 			}
 		}
+		queue = append(queue, int32(cid))
+		inQueue[cid] = true
 	}
+	scratch := make([]uint64, 2*maxWords)
 
-	queue := append([]*csp.Constraint(nil), p.Constraints...)
-	inQueue := make(map[*csp.Constraint]bool, len(queue))
-	maxScope := 0
-	for _, c := range queue {
-		inQueue[c] = true
-		if len(c.Scope) > maxScope {
-			maxScope = len(c.Scope)
+	// The revision callback prunes, flags wipeout, and wakes the pruned
+	// variable's constraints. cur is the constraint being revised: it is
+	// already at its own fixpoint after the pass — unless its scope repeats
+	// a variable, in which case its own prunes shrink its live-tuple set and
+	// it must re-revise itself (see csp.Supports.Revise).
+	var cur int32
+	onPrune := func(u, val int) bool {
+		d.Remove(u, val)
+		effort.prunings++
+		if d.Size(u) == 0 {
+			return false
 		}
-	}
-	// One support buffer per scope position, reused across every revision.
-	supportBuf := make([][]bool, maxScope)
-	for i := range supportBuf {
-		supportBuf[i] = make([]bool, p.Dom)
+		for _, cid := range watch[u] {
+			if cid != cur && !inQueue[cid] {
+				inQueue[cid] = true
+				queue = append(queue, cid)
+			}
+		}
+		return true
 	}
 	for len(queue) > 0 {
 		effort.revisions++
@@ -96,60 +107,39 @@ func GACCtx(ctx context.Context, p *csp.Instance) (domains [][]int, consistent b
 				return nil, false, e
 			}
 		}
-		con := queue[0]
+		cid := queue[0]
 		queue = queue[1:]
-		inQueue[con] = false
-
-		supported := supportBuf[:len(con.Scope)]
-		for i := range supported {
-			clear(supported[i])
+		inQueue[cid] = false
+		if sup[cid].HasRepeat() {
+			cur = -1
+		} else {
+			cur = cid
 		}
-	tuples:
-		for _, row := range con.Table.Tuples() {
-			for i, u := range con.Scope {
-				if !dom[u][row[i]] {
-					effort.misses++
-					continue tuples
-				}
-			}
-			effort.hits++
-			for i := range con.Scope {
-				supported[i][row[i]] = true
-			}
-		}
-		for i, u := range con.Scope {
-			changed := false
-			for val := 0; val < p.Dom; val++ {
-				if dom[u][val] && !supported[i][val] {
-					dom[u][val] = false
-					size[u]--
-					effort.prunings++
-					changed = true
-				}
-			}
-			if size[u] == 0 {
-				return nil, false, nil
-			}
-			if changed {
-				for _, c2 := range watch[u] {
-					if !inQueue[c2] {
-						inQueue[c2] = true
-						queue = append(queue, c2)
-					}
-				}
-			}
+		live, ok := sup[cid].Revise(d, scratch, onPrune)
+		effort.hits += live
+		effort.misses += int64(sup[cid].Tuples()) - live
+		if !ok {
+			// Either the live-tuple set is empty (no tuple survives the
+			// current domains) or a prune emptied a domain: inconsistent.
+			return nil, false, nil
 		}
 	}
 
 	domains = make([][]int, p.Vars)
 	for v := 0; v < p.Vars; v++ {
-		for val := 0; val < p.Dom; val++ {
-			if dom[v][val] {
-				domains[v] = append(domains[v], val)
-			}
-		}
+		domains[v] = d.Values(v, nil)
 	}
 	return domains, true, nil
+}
+
+// scopeRepeat reports whether scope[i] already occurred earlier in scope.
+func scopeRepeat(scope []int, i int) bool {
+	for j := 0; j < i; j++ {
+		if scope[j] == scope[i] {
+			return true
+		}
+	}
+	return false
 }
 
 // Propagate returns a copy of the instance whose per-variable domains have

@@ -1,0 +1,150 @@
+package csp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"csdb/internal/csp"
+	"csdb/internal/gen"
+)
+
+// The differential suite locks the bitset/watched-support engine and the
+// learning engine to the seed searcher. The seed (SolveSeed) and bitset MAC
+// engines run the same heuristics and both propagate to the GAC closure,
+// which is unique — so they must walk the identical tree: equal verdicts,
+// equal node/backtrack/depth counts, and valid witnesses. The learning
+// engine explores a different tree (restarts, nogood prunes) but must agree
+// on the verdict and witness validity.
+
+// assertSameSearch cross-checks one instance across the three engines.
+func assertSameSearch(t *testing.T, name string, p *csp.Instance) {
+	t.Helper()
+	seed := csp.SolveSeed(p, csp.Options{Algorithm: csp.MAC, VarOrder: csp.MRV})
+	bit := csp.Solve(p, csp.Options{Algorithm: csp.MAC, VarOrder: csp.MRV})
+	learn := csp.Solve(p, csp.Options{Learn: true})
+	if seed.Found != bit.Found || seed.Found != learn.Found {
+		t.Fatalf("%s: verdicts diverge: seed=%v bitset=%v learn=%v",
+			name, seed.Found, bit.Found, learn.Found)
+	}
+	for engine, res := range map[string]csp.Result{"seed": seed, "bitset": bit, "learn": learn} {
+		if res.Found && !p.Satisfies(res.Solution) {
+			t.Fatalf("%s: %s returned a non-satisfying witness %v", name, engine, res.Solution)
+		}
+	}
+	if seed.Stats.Nodes != bit.Stats.Nodes ||
+		seed.Stats.Backtracks != bit.Stats.Backtracks ||
+		seed.Stats.MaxDepth != bit.Stats.MaxDepth {
+		t.Fatalf("%s: tree shape diverges: seed nodes=%d backtracks=%d depth=%d, bitset nodes=%d backtracks=%d depth=%d",
+			name, seed.Stats.Nodes, seed.Stats.Backtracks, seed.Stats.MaxDepth,
+			bit.Stats.Nodes, bit.Stats.Backtracks, bit.Stats.MaxDepth)
+	}
+}
+
+func TestDifferentialGeneratorFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	assertSameSearch(t, "nqueens-6", gen.NQueens(6))
+	assertSameSearch(t, "nqueens-8", gen.NQueens(8))
+	assertSameSearch(t, "coloring-3", gen.Coloring(gen.RandomGraph(rng, 12, 0.3), 3))
+	assertSameSearch(t, "coloring-4", gen.Coloring(gen.RandomGraph(rng, 14, 0.4), 4))
+	assertSameSearch(t, "pigeonhole-sat", gen.Pigeonhole(5, 5))
+	assertSameSearch(t, "pigeonhole-unsat", gen.Pigeonhole(6, 5))
+	assertSameSearch(t, "quasigroup", gen.Quasigroup(rng, 5, 12))
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		assertSameSearch(t, fmt.Sprintf("modelB-%d", seed), gen.ModelB(r, 10, 4, 0.5, 0.4))
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		assertSameSearch(t, fmt.Sprintf("phase-%d", seed), gen.PhaseTransition(r, 11, 5, 0.6))
+	}
+	g, _ := gen.PartialKTree(rng, 12, 3, 0.2)
+	assertSameSearch(t, "csp-on-ktree", gen.CSPOnGraph(rng, g, 3, 0.35))
+}
+
+// TestDifferentialRandom fuzzes small random instances, including unary
+// constraints, empty tables, and repeated scope variables — the shape that
+// historically broke watched self-revision.
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 3000; trial++ {
+		vars := 1 + rng.Intn(5)
+		dom := 1 + rng.Intn(3)
+		p := csp.NewInstance(vars, dom)
+		ncons := rng.Intn(6)
+		for c := 0; c < ncons; c++ {
+			arity := 1 + rng.Intn(3)
+			scope := make([]int, arity)
+			for i := range scope {
+				scope[i] = rng.Intn(vars)
+			}
+			tbl := csp.NewTable(arity)
+			rows := rng.Intn(8)
+			for r := 0; r < rows; r++ {
+				row := make([]int, arity)
+				for i := range row {
+					row[i] = rng.Intn(dom)
+				}
+				tbl.Add(row)
+			}
+			if err := p.AddConstraint(scope, tbl); err != nil {
+				t.Fatalf("trial %d: add: %v", trial, err)
+			}
+		}
+		assertSameSearch(t, fmt.Sprintf("random-%d", trial), p)
+	}
+}
+
+// TestDifferentialSolveAll locks the enumeration path: with MAC the bitset
+// engine serves SolveAll and must report the same solution set as the seed.
+func TestDifferentialSolveAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		p := gen.ModelB(rng, 6, 3, 0.5, 0.3)
+		var seedSols, bitSols [][]int
+		csp.SolveAll(p, csp.Options{Algorithm: csp.BT}, 0, func(sol []int) bool {
+			seedSols = append(seedSols, sol)
+			return true
+		})
+		csp.SolveAll(p, csp.Options{Algorithm: csp.MAC, Learn: true}, 0, func(sol []int) bool {
+			bitSols = append(bitSols, sol)
+			return true
+		})
+		if len(seedSols) != len(bitSols) {
+			t.Fatalf("trial %d: %d solutions via BT, %d via bitset MAC", trial, len(seedSols), len(bitSols))
+		}
+		seen := make(map[string]bool, len(seedSols))
+		for _, s := range seedSols {
+			seen[fmt.Sprint(s)] = true
+		}
+		for _, s := range bitSols {
+			if !seen[fmt.Sprint(s)] {
+				t.Fatalf("trial %d: bitset solution %v not found by BT", trial, s)
+			}
+		}
+	}
+}
+
+// TestRestartDeterminism pins the learning engine's reproducibility: the
+// whole restart/nogood machinery is deterministic, so two runs on the same
+// instance must report identical effort counters, and a hard UNSAT family
+// must actually exercise restarts and the nogood store.
+func TestRestartDeterminism(t *testing.T) {
+	p := gen.Pigeonhole(8, 7)
+	a := csp.Solve(p, csp.Options{Learn: true})
+	b := csp.Solve(p, csp.Options{Learn: true})
+	if a.Found || b.Found {
+		t.Fatal("pigeonhole(8,7) must be UNSAT")
+	}
+	sa, sb := a.Stats, b.Stats
+	sa.Duration, sb.Duration = 0, 0
+	if sa != sb {
+		t.Fatalf("learning engine not deterministic:\n run1 %+v\n run2 %+v", sa, sb)
+	}
+	if sa.Restarts == 0 {
+		t.Fatalf("pigeonhole(8,7) finished without restarting: %+v", sa)
+	}
+	if sa.NogoodsRecorded == 0 {
+		t.Fatalf("pigeonhole(8,7) recorded no nogoods: %+v", sa)
+	}
+}

@@ -1,0 +1,83 @@
+package csp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"csdb/internal/csp"
+	"csdb/internal/cspio"
+)
+
+// Seed inputs for the search-engine differential fuzzer, in the cspio text
+// format. The same strings are checked into
+// testdata/fuzz/FuzzSearchDifferential so `go test -fuzz` starts from them.
+var searchFuzzSeeds = []string{
+	// binary not-equal chain (SAT)
+	"vars 3\ndom 2\ncon 0 1 : 0 1 | 1 0\ncon 1 2 : 0 1 | 1 0\n",
+	// odd not-equal cycle over 2 values (UNSAT)
+	"vars 3\ndom 2\ncon 0 1 : 0 1 | 1 0\ncon 1 2 : 0 1 | 1 0\ncon 2 0 : 0 1 | 1 0\n",
+	// ternary constraint plus a binary ear
+	"vars 4\ndom 3\ncon 0 1 2 : 0 1 2 | 1 2 0 | 2 0 1\ncon 2 3 : 0 1 | 1 2\n",
+	// repeated scope variable: the watched-revision regression shape
+	"vars 1\ndom 3\ncon 0 : 2 | 0 | 1\ncon 0 0 0 : 0 1 1 | 0 1 0 | 2 1 2 | 0 0 2\ncon 0 0 : 2 2 | 0 0\n",
+	// unary + empty table (UNSAT), domain restriction
+	"vars 2\ndom 2\ndom_of 0 : 1\ncon 1 :\ncon 0 1 : 1 0\n",
+	// pigeonhole(4,3): hard UNSAT that exercises conflicts and nogoods
+	"vars 4\ndom 3\n" +
+		"con 0 1 : 0 1 | 0 2 | 1 0 | 1 2 | 2 0 | 2 1\n" +
+		"con 0 2 : 0 1 | 0 2 | 1 0 | 1 2 | 2 0 | 2 1\n" +
+		"con 0 3 : 0 1 | 0 2 | 1 0 | 1 2 | 2 0 | 2 1\n" +
+		"con 1 2 : 0 1 | 0 2 | 1 0 | 1 2 | 2 0 | 2 1\n" +
+		"con 1 3 : 0 1 | 0 2 | 1 0 | 1 2 | 2 0 | 2 1\n" +
+		"con 2 3 : 0 1 | 0 2 | 1 0 | 1 2 | 2 0 | 2 1\n",
+	// unconstrained instance
+	"vars 2\ndom 2\n",
+}
+
+// FuzzSearchDifferential mutates cspio instances and requires the seed
+// searcher, the bitset MAC engine, and the learning engine to agree: same
+// verdict, valid witnesses, and (seed vs bitset, which walk the same tree by
+// construction) identical node counts.
+func FuzzSearchDifferential(f *testing.F) {
+	for _, s := range searchFuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := cspio.Parse(bytes.NewReader(data))
+		if err != nil {
+			t.Skip()
+		}
+		// Keep every engine's run cheap: tiny instances only.
+		if p.Vars > 10 || p.Dom < 1 || p.Dom > 3 || len(p.Constraints) > 12 {
+			t.Skip()
+		}
+		rows := 0
+		for _, con := range p.Constraints {
+			if len(con.Scope) > 4 {
+				t.Skip()
+			}
+			rows += con.Table.Len()
+		}
+		if rows > 2048 {
+			t.Skip()
+		}
+
+		seed := csp.SolveSeed(p, csp.Options{Algorithm: csp.MAC, VarOrder: csp.MRV})
+		bit := csp.Solve(p, csp.Options{Algorithm: csp.MAC, VarOrder: csp.MRV})
+		learn := csp.Solve(p, csp.Options{Learn: true})
+		if seed.Found != bit.Found || seed.Found != learn.Found {
+			t.Fatalf("verdicts diverge: seed=%v bitset=%v learn=%v\ninput:\n%s",
+				seed.Found, bit.Found, learn.Found, data)
+		}
+		if bit.Found && !p.Satisfies(bit.Solution) {
+			t.Fatalf("bitset returned non-solution %v\ninput:\n%s", bit.Solution, data)
+		}
+		if learn.Found && !p.Satisfies(learn.Solution) {
+			t.Fatalf("learn returned non-solution %v\ninput:\n%s", learn.Solution, data)
+		}
+		if seed.Stats.Nodes != bit.Stats.Nodes {
+			t.Fatalf("tree shape diverges: seed %d nodes, bitset %d nodes\ninput:\n%s",
+				seed.Stats.Nodes, bit.Stats.Nodes, data)
+		}
+	})
+}

@@ -15,6 +15,9 @@ import "csdb/internal/obs"
 //	csp.search.prunings    domain values removed by propagation
 //	csp.search.depth       histogram of per-solve maximum search depth
 //	csp.solve.ns           histogram of per-solve wall-clock nanoseconds
+//	csp.search.restarts    Luby restarts taken by the learning engine
+//	csp.search.nogoods     nogoods recorded from conflicts
+//	csp.search.nogood_hits nogood propagation events (prunes + conflicts)
 //	csp.joinsolve.calls    Proposition 2.1 join-evaluation decisions
 //	csp.portfolio.races    portfolio races run
 //	csp.portfolio.win.<s>  races won by strategy <s>
@@ -27,6 +30,9 @@ var (
 	obsSearchPrunings   = obs.NewCounter("csp.search.prunings")
 	obsSearchDepth      = obs.NewHistogram("csp.search.depth")
 	obsSolveNs          = obs.NewHistogram("csp.solve.ns")
+	obsSearchRestarts   = obs.NewCounter("csp.search.restarts")
+	obsSearchNogoods    = obs.NewCounter("csp.search.nogoods")
+	obsSearchNogoodHits = obs.NewCounter("csp.search.nogood_hits")
 	obsJoinSolveCalls   = obs.NewCounter("csp.joinsolve.calls")
 	obsPortfolioRaces   = obs.NewCounter("csp.portfolio.races")
 	obsParallelRuns     = obs.NewCounter("csp.parallel.runs")
@@ -42,13 +48,14 @@ func obsPortfolioWin(name string) {
 	}
 }
 
-// finishObs flushes one finished solve into the shared registry and closes
-// the solve span. It is the single funnel for both the backtracking searcher
-// family (BT/FC/MAC via run) and CBJ (via SolveCBJCtx): per-subtree and
-// per-strategy effort counters of the concurrent engines therefore arrive in
-// the registry through the same counters their merged Stats are built from,
-// which is what TestParallelStatsMatchRegistry locks in.
-func (s *searcher) finishObs(res Result) {
+// flushSolveObs flushes one finished solve into the shared registry and
+// closes the solve span. It is the single funnel for the seed searcher
+// family (BT/FC via run), CBJ (via SolveCBJCtx), and the bitset/learning
+// engine: per-subtree and per-strategy effort counters of the concurrent
+// engines therefore arrive in the registry through the same counters their
+// merged Stats are built from, which is what TestParallelStatsMatchRegistry
+// locks in.
+func flushSolveObs(span *obs.Span, res Result) {
 	if obs.Enabled() {
 		obsSolveCalls.Inc()
 		obsSearchNodes.Add(res.Stats.Nodes)
@@ -56,19 +63,32 @@ func (s *searcher) finishObs(res Result) {
 		obsSearchPrunings.Add(res.Stats.Prunings)
 		obsSearchDepth.Observe(int64(res.Stats.MaxDepth))
 		obsSolveNs.Observe(res.Stats.Duration.Nanoseconds())
+		obsSearchRestarts.Add(res.Stats.Restarts)
+		obsSearchNogoods.Add(res.Stats.NogoodsRecorded)
+		obsSearchNogoodHits.Add(res.Stats.NogoodHits)
 	}
-	if s.span != nil {
-		s.span.SetStr("strategy", res.Stats.Strategy)
-		s.span.SetInt("nodes", res.Stats.Nodes)
-		s.span.SetInt("backtracks", res.Stats.Backtracks)
-		s.span.SetInt("prunings", res.Stats.Prunings)
-		s.span.SetInt("max_depth", int64(res.Stats.MaxDepth))
+	if span != nil {
+		span.SetStr("strategy", res.Stats.Strategy)
+		span.SetInt("nodes", res.Stats.Nodes)
+		span.SetInt("backtracks", res.Stats.Backtracks)
+		span.SetInt("prunings", res.Stats.Prunings)
+		span.SetInt("max_depth", int64(res.Stats.MaxDepth))
+		if res.Stats.Restarts > 0 || res.Stats.NogoodsRecorded > 0 {
+			span.SetInt("restarts", res.Stats.Restarts)
+			span.SetInt("nogoods", res.Stats.NogoodsRecorded)
+			span.SetInt("nogood_hits", res.Stats.NogoodHits)
+		}
 		if res.Found {
-			s.span.SetInt("found", 1)
+			span.SetInt("found", 1)
 		}
 		if res.Aborted {
-			s.span.SetInt("aborted", 1)
+			span.SetInt("aborted", 1)
 		}
-		s.span.End()
+		span.End()
 	}
+}
+
+// finishObs routes the seed searcher (and CBJ) through the shared funnel.
+func (s *searcher) finishObs(res Result) {
+	flushSolveObs(s.span, res)
 }

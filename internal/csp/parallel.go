@@ -156,10 +156,8 @@ func SolveParallel(ctx context.Context, p *Instance, popts ParallelOptions) Para
 func splitVar(p *Instance) int {
 	degree := make([]int, p.Vars)
 	for _, con := range p.Constraints {
-		seen := make(map[int]bool, len(con.Scope))
-		for _, v := range con.Scope {
-			if !seen[v] {
-				seen[v] = true
+		for i, v := range con.Scope {
+			if !scopeRepeat(con.Scope, i) {
 				degree[v]++
 			}
 		}

@@ -24,8 +24,11 @@ type PortfolioStrategy struct {
 }
 
 // DefaultStrategies returns the standard portfolio: MAC+MRV search, FC+Lex
-// search, conflict-directed backjumping, and join evaluation per
-// Proposition 2.1.
+// search, conflict-directed backjumping, the restart/nogood learning engine,
+// and join evaluation per Proposition 2.1. Racing learning against plain
+// MAC costs one goroutine and lets whichever propagation style fits the
+// instance (systematic vs conflict-directed) deliver the verdict; the
+// dispatcher's Hard route inherits the race automatically.
 func DefaultStrategies() []PortfolioStrategy {
 	return []PortfolioStrategy{
 		{Name: "MAC+MRV", Run: func(ctx context.Context, p *Instance, opts Options) Result {
@@ -39,6 +42,10 @@ func DefaultStrategies() []PortfolioStrategy {
 		{Name: "CBJ", Run: func(ctx context.Context, p *Instance, opts Options) Result {
 			return SolveCBJCtx(ctx, p, opts)
 		}},
+		{Name: "Learn", Run: func(ctx context.Context, p *Instance, opts Options) Result {
+			opts.Learn, opts.VarOrder = true, MRV
+			return SolveCtx(ctx, p, opts)
+		}},
 		{Name: "Join", Run: func(ctx context.Context, p *Instance, _ Options) Result {
 			return JoinSolveCtx(ctx, p)
 		}},
@@ -46,13 +53,15 @@ func DefaultStrategies() []PortfolioStrategy {
 }
 
 // SearchStrategies returns the portfolio of search-based deciders only:
-// MAC+MRV, FC+Lex, and CBJ. It exists because the join decider materializes
-// intermediate relations; on instances with large constraint tables those
-// allocations put the garbage collector under enough pressure to slow every
-// competitor in the race before the cancellation lands. When instances are
-// memory-heavy, race the searchers and keep join evaluation out of the pool.
+// MAC+MRV, FC+Lex, CBJ and Learn. It exists because the join decider
+// materializes intermediate relations; on instances with large constraint
+// tables those allocations put the garbage collector under enough pressure
+// to slow every competitor in the race before the cancellation lands. When
+// instances are memory-heavy, race the searchers and keep join evaluation
+// out of the pool.
 func SearchStrategies() []PortfolioStrategy {
-	return DefaultStrategies()[:3]
+	all := DefaultStrategies()
+	return all[:len(all)-1]
 }
 
 // PortfolioOptions configures a Portfolio call.

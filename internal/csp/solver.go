@@ -69,10 +69,21 @@ type Options struct {
 	// RootConsistency, when true, runs one GAC pass before search even for
 	// BT/FC (MAC always does).
 	RootConsistency bool
+	// Learn selects the learning engine: bitset MAC propagation plus
+	// restart-based nogood recording on a Luby schedule (see restart.go).
+	// It overrides Algorithm (the learning engine always maintains GAC) and
+	// decides single solutions only — SolveAll ignores it and enumerates
+	// with the non-learning bitset engine.
+	Learn bool
 }
 
 // label names the strategy an Options value selects, for Stats attribution.
 func (o Options) label() string {
+	if o.Learn {
+		// The learning engine branches by conflict-weighted degree
+		// (dom/wdeg), not by the configured VarOrder.
+		return "Learn+DomWdeg"
+	}
 	return o.Algorithm.String() + "+" + o.VarOrder.String()
 }
 
@@ -88,8 +99,15 @@ type Stats struct {
 	// Duration is the wall-clock time of the solve call.
 	Duration time.Duration
 	// Strategy attributes the stats to the procedure that produced them
-	// (e.g. "MAC+MRV", "CBJ", "Join", "parallel(FC+Lex)").
+	// (e.g. "MAC+MRV", "CBJ", "Join", "parallel(FC+Lex)", "Learn+DomWdeg").
 	Strategy string
+	// Restarts, NogoodsRecorded and NogoodHits describe the learning
+	// engine's effort (zero for every other strategy): Luby restarts taken,
+	// nogoods recorded from conflicts, and propagation events where a
+	// learned nogood pruned a value or detected a conflict.
+	Restarts        int64
+	NogoodsRecorded int64
+	NogoodHits      int64
 }
 
 // merge accumulates counters from another Stats into s: additive for the
@@ -99,6 +117,9 @@ func (s *Stats) merge(o Stats) {
 	s.Nodes += o.Nodes
 	s.Backtracks += o.Backtracks
 	s.Prunings += o.Prunings
+	s.Restarts += o.Restarts
+	s.NogoodsRecorded += o.NogoodsRecorded
+	s.NogoodHits += o.NogoodHits
 	if o.MaxDepth > s.MaxDepth {
 		s.MaxDepth = o.MaxDepth
 	}
@@ -126,7 +147,29 @@ func Solve(p *Instance, opts Options) Result {
 // SolveCtx is Solve under a context: the search polls ctx every
 // cancelCheckInterval nodes (and at propagation boundaries) and returns
 // Aborted=true once the context is cancelled or its deadline passes.
+//
+// MAC solves (and opts.Learn) run on the bitset engine (bitsolver.go); BT
+// and FC keep the seed searcher, whose domain representation their
+// propagation is written against.
 func SolveCtx(ctx context.Context, p *Instance, opts Options) Result {
+	if opts.Learn || opts.Algorithm == MAC {
+		b := newBitSearcher(ctx, p, opts)
+		return b.run(1, nil)
+	}
+	s := newSearcher(ctx, p, opts)
+	return s.run(1, nil)
+}
+
+// SolveSeed runs the seed [][]bool searcher regardless of algorithm. It is
+// kept (like relation's naive kernel) as the differential oracle for the
+// bitset and learning engines: same heuristics, tuple-scan propagation.
+func SolveSeed(p *Instance, opts Options) Result {
+	return SolveSeedCtx(context.Background(), p, opts)
+}
+
+// SolveSeedCtx is SolveSeed under a context.
+func SolveSeedCtx(ctx context.Context, p *Instance, opts Options) Result {
+	opts.Learn = false
 	s := newSearcher(ctx, p, opts)
 	return s.run(1, nil)
 }
@@ -138,8 +181,16 @@ func SolveAll(p *Instance, opts Options, limit int64, yield func([]int) bool) (i
 	return SolveAllCtx(context.Background(), p, opts, limit, yield)
 }
 
-// SolveAllCtx is SolveAll under a context (see SolveCtx).
+// SolveAllCtx is SolveAll under a context (see SolveCtx). Learning is a
+// decision-mode optimization, so opts.Learn enumerates on the plain bitset
+// MAC engine.
 func SolveAllCtx(ctx context.Context, p *Instance, opts Options, limit int64, yield func([]int) bool) (int64, Stats) {
+	if opts.Learn || opts.Algorithm == MAC {
+		opts.Learn = false
+		b := newBitSearcher(ctx, p, opts)
+		res := b.run(limit, yield)
+		return b.found, res.Stats
+	}
 	s := newSearcher(ctx, p, opts)
 	res := s.run(limit, yield)
 	return s.found, res.Stats
@@ -207,16 +258,36 @@ func newSearcher(ctx context.Context, p *Instance, opts Options) *searcher {
 	s.watch = make([][]*Constraint, p.Vars)
 	s.degree = make([]int, p.Vars)
 	for _, con := range p.Constraints {
-		seen := make(map[int]bool, len(con.Scope))
-		for _, v := range con.Scope {
-			if !seen[v] {
-				seen[v] = true
+		for i, v := range con.Scope {
+			if !scopeRepeat(con.Scope, i) {
 				s.watch[v] = append(s.watch[v], con)
 				s.degree[v]++
 			}
 		}
 	}
 	return s
+}
+
+// scopeRepeat reports whether scope[i] already occurred earlier in scope.
+// Scopes are arity-sized, so the linear scan replaces what used to be a map
+// allocation per constraint in every searcher construction.
+func scopeRepeat(scope []int, i int) bool {
+	for j := 0; j < i; j++ {
+		if scope[j] == scope[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// scopeHasRepeat reports whether any variable occurs twice in scope.
+func scopeHasRepeat(scope []int) bool {
+	for i := range scope {
+		if scopeRepeat(scope, i) {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *searcher) run(limit int64, yield func([]int) bool) Result {
@@ -530,9 +601,14 @@ func (s *searcher) gacLoop(queue []*Constraint) bool {
 		if !ok {
 			return false
 		}
+		// A constraint with a repeated scope variable is not a fixpoint of
+		// its own revision: pruning a value unsupported at one position can
+		// kill tuples that supported other values through the variable's
+		// other positions, so it must re-revise itself after its own prunes.
+		selfAgain := len(changedVars) > 0 && scopeHasRepeat(con.Scope)
 		for _, u := range changedVars {
 			for _, c2 := range s.watch[u] {
-				if c2 != con && !inQueue[c2] {
+				if (c2 != con || selfAgain) && !inQueue[c2] {
 					inQueue[c2] = true
 					queue = append(queue, c2)
 				}

@@ -1,0 +1,79 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"csdb/internal/csp"
+)
+
+// Hard benchmark families for the search engines. Pigeonhole instances are
+// provably exponential for any resolution-bounded backtracker and reward
+// restarts + nogoods; quasigroup completion and phase-transition model-B
+// instances are the classic hard-but-satisfiable and critically-constrained
+// workloads from the randomized-restarts literature.
+
+// Pigeonhole returns the pigeonhole instance: `pigeons` variables over
+// `holes` values, all pairwise distinct. It is satisfiable iff
+// pigeons <= holes; with pigeons = holes+1 it is the canonical UNSAT family
+// whose refutations are exponential for chronological backtracking.
+func Pigeonhole(pigeons, holes int) *csp.Instance {
+	p := csp.NewInstance(pigeons, holes)
+	neq := NotEqualTable(holes)
+	for i := 0; i < pigeons; i++ {
+		for j := i + 1; j < pigeons; j++ {
+			p.MustAddConstraint([]int{i, j}, neq)
+		}
+	}
+	return p
+}
+
+// Quasigroup returns a quasigroup-completion instance: an n×n Latin square
+// with all but `holes` cells revealed. Cell (i,j) is variable i*n+j; rows and
+// columns are pairwise-disequality cliques, and revealed cells are singleton
+// domains taken from a randomly scrambled cyclic Latin square — so every
+// instance is satisfiable by construction, while the interaction of row and
+// column cliques through the unrevealed cells makes the search non-trivial.
+func Quasigroup(rng *rand.Rand, n, holes int) *csp.Instance {
+	p := csp.NewInstance(n*n, n)
+	neq := NotEqualTable(n)
+	for i := 0; i < n; i++ {
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				p.MustAddConstraint([]int{i*n + a, i*n + b}, neq) // row i
+				p.MustAddConstraint([]int{a*n + i, b*n + i}, neq) // column i
+			}
+		}
+	}
+	// Scrambled cyclic square: sym[(row[i]+col[j]) mod n] is a Latin square
+	// for any permutations row, col, sym.
+	rowP := rng.Perm(n)
+	colP := rng.Perm(n)
+	symP := rng.Perm(n)
+	if holes > n*n {
+		holes = n * n
+	}
+	hole := make([]bool, n*n)
+	for _, c := range rng.Perm(n * n)[:holes] {
+		hole[c] = true
+	}
+	p.Domains = make([][]int, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !hole[i*n+j] {
+				p.Domains[i*n+j] = []int{symP[(rowP[i]+colP[j])%n]}
+			}
+		}
+	}
+	return p
+}
+
+// PhaseTransition returns a model-B random CSP at the satisfiability phase
+// transition: the constraint tightness is set to the critical value
+// p2 = 1 - d^(-2/(density*(n-1))) where the expected number of solutions is
+// one, which is where random CSPs are empirically hardest (half the draws
+// SAT, half UNSAT, both sides expensive).
+func PhaseTransition(rng *rand.Rand, n, d int, density float64) *csp.Instance {
+	p2 := 1 - math.Pow(float64(d), -2/(density*float64(n-1)))
+	return ModelB(rng, n, d, density, p2)
+}
