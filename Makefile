@@ -11,10 +11,11 @@ GO ?= go
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
-.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs race-serve race-dispatch race-search bench bench-serve bench-search obs-overhead
+.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs race-serve race-dispatch race-search bench bench-serve bench-search obs-overhead expofmt csptop-smoke
 
-# Default target: everything a PR must pass locally.
-check: vet verify lint race-kernel race-obs race-serve race-dispatch race-search
+# Default target: everything a PR must pass locally. expofmt is the
+# exposition-format gate (Prometheus text writer + /metrics content tests).
+check: vet verify lint expofmt race-kernel race-obs race-serve race-dispatch race-search
 
 build:
 	$(GO) build ./...
@@ -30,7 +31,8 @@ vet:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Run the repo-specific invariant analyzers (cmd/csplint) over the module:
-# ctxloop, obsboundary, arenaretain, atomicmix. Exit 1 on any finding.
+# ctxloop, obsboundary, obslabel, arenaretain, atomicmix. Exit 1 on any
+# finding.
 lint:
 	$(GO) build ./...
 	$(GO) run ./cmd/csplint ./...
@@ -61,11 +63,12 @@ race-engine:
 race-kernel:
 	$(GO) test -race -count=1 ./internal/relation/ ./internal/hypergraph/
 
-# The observability layer and the daemon that serves it: the registry and
-# tracer are written to by every solver goroutine, so both run under the
-# detector.
+# The observability layer and every binary that records or consumes it: the
+# registry, tracer and event ring are written to by every solver goroutine,
+# the daemon serves them, csolve streams events, and csptop drains both
+# endpoints — all run under the detector.
 race-obs:
-	$(GO) test -race -count=1 ./internal/obs/ ./cmd/cspd/
+	$(GO) test -race -count=1 ./internal/obs/ ./cmd/cspd/ ./cmd/csolve/ ./cmd/csptop/
 
 # The serving layers (admission gate, result cache, singleflight) and the
 # daemon they are wired into: collapsing and shedding are inherently
@@ -111,6 +114,26 @@ bench-serve:
 # (learning >= 5x over the seed engine on a hard family).
 bench-search:
 	$(GO) run ./cmd/benchjson -search -label $(BENCH_LABEL)
+
+# The exposition-format gate, fast enough for every `make check`: the
+# Prometheus text writer pinned against a stdlib-parser round trip, and the
+# daemon's /metrics serving both formats (text default, ?format=json legacy).
+expofmt:
+	$(GO) test -count=1 -run 'Prom|Prometheus' ./internal/obs/ ./cmd/cspd/
+
+# Smoke-test the dashboard end to end: build cspd and csptop, start the
+# daemon on a loopback port, render one -once frame against it, shut down.
+csptop-smoke:
+	@set -e; tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/cspd ./cmd/cspd; \
+	$(GO) build -o $$tmp/csptop ./cmd/csptop; \
+	$$tmp/cspd -addr 127.0.0.1:8399 >$$tmp/cspd.log 2>&1 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		if $$tmp/csptop -url http://127.0.0.1:8399 -once >/dev/null 2>&1; then break; fi; \
+		sleep 0.1; \
+	done; \
+	$$tmp/csptop -url http://127.0.0.1:8399 -once
 
 # Measure what the observability instrumentation costs when it is off (the
 # library default; the acceptance bar is <2% vs the pre-instrumentation

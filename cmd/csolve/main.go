@@ -6,7 +6,8 @@
 // Usage:
 //
 //	csolve [-strategy auto|search|join|treewidth|schaefer] [-explain]
-//	       [-all max] [-timeout d] [-trace out.jsonl] instance.csp
+//	       [-all max] [-timeout d] [-trace out.jsonl] [-events out.jsonl]
+//	       instance.csp
 //	csolve -coloring k graph.col
 //	csolve -auto [-width k] instance.csp
 //	csolve -portfolio [-timeout 2s] instance.csp
@@ -25,7 +26,9 @@
 // restart and nogood counters. -trace turns on
 // structured span tracing for the solve and writes the drained spans as
 // JSON lines (the same schema cspd's /trace endpoint serves) to the given
-// file.
+// file. -events writes the solve's canonical wide event — route, verdict,
+// effort counters, wall clock — as one JSON line in the schema cspd's
+// /events endpoint serves; its trace_id matches the -trace root span.
 package main
 
 import (
@@ -59,6 +62,7 @@ type config struct {
 	workers   int
 	learn     bool
 	trace     string
+	events    string
 	args      []string
 }
 
@@ -76,6 +80,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 	learn := flag.Bool("learn", false, "solve with the restart/nogood learning engine")
 	trace := flag.String("trace", "", "write the solve's span trace to this file as JSON lines")
+	events := flag.String("events", "", "write the solve's wide event to this file as a JSON line")
 	flag.Parse()
 
 	cfg := config{
@@ -83,7 +88,7 @@ func main() {
 		all: *all, count: *count, timeout: *timeout,
 		auto: *auto, width: *width,
 		portfolio: *portfolio, parallel: *parallel, workers: *workers,
-		learn: *learn, trace: *trace, args: flag.Args(),
+		learn: *learn, trace: *trace, events: *events, args: flag.Args(),
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "csolve:", err)
@@ -142,6 +147,24 @@ func run(cfg config) (err error) {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
+	// The wide event summarizes this solve in one JSONL record, in the same
+	// schema cspd's /events endpoint serves. Its trace ID matches the root
+	// span -trace writes, so the two files cross-link.
+	ev := &obs.SolveEvent{TraceID: "csolve-1", Source: "csolve"}
+	if cfg.events != "" {
+		obs.SetEvents(true)
+		obs.DefaultEvents().Drain()
+		defer func() {
+			ev.TsNs = time.Now().UnixNano()
+			if err != nil && ev.Verdict == "" {
+				ev.Verdict, ev.Cause = obs.VerdictError, err.Error()
+			}
+			obs.Emit(*ev)
+			if werr := writeEvents(cfg.events); werr != nil && err == nil {
+				err = fmt.Errorf("writing events: %w", werr)
+			}
+		}()
+	}
 	if cfg.trace != "" {
 		// The trace flag turns the library's observability on for this
 		// process and parents the whole solve under one root span, so the
@@ -160,16 +183,16 @@ func run(cfg config) (err error) {
 	}
 
 	if cfg.auto {
-		return runAuto(ctx, inst, cfg.width)
+		return runAuto(ctx, inst, cfg.width, ev)
 	}
 	if cfg.portfolio {
-		return runPortfolio(ctx, inst)
+		return runPortfolio(ctx, inst, ev)
 	}
 	if cfg.parallel {
-		return runParallel(ctx, inst, cfg.workers)
+		return runParallel(ctx, inst, cfg.workers, ev)
 	}
 	if cfg.learn {
-		return runLearn(ctx, inst)
+		return runLearn(ctx, inst, ev)
 	}
 
 	problem := core.FromCSP(inst)
@@ -182,6 +205,11 @@ func run(cfg config) (err error) {
 		if err != nil {
 			return err
 		}
+		ev.Strategy = "count"
+		ev.Verdict = obs.VerdictUnsat
+		if n.Sign() > 0 {
+			ev.Verdict = obs.VerdictSat
+		}
 		fmt.Printf("%v solution(s)\n", n)
 		return nil
 	}
@@ -191,6 +219,8 @@ func run(cfg config) (err error) {
 			fmt.Println(formatSolution(inst, sol))
 			return true
 		})
+		ev.Strategy = "enumerate"
+		ev.Verdict = eventVerdict(count > 0, false)
 		fmt.Printf("%d solution(s)\n", count)
 		return nil
 	}
@@ -199,6 +229,9 @@ func run(cfg config) (err error) {
 		// A wall-clock limit routes the solve through the context-aware
 		// search engine (the decomposition strategies are not cancellable).
 		res := csp.SolveCtx(ctx, inst, csp.Options{})
+		ev.Strategy = "search"
+		ev.Verdict = eventVerdict(res.Found, res.Aborted)
+		fillEventStats(ev, res.Stats)
 		printSearchResult(inst, res)
 		return nil
 	}
@@ -207,6 +240,8 @@ func run(cfg config) (err error) {
 	if err != nil {
 		return err
 	}
+	ev.Strategy = cfg.strategy
+	ev.Verdict = eventVerdict(res.Satisfiable, false)
 	if !res.Satisfiable {
 		fmt.Println("UNSAT")
 		return nil
@@ -246,6 +281,40 @@ func formatSolution(inst *csp.Instance, sol []int) string {
 	return strings.Join(parts, " ")
 }
 
+// eventVerdict maps a solver outcome onto the wide-event verdict set.
+func eventVerdict(found, aborted bool) string {
+	switch {
+	case aborted:
+		return obs.VerdictUnknown
+	case found:
+		return obs.VerdictSat
+	}
+	return obs.VerdictUnsat
+}
+
+// fillEventStats copies the engine effort counters into the wide event.
+func fillEventStats(ev *obs.SolveEvent, st csp.Stats) {
+	ev.WallNs = st.Duration.Nanoseconds()
+	ev.Nodes = st.Nodes
+	ev.Backtracks = st.Backtracks
+	ev.Restarts = st.Restarts
+	ev.Nogoods = st.NogoodsRecorded
+}
+
+// writeEvents drains the default event ring into a JSONL file (one line:
+// this process's solve).
+func writeEvents(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteEventsJSONL(f, obs.DefaultEvents().Drain()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // writeTrace drains the default tracer's ring into a JSONL file.
 func writeTrace(path string) error {
 	f, err := os.Create(path)
@@ -282,9 +351,14 @@ func printSearchResult(inst *csp.Instance, res csp.Result) {
 // summary line always names the route the verdict came from and the time
 // classification took, so an auto-routed run is distinguishable from a
 // plain portfolio run (whose Stats.Strategy it would otherwise echo).
-func runAuto(ctx context.Context, inst *csp.Instance, width int) error {
+func runAuto(ctx context.Context, inst *csp.Instance, width int, ev *obs.SolveEvent) error {
 	an := dispatch.NewAnalyzer(width, 0)
 	out := an.Solve(ctx, inst)
+	ev.Strategy = "auto"
+	ev.Route = out.Route.String()
+	ev.Winner = out.Winner
+	ev.Verdict = eventVerdict(out.Found, out.Aborted)
+	fillEventStats(ev, out.Stats)
 	detail := autoDetail(out)
 	switch {
 	case out.Found:
@@ -310,8 +384,12 @@ func autoDetail(out dispatch.Outcome) string {
 	return detail
 }
 
-func runPortfolio(ctx context.Context, inst *csp.Instance) error {
+func runPortfolio(ctx context.Context, inst *csp.Instance, ev *obs.SolveEvent) error {
 	res := csp.Portfolio(ctx, inst, csp.PortfolioOptions{})
+	ev.Strategy = "portfolio"
+	ev.Winner = res.Winner
+	ev.Verdict = eventVerdict(res.Found, res.Aborted)
+	fillEventStats(ev, res.Result.Stats)
 	switch {
 	case res.Found:
 		fmt.Printf("SAT (portfolio winner %s [%s], depth %d, %v)\n", res.Winner,
@@ -338,8 +416,11 @@ func runPortfolio(ctx context.Context, inst *csp.Instance) error {
 	return nil
 }
 
-func runParallel(ctx context.Context, inst *csp.Instance, workers int) error {
+func runParallel(ctx context.Context, inst *csp.Instance, workers int, ev *obs.SolveEvent) error {
 	res := csp.SolveParallel(ctx, inst, csp.ParallelOptions{Workers: workers})
+	ev.Strategy = "parallel"
+	ev.Verdict = eventVerdict(res.Found, res.Aborted)
+	fillEventStats(ev, res.Stats)
 	fmt.Printf("split into %d subtrees on %d workers\n", res.Subtrees, res.Workers)
 	printSearchResult(inst, res.Result)
 	return nil
@@ -348,8 +429,11 @@ func runParallel(ctx context.Context, inst *csp.Instance, workers int) error {
 // runLearn solves with the restart/nogood learning engine. The summary line
 // extends the search format with the engine's own effort counters: restarts
 // taken, nogoods recorded, and nogood propagation hits.
-func runLearn(ctx context.Context, inst *csp.Instance) error {
+func runLearn(ctx context.Context, inst *csp.Instance, ev *obs.SolveEvent) error {
 	res := csp.SolveCtx(ctx, inst, csp.Options{Learn: true})
+	ev.Strategy = "learn"
+	ev.Verdict = eventVerdict(res.Found, res.Aborted)
+	fillEventStats(ev, res.Stats)
 	st := res.Stats
 	detail := fmt.Sprintf("%s, %d nodes, depth %d, %d restarts, %d nogoods (%d hits), %v",
 		st.Strategy, st.Nodes, st.MaxDepth, st.Restarts, st.NogoodsRecorded, st.NogoodHits,

@@ -145,3 +145,67 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("bad strategy accepted")
 	}
 }
+
+// TestRunEventsFlag solves with -events and checks the written JSONL: one
+// wide event on the csolve trace id, carrying the verdict and the engine's
+// effort accounting. Combined with -trace, the event's trace_id matches the
+// root span's, so the two files cross-link.
+func TestRunEventsFlag(t *testing.T) {
+	prevEnabled, prevTracing, prevEvents := obs.Enabled(), obs.Tracing(), obs.EventsActive()
+	defer func() {
+		obs.DefaultTracer().Drain()
+		obs.DefaultEvents().Drain()
+		obs.SetEnabled(prevEnabled)
+		obs.SetTracing(prevTracing)
+		obs.SetEvents(prevEvents)
+	}()
+
+	dir := t.TempDir()
+	evOut := filepath.Join(dir, "events.jsonl")
+	trOut := filepath.Join(dir, "trace.jsonl")
+	cfg := config{
+		strategy: "auto", auto: true, events: evOut, trace: trOut,
+		args: []string{"../../testdata/sample.csp"},
+	}
+	if err := run(cfg); err != nil {
+		t.Fatalf("run -events: %v", err)
+	}
+
+	data, err := os.ReadFile(evOut)
+	if err != nil {
+		t.Fatalf("events file not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d events, want exactly 1", len(lines))
+	}
+	var ev obs.SolveEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("bad event line %q: %v", lines[0], err)
+	}
+	if ev.TraceID != "csolve-1" || ev.Source != "csolve" {
+		t.Fatalf("event identity = (%q, %q), want (csolve-1, csolve)", ev.TraceID, ev.Source)
+	}
+	if ev.Strategy != "auto" || ev.Route == "" {
+		t.Fatalf("event routing = (strategy %q, route %q), want auto with a route", ev.Strategy, ev.Route)
+	}
+	if ev.Verdict != obs.VerdictSat {
+		t.Fatalf("verdict = %q, want sat for the satisfiable sample", ev.Verdict)
+	}
+	if ev.TsNs == 0 {
+		t.Fatal("event has no timestamp")
+	}
+
+	// Cross-link: the -trace file's root span carries the same trace id.
+	tr, err := os.ReadFile(trOut)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var rec obs.SpanRecord
+	if err := json.Unmarshal([]byte(strings.SplitN(strings.TrimSpace(string(tr)), "\n", 2)[0]), &rec); err != nil {
+		t.Fatalf("bad trace line: %v", err)
+	}
+	if rec.TraceID != ev.TraceID {
+		t.Fatalf("trace id mismatch: span %q vs event %q", rec.TraceID, ev.TraceID)
+	}
+}

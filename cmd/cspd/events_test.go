@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"csdb/internal/obs"
+)
+
+// End-to-end tests for the wide-event surface: every /solve request — engine
+// run, cache hit, shed, error — must leave exactly one event in the /events
+// ring whose trace_id matches a root span in the /trace ring, so the three
+// telemetry signals (metrics, events, spans) join on one key.
+
+// getEvents drains /events (optionally filtered by ?trace_id=) and decodes
+// the JSONL body.
+func getEvents(t *testing.T, ts *httptest.Server, query string) []obs.SolveEvent {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/events" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("/events content type %q", ct)
+	}
+	var events []obs.SolveEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var ev obs.SolveEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// getSpans drains /trace (optionally filtered by ?trace_id=) and decodes the
+// JSONL body.
+func getSpans(t *testing.T, ts *httptest.Server, query string) []obs.SpanRecord {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/trace" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var spans []obs.SpanRecord
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, rec)
+	}
+	return spans
+}
+
+// requireRootSpan asserts the span set contains the cspd.solve root for the
+// given trace id.
+func requireRootSpan(t *testing.T, spans []obs.SpanRecord, traceID string) {
+	t.Helper()
+	for _, sp := range spans {
+		if sp.Name == "cspd.solve" && sp.TraceID == traceID {
+			return
+		}
+	}
+	t.Fatalf("no cspd.solve root span with trace %q among %d spans", traceID, len(spans))
+}
+
+// TestWideEventEngineAndCachePaths runs the same instance twice: the first
+// request's event must record an engine run (cache=miss), the second a cache
+// replay (cache=hit), and both events must cross-link to their own root
+// spans in the /trace ring.
+func TestWideEventEngineAndCachePaths(t *testing.T) {
+	ts, _ := startDaemon(t)
+
+	fresh := postSolve(t, ts, "strategy=mac", sampleInstance)
+	events := getEvents(t, ts, "?trace_id="+fresh.TraceID)
+	if len(events) != 1 {
+		t.Fatalf("engine run left %d events, want exactly 1", len(events))
+	}
+	ev := events[0]
+	if ev.Cache != obs.CacheMiss || ev.Verdict != obs.VerdictSat {
+		t.Fatalf("engine-run event: cache=%q verdict=%q, want miss/sat", ev.Cache, ev.Verdict)
+	}
+	if ev.Strategy != "mac" || ev.Source != "cspd" {
+		t.Fatalf("engine-run event identity: strategy=%q source=%q", ev.Strategy, ev.Source)
+	}
+	if ev.WallNs <= 0 {
+		t.Fatalf("engine-run event has no wall clock: %+v", ev)
+	}
+	requireRootSpan(t, getSpans(t, ts, "?trace_id="+fresh.TraceID), fresh.TraceID)
+
+	replayed := postSolve(t, ts, "strategy=mac", sampleInstance)
+	if !replayed.Cached {
+		t.Fatalf("second request not cached: %+v", replayed)
+	}
+	events = getEvents(t, ts, "?trace_id="+replayed.TraceID)
+	if len(events) != 1 {
+		t.Fatalf("cache hit left %d events, want exactly 1", len(events))
+	}
+	ev = events[0]
+	if ev.Cache != obs.CacheHit || ev.Verdict != obs.VerdictSat {
+		t.Fatalf("cache-hit event: cache=%q verdict=%q, want hit/sat", ev.Cache, ev.Verdict)
+	}
+	if ev.WallNs != 0 || ev.QueueWaitNs != 0 {
+		t.Fatalf("cache-hit event charges engine time: %+v", ev)
+	}
+	requireRootSpan(t, getSpans(t, ts, "?trace_id="+replayed.TraceID), replayed.TraceID)
+}
+
+// TestWideEventShedPath fills the one solve slot and the zero-length queue,
+// then asserts the shed request's event: verdict=shed with a cause, and a
+// matching root span in the trace ring.
+func TestWideEventShedPath(t *testing.T) {
+	cfg := testConfig()
+	cfg.maxInflight = 1
+	cfg.maxQueue = 0
+	cfg.cacheSize = 0
+	ts, srv := startDaemonCfg(t, cfg)
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	srv.dispatch = blockingDispatch(started, release)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postSolve(t, ts, "", distinctInstance(0))
+	}()
+	<-started
+
+	resp, err := http.Post(ts.URL+"/solve", "text/plain", strings.NewReader(distinctInstance(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429", resp.StatusCode)
+	}
+
+	var shed *obs.SolveEvent
+	for _, ev := range getEvents(t, ts, "") {
+		if ev.Verdict == obs.VerdictShed {
+			if shed != nil {
+				t.Fatal("more than one shed event")
+			}
+			ev := ev
+			shed = &ev
+		}
+	}
+	if shed == nil {
+		t.Fatal("shed request left no wide event")
+	}
+	if shed.Cause == "" {
+		t.Fatalf("shed event has no cause: %+v", shed)
+	}
+	requireRootSpan(t, getSpans(t, ts, "?trace_id="+shed.TraceID), shed.TraceID)
+
+	close(release)
+	wg.Wait()
+}
+
+// TestWideEventErrorPath asserts an unparsable body still produces exactly
+// one event (verdict=error, cause=parse) with a cross-linked root span.
+func TestWideEventErrorPath(t *testing.T) {
+	ts, _ := startDaemon(t)
+
+	resp, err := http.Post(ts.URL+"/solve", "text/plain", strings.NewReader("not an instance"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+
+	events := getEvents(t, ts, "")
+	if len(events) != 1 {
+		t.Fatalf("parse error left %d events, want exactly 1", len(events))
+	}
+	ev := events[0]
+	if ev.Verdict != obs.VerdictError || ev.Cause != "parse" {
+		t.Fatalf("error event: verdict=%q cause=%q, want error/parse", ev.Verdict, ev.Cause)
+	}
+	requireRootSpan(t, getSpans(t, ts, "?trace_id="+ev.TraceID), ev.TraceID)
+}
+
+// TestMetricsPrometheusText pins the default /metrics representation: text
+// exposition format with HELP/TYPE comments and the labeled request series,
+// while ?format=json keeps the flat JSON object.
+func TestMetricsPrometheusText(t *testing.T) {
+	ts, _ := startDaemon(t)
+	postSolve(t, ts, "strategy=mac", sampleInstance)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q, want text/plain", ct)
+	}
+	text := string(body)
+	if !strings.HasPrefix(text, "# HELP ") {
+		t.Fatalf("text exposition does not open with # HELP: %.80q", text)
+	}
+	for _, want := range []string{
+		"# TYPE cspd_solve_requests_total counter",
+		"cspd_solve_requests_total ",
+		`cspd_http_request_ns_bucket{route="engine",strategy="mac",status="200",le="`,
+		`cspd_http_request_ns_count{route="engine",strategy="mac",status="200"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text exposition missing %q", want)
+		}
+	}
+
+	jresp, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(jresp.Body).Decode(&snap); err != nil {
+		t.Fatalf("?format=json is not a JSON object: %v", err)
+	}
+	if _, ok := snap["cspd.solve.requests"]; !ok {
+		t.Fatal("JSON snapshot missing cspd.solve.requests")
+	}
+}

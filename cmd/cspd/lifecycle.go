@@ -26,6 +26,8 @@ import (
 // signal, then drains. It returns nil on a clean shutdown and the serve
 // error otherwise.
 func runDaemon(s *server, ln net.Listener, sigCh <-chan os.Signal, logf func(string, ...any)) error {
+	closeEvents := openEventsSink(s.cfg.eventsFile, logf)
+	defer closeEvents()
 	httpSrv := &http.Server{
 		Handler:           s.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -63,6 +65,30 @@ func runDaemon(s *server, ln net.Listener, sigCh <-chan os.Signal, logf func(str
 	flushTrace(s.cfg.traceFlush, logf)
 	logf("cspd: drained cleanly")
 	return nil
+}
+
+// openEventsSink attaches a live wide-event stream to the default ring:
+// every emitted event is additionally appended to path as one JSON line, so
+// a crash loses at most the last unflushed line. The returned func detaches
+// the sink (flushing it) and closes the file; with an empty path both are
+// no-ops and events stay ring-only.
+func openEventsSink(path string, logf func(string, ...any)) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		logf("cspd: events sink: %v", err)
+		return func() {}
+	}
+	obs.DefaultEvents().SetSink(f)
+	logf("cspd: streaming wide events to %s", path)
+	return func() {
+		obs.DefaultEvents().SetSink(nil)
+		if err := f.Close(); err != nil {
+			logf("cspd: events sink: %v", err)
+		}
+	}
 }
 
 // flushTrace drains the span ring and, if a path is configured, persists

@@ -19,6 +19,7 @@
 //
 //	cspd [-addr :8344] [-max-timeout 2m] [-max-inflight N] [-queue N]
 //	     [-cache N] [-drain-timeout 10s] [-trace-flush file.jsonl]
+//	     [-events events.jsonl]
 //
 // Examples:
 //
@@ -54,6 +55,7 @@ type daemonConfig struct {
 	maxQueue     int
 	cacheSize    int
 	traceFlush   string
+	eventsFile   string
 }
 
 func main() {
@@ -65,12 +67,14 @@ func main() {
 	flag.IntVar(&cfg.maxQueue, "queue", 64, "solve requests allowed to wait for a slot before overflow is shed with 429")
 	flag.IntVar(&cfg.cacheSize, "cache", 256, "result-cache entries (0 = caching off)")
 	flag.StringVar(&cfg.traceFlush, "trace-flush", "", "file to flush the span ring to on shutdown (empty = discard)")
+	flag.StringVar(&cfg.eventsFile, "events", "", "file to stream wide events to as JSON lines (empty = ring only, drained by /events)")
 	flag.Parse()
 
-	// The daemon is the observability consumer: metrics and tracing are on
-	// for its whole lifetime (library default is off).
+	// The daemon is the observability consumer: metrics, tracing and wide
+	// events are on for its whole lifetime (library default is off).
 	obs.SetEnabled(true)
 	obs.SetTracing(true)
+	obs.SetEvents(true)
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

@@ -44,18 +44,22 @@ func testConfig() daemonConfig {
 	}
 }
 
-// withDaemonObs turns metrics and tracing on for one test (the daemon does
-// this at startup), restoring global state afterwards.
+// withDaemonObs turns metrics, tracing and wide events on for one test (the
+// daemon does this at startup), restoring global state afterwards.
 func withDaemonObs(t *testing.T) {
 	t.Helper()
-	prevEnabled, prevTracing := obs.Enabled(), obs.Tracing()
+	prevEnabled, prevTracing, prevEvents := obs.Enabled(), obs.Tracing(), obs.EventsActive()
 	obs.SetEnabled(true)
 	obs.SetTracing(true)
+	obs.SetEvents(true)
 	obs.DefaultTracer().Drain() // start from an empty ring
+	obs.DefaultEvents().Drain()
 	t.Cleanup(func() {
 		obs.DefaultTracer().Drain()
+		obs.DefaultEvents().Drain()
 		obs.SetEnabled(prevEnabled)
 		obs.SetTracing(prevTracing)
+		obs.SetEvents(prevEvents)
 	})
 }
 
@@ -232,7 +236,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	ts, _ := startDaemon(t)
 	postSolve(t, ts, "strategy=portfolio", sampleInstance)
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -292,7 +292,7 @@ func TestMetricsServeLayer(t *testing.T) {
 	postSolve(t, ts, "strategy=mac", sampleInstance)
 	postSolve(t, ts, "strategy=mac", sampleInstance) // cache hit
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,8 +25,11 @@ import (
 
 // The HTTP surface of the solver daemon:
 //
-//	GET  /metrics          registry snapshot as expvar-style JSON, plus a
-//	                       few runtime gauges (goroutines, heap)
+//	GET  /metrics          registry snapshot in Prometheus text exposition
+//	                       format; ?format=json keeps the expvar-style flat
+//	                       JSON object (plus runtime gauges)
+//	GET  /events           drain the wide-event ring as JSON lines;
+//	                       ?trace_id=X keeps only one request's event
 //	GET  /trace            drain the span ring buffer as JSON lines;
 //	                       ?trace_id=X keeps only one request's spans
 //	POST /solve            run a solver on the POSTed instance text
@@ -83,8 +86,85 @@ var (
 	obsCollapsed = obs.NewCounter("cspd.solve.collapsed")
 	obsSolveNs   = obs.NewHistogram("cspd.solve.ns")
 	obsInFlight  = obs.NewGauge("cspd.solve.inflight")
+	// obsRequestNs is the labeled RED latency surface: whole-request wall
+	// time by (route, strategy, status). Labels pass through the literal
+	// switches below, so the series space is the product of three closed sets.
+	obsRequestNs = obs.NewHistogramVec("cspd.http.request_ns", "route", "strategy", "status")
 	reqIDCounter atomic.Uint64
 )
+
+// statusLabel maps an HTTP status onto the closed status label set: the
+// codes /solve can actually produce, with "other" as the safety net.
+func statusLabel(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusMethodNotAllowed:
+		return "405"
+	case http.StatusRequestEntityTooLarge:
+		return "413"
+	case http.StatusTooManyRequests:
+		return "429"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	return "other"
+}
+
+// strategyLabel maps the requested strategy onto its closed label set. The
+// strategy has been validated against the strategies map on every 200 path,
+// but error paths can carry an empty ("none") or unknown ("other") value.
+// Every case returns its own literal (rather than echoing the input) so the
+// obslabel analyzer can prove the label set is closed.
+func strategyLabel(s string) string {
+	switch s {
+	case "mac":
+		return "mac"
+	case "fc":
+		return "fc"
+	case "bt":
+		return "bt"
+	case "cbj":
+		return "cbj"
+	case "learn":
+		return "learn"
+	case "join":
+		return "join"
+	case "portfolio":
+		return "portfolio"
+	case "parallel":
+		return "parallel"
+	case "auto":
+		return "auto"
+	case "":
+		return "none"
+	}
+	return "other"
+}
+
+// routeLabel maps the dispatcher's routing outcome onto its closed label
+// set: a structural class for auto-routed solves, "engine" when the generic
+// engine ran without structural routing. Literal returns per case, for the
+// same obslabel reason as strategyLabel.
+func routeLabel(r string) string {
+	switch r {
+	case "tree":
+		return "tree"
+	case "schaefer":
+		return "schaefer"
+	case "acyclic":
+		return "acyclic"
+	case "width":
+		return "width"
+	case "hard":
+		return "hard"
+	case "":
+		return "engine"
+	}
+	return "other"
+}
 
 // maxBodyBytes bounds POSTed instances; the text format is compact, so 16MB
 // is generous.
@@ -150,6 +230,7 @@ func newServer(cfg daemonConfig) *server {
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -164,9 +245,15 @@ func (s *server) mux() *http.ServeMux {
 	return mux
 }
 
-// handleMetrics serves the registry snapshot plus runtime basics as one
-// flat JSON object.
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the registry in Prometheus text exposition format by
+// default; ?format=json preserves the original flat JSON object (plus
+// runtime basics) for the JSON consumers that predate the text format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") != "json" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.DefaultRegistry().WritePrometheus(w)
+		return
+	}
 	snap := obs.DefaultRegistry().Snapshot()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -181,6 +268,24 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(snap)
+}
+
+// handleEvents drains the wide-event ring as JSON lines. With ?trace_id=X
+// only the matching events are written (the rest are discarded with the
+// drain, matching /trace's drain-or-lose contract).
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events := obs.DefaultEvents().Drain()
+	if id := r.URL.Query().Get("trace_id"); id != "" {
+		kept := events[:0]
+		for _, ev := range events {
+			if ev.TraceID == id {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = obs.WriteEventsJSONL(w, events)
 }
 
 // handleTrace drains the ring buffer as JSON lines. With ?trace_id=X only
@@ -230,56 +335,83 @@ type flightKey struct {
 }
 
 // flightResult is what one singleflight execution yields: either a response
-// (possibly replayed from the cache) or an admission error.
+// (possibly replayed from the cache) or an admission error. queueWaitNs is
+// the leader's time in the admission queue; followers share the response
+// but not the wait.
 type flightResult struct {
-	resp      solveResponse
-	fromCache bool
-	err       error
+	resp        solveResponse
+	fromCache   bool
+	queueWaitNs int64
+	err         error
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		http.Error(w, "method not allowed: POST an instance to /solve", http.StatusMethodNotAllowed)
-		return
-	}
 	obsRequests.Inc()
 	obsInFlight.Add(1)
 	defer obsInFlight.Add(-1)
 
+	// Every request gets a trace ID and a root span up front — before the
+	// body is read — so error paths (unreadable body, parse failure, bad
+	// parameters) are attributable in /trace and /events too. The deferred
+	// funnel below emits exactly one wide event per request, whatever path
+	// is taken; root.End() is registered after it so the span commits to the
+	// ring before the event does.
+	traceID := fmt.Sprintf("req-%d", reqIDCounter.Add(1))
+	root := obs.StartRoot("cspd.solve", traceID)
+	start := time.Now()
+	ev := obs.SolveEvent{TraceID: traceID, Source: "cspd"}
+	status := http.StatusOK
+	defer func() {
+		ev.TsNs = time.Now().UnixNano()
+		obs.Emit(ev)
+		obsRequestNs.Observe(time.Since(start).Nanoseconds(),
+			routeLabel(ev.Route), strategyLabel(ev.Strategy), statusLabel(status))
+	}()
+	defer root.End()
+
+	// fail terminates the request on an error path, recording the outcome
+	// once for the event funnel and the status label.
+	fail := func(code int, cause, msg string) {
+		status = code
+		ev.Verdict, ev.Cause = obs.VerdictError, cause
+		root.SetStr("error", cause)
+		http.Error(w, msg, code)
+	}
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		fail(http.StatusMethodNotAllowed, "method",
+			"method not allowed: POST an instance to /solve")
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			obsTooLarge.Inc()
-			http.Error(w, fmt.Sprintf("body too large: limit is %d bytes", tooBig.Limit),
-				http.StatusRequestEntityTooLarge)
+			fail(http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("body too large: limit is %d bytes", tooBig.Limit))
 			return
 		}
 		obsErrors.Inc()
-		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, "read", "read: "+err.Error())
 		return
 	}
 	inst, err := cspio.Parse(bytes.NewReader(body))
 	if err != nil {
 		obsErrors.Inc()
-		http.Error(w, "parse: "+err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, "parse", "parse: "+err.Error())
 		return
 	}
-
-	traceID := fmt.Sprintf("req-%d", reqIDCounter.Add(1))
-	root := obs.StartRoot("cspd.solve", traceID)
-	// All paths below, including parameter rejections, end the root span
-	// exactly once (TestUnknownStrategySpanAndCache pins this).
-	defer root.End()
 
 	params, err := s.parseParams(r.URL.Query())
 	if err != nil {
 		obsErrors.Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, "params", err.Error())
 		return
 	}
 	root.SetStr("strategy", params.strategy)
+	ev.Strategy = params.strategy
 
 	key := serve.CacheKey{
 		Hash:     cspio.CanonicalHash(inst),
@@ -294,9 +426,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if cached, ok := s.cache.Get(key); ok {
 			return flightResult{resp: cached.(solveResponse), fromCache: true}
 		}
+		admitStart := time.Now()
 		release, err := s.admit.Acquire(s.baseCtx)
+		wait := time.Since(admitStart).Nanoseconds()
 		if err != nil {
-			return flightResult{err: err}
+			return flightResult{queueWaitNs: wait, err: err}
 		}
 		defer release()
 		ctx, cancel := context.WithTimeout(obs.WithSpan(s.baseCtx, root), params.timeout)
@@ -307,12 +441,15 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if !resp.Aborted {
 			s.cache.Add(key, resp)
 		}
-		return flightResult{resp: resp}
+		return flightResult{resp: resp, queueWaitNs: wait}
 	})
 	res := v.(flightResult)
 	switch {
 	case errors.Is(res.err, serve.ErrShed):
 		root.SetInt("shed", 1)
+		status = http.StatusTooManyRequests
+		ev.Verdict, ev.Cause = obs.VerdictShed, "admission_queue_full"
+		ev.QueueWaitNs = res.queueWaitNs
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "solver at capacity: admission queue full, retry later",
 			http.StatusTooManyRequests)
@@ -320,7 +457,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case res.err != nil:
 		// The base context died while queued: the daemon is draining.
 		obsErrors.Inc()
-		http.Error(w, "shutting down: "+res.err.Error(), http.StatusServiceUnavailable)
+		fail(http.StatusServiceUnavailable, "draining", "shutting down: "+res.err.Error())
 		return
 	}
 
@@ -329,6 +466,33 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	resp.Cached = res.fromCache || !ranFlight
 	if !ranFlight {
 		obsCollapsed.Inc()
+	}
+	switch {
+	case res.fromCache:
+		ev.Cache = obs.CacheHit
+	case !ranFlight:
+		ev.Cache = obs.CacheFollower
+	default:
+		// This request's flight ran the engine: charge it the queue wait and
+		// the engine wall clock. Replayed responses keep WallNs in the body
+		// (it describes the original solve) but not in the event.
+		ev.Cache = obs.CacheMiss
+		ev.QueueWaitNs = res.queueWaitNs
+		ev.WallNs = resp.WallNs
+	}
+	ev.Route = resp.Route
+	ev.Winner = resp.Winner
+	ev.Nodes = resp.Stats.Nodes
+	ev.Backtracks = resp.Stats.Backtracks
+	ev.Restarts = resp.Stats.Restarts
+	ev.Nogoods = resp.Stats.NogoodsRecorded
+	switch {
+	case resp.Aborted:
+		ev.Verdict = obs.VerdictUnknown
+	case resp.Found:
+		ev.Verdict = obs.VerdictSat
+	default:
+		ev.Verdict = obs.VerdictUnsat
 	}
 	if resp.Cached {
 		root.SetInt("cached", 1)

@@ -60,7 +60,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"ctxloop", "obsboundary", "arenaretain", "atomicmix"} {
+	for _, name := range []string{"ctxloop", "obsboundary", "obslabel", "arenaretain", "atomicmix"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}

@@ -1,0 +1,297 @@
+// Command csptop is a terminal dashboard for a running cspd: it polls the
+// daemon's /metrics (JSON snapshot) and /events (wide-event ring) endpoints
+// and renders the serving picture a production operator watches — live
+// request rate, latency quantiles by route, cache hit rate, queue depth,
+// and the most recent shed/error events.
+//
+// Usage:
+//
+//	csptop [-url http://localhost:8344] [-interval 2s] [-once]
+//
+// -once renders a single frame without clearing the screen and exits; it is
+// the scriptable/smoke-test mode. The continuous mode redraws every
+// interval using ANSI clear, and rates are deltas between consecutive
+// polls.
+//
+// Note /events is drain-or-lose: csptop consumes the ring it polls, so run
+// one csptop (or let it own -events consumption) per daemon.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"csdb/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8344", "cspd base URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll/redraw interval")
+	once := flag.Bool("once", false, "render one frame and exit")
+	flag.Parse()
+	if err := run(*url, *interval, *once, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "csptop:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the poll/render loop; -once does one fetch+render and returns.
+func run(url string, interval time.Duration, once bool, w io.Writer) error {
+	if interval <= 0 {
+		return fmt.Errorf("-interval must be positive, got %v", interval)
+	}
+	var prev *snapshot
+	events := newEventLog(8)
+	for {
+		cur, err := fetchSnapshot(url)
+		if err != nil {
+			return err
+		}
+		evs, err := fetchEvents(url)
+		if err != nil {
+			return err
+		}
+		events.add(evs)
+		if !once {
+			fmt.Fprint(w, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(w, url, cur, prev, events)
+		if once {
+			return nil
+		}
+		prev = cur
+		time.Sleep(interval)
+	}
+}
+
+// snapshot is one /metrics?format=json poll, split into scalars and
+// histogram series, taken at a wall-clock instant (for rate deltas).
+type snapshot struct {
+	at      time.Time
+	scalars map[string]float64
+	hists   map[string]obs.HistogramSnapshot
+}
+
+func fetchSnapshot(url string) (*snapshot, error) {
+	resp, err := http.Get(url + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("decoding /metrics: %w", err)
+	}
+	snap := &snapshot{
+		at:      time.Now(),
+		scalars: make(map[string]float64, len(raw)),
+		hists:   make(map[string]obs.HistogramSnapshot),
+	}
+	for k, v := range raw {
+		var f float64
+		if err := json.Unmarshal(v, &f); err == nil {
+			snap.scalars[k] = f
+			continue
+		}
+		var h obs.HistogramSnapshot
+		if err := json.Unmarshal(v, &h); err == nil && h.Count > 0 {
+			snap.hists[k] = h
+		}
+	}
+	return snap, nil
+}
+
+func fetchEvents(url string) ([]obs.SolveEvent, error) {
+	resp, err := http.Get(url + "/events")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /events: %s", resp.Status)
+	}
+	var events []obs.SolveEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var ev obs.SolveEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("decoding /events line: %w", err)
+		}
+		events = append(events, ev)
+	}
+	return events, sc.Err()
+}
+
+// eventLog keeps the most recent shed/error events across polls (the ring
+// is drained every poll, so csptop must remember what it saw).
+type eventLog struct {
+	cap  int
+	evs  []obs.SolveEvent
+	sat  int64
+	bad  int64
+	shed int64
+}
+
+func newEventLog(capacity int) *eventLog { return &eventLog{cap: capacity} }
+
+func (l *eventLog) add(events []obs.SolveEvent) {
+	for _, ev := range events {
+		switch ev.Verdict {
+		case obs.VerdictShed:
+			l.shed++
+		case obs.VerdictError:
+			l.bad++
+		default:
+			l.sat++
+			continue
+		}
+		l.evs = append(l.evs, ev)
+	}
+	if n := len(l.evs); n > l.cap {
+		l.evs = append(l.evs[:0:0], l.evs[n-l.cap:]...)
+	}
+}
+
+// seriesLabels parses a flat-snapshot series key like
+// `name{route="engine",strategy="mac"}` into (name, labels). Plain keys
+// return (key, nil).
+func seriesLabels(key string) (string, map[string]string) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	labels := make(map[string]string)
+	for _, part := range strings.Split(key[open+1:len(key)-1], ",") {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			continue
+		}
+		labels[part[:eq]] = strings.Trim(part[eq+1:], `"`)
+	}
+	return key[:open], labels
+}
+
+// quantile returns the inclusive upper bound of the bucket where the q-th
+// fraction of observations lands, from per-bucket (non-cumulative) bounds.
+func quantile(bounds []obs.BucketBound, q float64) int64 {
+	var total int64
+	for _, b := range bounds {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, b := range bounds {
+		cum += b.Count
+		if cum >= target {
+			return b.Le
+		}
+	}
+	return bounds[len(bounds)-1].Le
+}
+
+// mergeBounds sums per-bucket counts keyed by upper bound.
+func mergeBounds(dst map[int64]int64, bounds []obs.BucketBound) {
+	for _, b := range bounds {
+		dst[b.Le] += b.Count
+	}
+}
+
+func sortedBounds(m map[int64]int64) []obs.BucketBound {
+	out := make([]obs.BucketBound, 0, len(m))
+	for le, n := range m {
+		out = append(out, obs.BucketBound{Le: le, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Le < out[j].Le })
+	return out
+}
+
+// routeQuantiles aggregates the labeled request histogram by route label.
+func routeQuantiles(snap *snapshot) ([]string, map[string][]obs.BucketBound, map[string]int64) {
+	byRoute := make(map[string]map[int64]int64)
+	counts := make(map[string]int64)
+	for key, h := range snap.hists {
+		name, labels := seriesLabels(key)
+		if name != "cspd.http.request_ns" || labels["route"] == "" {
+			continue
+		}
+		r := labels["route"]
+		if byRoute[r] == nil {
+			byRoute[r] = make(map[int64]int64)
+		}
+		mergeBounds(byRoute[r], h.Bounds)
+		counts[r] += h.Count
+	}
+	routes := make([]string, 0, len(byRoute))
+	merged := make(map[string][]obs.BucketBound, len(byRoute))
+	for r, m := range byRoute {
+		routes = append(routes, r)
+		merged[r] = sortedBounds(m)
+	}
+	sort.Strings(routes)
+	return routes, merged, counts
+}
+
+// render draws one frame.
+func render(w io.Writer, url string, cur, prev *snapshot, events *eventLog) {
+	fmt.Fprintf(w, "csptop — %s — %s\n\n", url, cur.at.Format("15:04:05"))
+
+	requests := cur.scalars["cspd.solve.requests"]
+	qps := 0.0
+	if prev != nil {
+		if dt := cur.at.Sub(prev.at).Seconds(); dt > 0 {
+			qps = (requests - prev.scalars["cspd.solve.requests"]) / dt
+		}
+	}
+	hits := cur.scalars[`cspd.cache.outcome{outcome="hit"}`]
+	misses := cur.scalars[`cspd.cache.outcome{outcome="miss"}`]
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = 100 * hits / (hits + misses)
+	}
+	fmt.Fprintf(w, "requests %-8.0f qps %-8.1f cache hit %5.1f%%   queue depth %-4.0f inflight %-4.0f shed %.0f\n\n",
+		requests, qps, hitRate,
+		cur.scalars["cspd.admit.queue_depth"], cur.scalars["cspd.solve.inflight"],
+		cur.scalars["cspd.admit.shed"])
+
+	routes, merged, counts := routeQuantiles(cur)
+	fmt.Fprintf(w, "%-10s %8s %10s %10s %10s\n", "route", "count", "p50", "p95", "p99")
+	if len(routes) == 0 {
+		fmt.Fprintln(w, "(no requests yet)")
+	}
+	for _, r := range routes {
+		b := merged[r]
+		fmt.Fprintf(w, "%-10s %8d %10v %10v %10v\n", r, counts[r],
+			time.Duration(quantile(b, 0.50)).Round(time.Microsecond),
+			time.Duration(quantile(b, 0.95)).Round(time.Microsecond),
+			time.Duration(quantile(b, 0.99)).Round(time.Microsecond))
+	}
+
+	fmt.Fprintf(w, "\nevents seen: ok %d, shed %d, error %d\n", events.sat, events.shed, events.bad)
+	if len(events.evs) > 0 {
+		fmt.Fprintln(w, "last shed/error events:")
+		for _, ev := range events.evs {
+			fmt.Fprintf(w, "  %s %-9s %-6s cause=%s strategy=%s\n",
+				time.Unix(0, ev.TsNs).Format("15:04:05"), ev.TraceID, ev.Verdict, ev.Cause, ev.Strategy)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"csdb/internal/obs"
+)
+
+// fakeDaemon serves canned /metrics and /events bodies in the daemon's
+// formats.
+func fakeDaemon(t *testing.T, metrics, events string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") != "json" {
+			t.Errorf("csptop fetched /metrics without format=json")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, metrics)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprint(w, events)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+const sampleMetrics = `{
+  "cspd.solve.requests": 120,
+  "cspd.admit.queue_depth": 3,
+  "cspd.solve.inflight": 2,
+  "cspd.admit.shed": 1,
+  "cspd.cache.outcome{outcome=\"hit\"}": 30,
+  "cspd.cache.outcome{outcome=\"miss\"}": 10,
+  "cspd.http.request_ns{route=\"engine\",strategy=\"mac\",status=\"200\"}": {
+    "count": 4, "sum": 4000,
+    "bounds": [{"le": 1023, "count": 3}, {"le": 2047, "count": 1}]
+  },
+  "cspd.http.request_ns{route=\"tree\",strategy=\"auto\",status=\"200\"}": {
+    "count": 2, "sum": 100,
+    "bounds": [{"le": 63, "count": 2}]
+  }
+}`
+
+const sampleEvents = `{"ts_ns":1754600000000000000,"trace_id":"req-7","source":"cspd","strategy":"mac","verdict":"shed","cause":"admission_queue_full"}
+{"ts_ns":1754600001000000000,"trace_id":"req-8","source":"cspd","strategy":"mac","cache":"miss","verdict":"sat"}
+`
+
+// TestOnceFrame renders one frame against a fake daemon and checks the
+// operator-facing numbers: cache hit rate, per-route latency rows, and the
+// shed event line.
+func TestOnceFrame(t *testing.T) {
+	ts := fakeDaemon(t, sampleMetrics, sampleEvents)
+	var buf strings.Builder
+	if err := run(ts.URL, 1, true, &buf); err != nil {
+		t.Fatalf("run -once: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"cache hit  75.0%",
+		"queue depth 3",
+		"engine",          // route row
+		"tree",            // route row
+		"shed",            // event verdict
+		"req-7",           // shed event trace id
+		"admission_queue", // cause
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Error("-once frame contains ANSI clear")
+	}
+}
+
+func TestSeriesLabels(t *testing.T) {
+	name, labels := seriesLabels(`cspd.http.request_ns{route="engine",status="200"}`)
+	if name != "cspd.http.request_ns" || labels["route"] != "engine" || labels["status"] != "200" {
+		t.Fatalf("seriesLabels = %q %v", name, labels)
+	}
+	name, labels = seriesLabels("cspd.solve.requests")
+	if name != "cspd.solve.requests" || labels != nil {
+		t.Fatalf("plain key parsed as %q %v", name, labels)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	bounds := []obs.BucketBound{{Le: 1, Count: 50}, {Le: 3, Count: 45}, {Le: 7, Count: 5}}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 1}, {0.95, 3}, {0.99, 7}, {1.0, 7}} {
+		if got := quantile(bounds, tc.q); got != tc.want {
+			t.Errorf("quantile(%.2f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+}
+
+// TestEventLogCapAndTallies pins the scrollback: verdict tallies keep
+// counting while the shed/error scrollback stays bounded.
+func TestEventLogCapAndTallies(t *testing.T) {
+	l := newEventLog(2)
+	var evs []obs.SolveEvent
+	for i := 0; i < 5; i++ {
+		evs = append(evs, obs.SolveEvent{TraceID: fmt.Sprintf("req-%d", i), Verdict: obs.VerdictError})
+	}
+	evs = append(evs, obs.SolveEvent{Verdict: obs.VerdictSat}, obs.SolveEvent{Verdict: obs.VerdictShed})
+	l.add(evs)
+	if l.bad != 5 || l.sat != 1 || l.shed != 1 {
+		t.Fatalf("tallies bad=%d sat=%d shed=%d", l.bad, l.sat, l.shed)
+	}
+	if len(l.evs) != 2 {
+		t.Fatalf("scrollback len %d, want cap 2", len(l.evs))
+	}
+	if l.evs[0].TraceID != "req-4" {
+		t.Fatalf("scrollback kept %q, want newest-but-one req-4", l.evs[0].TraceID)
+	}
+}

@@ -9,6 +9,8 @@
 //     cancellation on every iteration path;
 //   - obsboundary: obs counters/gauges/histograms must be recorded at call
 //     boundaries, never inside loops;
+//   - obslabel: label values passed to obs *Vec metrics must come from fixed
+//     enumerable sets (literals, consts, pure-literal helpers);
 //   - arenaretain: row slices handed out by the relational kernel's arena
 //     accessors must not be stored anywhere that outlives the call;
 //   - atomicmix: a struct field accessed through sync/atomic must never be
@@ -71,7 +73,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{ctxloopAnalyzer, obsboundaryAnalyzer, arenaretainAnalyzer, atomicmixAnalyzer}
+	return []*Analyzer{ctxloopAnalyzer, obsboundaryAnalyzer, obslabelAnalyzer, arenaretainAnalyzer, atomicmixAnalyzer}
 }
 
 // ByName resolves a comma-separated analyzer list against the suite.
@@ -123,7 +125,12 @@ func Run(loaded *Loaded, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		// Full tie-break: sort.Slice is unstable, and two diagnostics can
+		// share a position (a call that trips two rules).
+		return a.Message < b.Message
 	})
 	return kept
 }

@@ -12,12 +12,12 @@ import (
 func TestLoadClosure(t *testing.T) {
 	loaded := loadTestdata(t)
 
-	if len(loaded.Targets) != 5 {
+	if len(loaded.Targets) != 6 {
 		var names []string
 		for _, p := range loaded.Targets {
 			names = append(names, p.Path)
 		}
-		t.Fatalf("want 5 fixture targets, got %d: %v", len(loaded.Targets), names)
+		t.Fatalf("want 6 fixture targets, got %d: %v", len(loaded.Targets), names)
 	}
 	for _, p := range loaded.Targets {
 		if !p.Target {

@@ -36,16 +36,21 @@ var obsboundaryAnalyzer = &Analyzer{
 const obsPkgPath = "csdb/internal/obs"
 
 // obsRecordingMethods lists the registry-writing methods per receiver type.
+// The labeled vectors are held to the same boundary discipline as the plain
+// instruments: one series lookup plus an atomic write per call.
 var obsRecordingMethods = map[string]map[string]bool{
-	"Counter":   {"Add": true, "Inc": true},
-	"Gauge":     {"Set": true, "Add": true},
-	"Histogram": {"Observe": true},
-	"Registry":  {"Counter": true, "Gauge": true, "Histogram": true},
+	"Counter":      {"Add": true, "Inc": true},
+	"Gauge":        {"Set": true, "Add": true},
+	"Histogram":    {"Observe": true},
+	"CounterVec":   {"Add": true, "Inc": true},
+	"HistogramVec": {"Observe": true},
+	"Registry":     {"Counter": true, "Gauge": true, "Histogram": true, "CounterVec": true, "HistogramVec": true},
 }
 
 // obsRecordingFuncs lists the package-level registry entry points.
 var obsRecordingFuncs = map[string]bool{
 	"NewCounter": true, "NewGauge": true, "NewHistogram": true,
+	"NewCounterVec": true, "NewHistogramVec": true,
 }
 
 func runObsboundary(pass *Pass) {

@@ -99,3 +99,17 @@ func goodRecordThenLoop(xs []int) {
 		_ = xs
 	}
 }
+
+var outcomes = obs.NewCounterVec("test.outcomes", "kind")
+
+// badVecInLoop: labeled vectors obey the same boundary rule. (true positive)
+func badVecInLoop(xs []int) {
+	for range xs {
+		outcomes.Inc("row")
+	}
+}
+
+// goodVecFlush: tally locally, flush the labeled series once. (negative)
+func goodVecFlush(xs []int) {
+	outcomes.Add(int64(len(xs)), "row")
+}

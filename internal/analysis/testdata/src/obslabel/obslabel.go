@@ -1,0 +1,119 @@
+// Package obslabeltest exercises the obslabel analyzer: label values passed
+// to obs *Vec metrics must come from fixed enumerable sets.
+package obslabeltest
+
+import (
+	"fmt"
+
+	"csdb/internal/obs"
+)
+
+var (
+	hits = obs.NewCounterVec("test.hits", "outcome")
+	lat  = obs.NewHistogramVec("test.lat", "route", "status")
+)
+
+const okOutcome = "ok"
+
+// goodLiteral: the base case. (negative)
+func goodLiteral() {
+	hits.Inc("hit")
+}
+
+// goodConst: a named constant is as enumerable as a literal. (negative)
+func goodConst() {
+	hits.Add(2, okOutcome)
+}
+
+// goodConstExpr: constant folding makes this a constant expression.
+// (near-miss negative: not lexically a literal)
+func goodConstExpr() {
+	hits.Inc("o" + "k")
+}
+
+// routeLabel is a pure-literal helper: every return is a literal, so the
+// label set is readable off the function. (negative when used)
+func routeLabel(r int) string {
+	switch r {
+	case 0:
+		return "tree"
+	case 1:
+		return "acyclic"
+	}
+	return "hard"
+}
+
+// goodHelper: labels via a pure-literal helper, mixed with a literal.
+// (negative)
+func goodHelper(r int) {
+	lat.Observe(5, routeLabel(r), "200")
+}
+
+// goodBranchVar: a local variable only ever assigned literals. (near-miss
+// negative: an identifier, but its value set is two literals)
+func goodBranchVar(won bool) {
+	outcome := "loss"
+	if won {
+		outcome = "win"
+	}
+	hits.Inc(outcome)
+}
+
+// badParam: a caller-controlled parameter is not an enumerable set.
+// (true positive)
+func badParam(outcome string) {
+	hits.Inc(outcome)
+}
+
+// formatted builds its result with Sprintf — unbounded. (positive when used)
+func formatted(r int) string {
+	if r == 0 {
+		return "zero"
+	}
+	return fmt.Sprintf("route-%d", r)
+}
+
+// badFormattedHelper: a helper with a non-literal return is rejected.
+// (true positive)
+func badFormattedHelper(r int) {
+	hits.Inc(formatted(r))
+}
+
+// echo returns its switch-matched argument. The value set IS closed, but
+// the analyzer is syntactic on purpose: each case must return its own
+// literal. (near-miss positive when used)
+func echo(s string) string {
+	switch s {
+	case "a", "b":
+		return s
+	}
+	return "other"
+}
+
+// badEchoHelper: rejected because echo's first return is a parameter.
+// (true positive)
+func badEchoHelper(s string) {
+	hits.Inc(echo(s))
+}
+
+// badDataVar: a local variable assigned from data. (true positive)
+func badDataVar(names []string) {
+	v := names[0]
+	hits.Inc(v)
+}
+
+// badValueArgOnly: the observed value is arbitrary — only labels are
+// checked, so the bad expression in position 0 passes but the appended
+// parameter label does not. (true positive on the label, not the value)
+func badValueArgOnly(n int64, status string) {
+	lat.Observe(n*2, "hard", status)
+}
+
+// badAddrTaken: taking the variable's address makes later mutations
+// untrackable. (true positive)
+func badAddrTaken(ps []*string) {
+	outcome := "win"
+	ps = append(ps, &outcome)
+	_ = ps
+	hits.Inc(outcome)
+}

@@ -21,6 +21,8 @@ import "csdb/internal/obs"
 //	csp.joinsolve.calls    Proposition 2.1 join-evaluation decisions
 //	csp.portfolio.races    portfolio races run
 //	csp.portfolio.win.<s>  races won by strategy <s>
+//	csp.portfolio.lane     labeled vector {lane, outcome}: per-lane win/loss
+//	                       tallies across races (outcome win|loss)
 //	csp.parallel.runs      SolveParallel calls
 //	csp.parallel.subtrees  root-domain subtrees searched
 var (
@@ -46,6 +48,43 @@ func obsPortfolioWin(name string) {
 	if obs.Enabled() {
 		obs.NewCounter("csp.portfolio.win." + name).Inc()
 	}
+}
+
+// obsPortfolioLane is the labeled per-lane outcome vector: one increment per
+// (lane, outcome) per race, flushed after the race settles.
+var obsPortfolioLane = obs.NewCounterVec("csp.portfolio.lane", "lane", "outcome")
+
+// laneLabel maps a portfolio strategy name onto its closed metric label set.
+// The switch enumerates DefaultStrategies' names; custom strategies collapse
+// onto "other" so user-supplied names can never mint new series.
+func laneLabel(name string) string {
+	switch name {
+	case "MAC+MRV":
+		return "mac_mrv"
+	case "FC+Lex":
+		return "fc_lex"
+	case "CBJ":
+		return "cbj"
+	case "Learn":
+		return "learn"
+	case "Join":
+		return "join"
+	}
+	return "other"
+}
+
+// recordLaneOutcome flushes one lane's race outcome. It is its own function
+// (a call boundary) because the caller tallies a whole race's lanes in one
+// short bounded loop after the race settles.
+func recordLaneOutcome(name string, won bool) {
+	if !obs.Enabled() {
+		return
+	}
+	outcome := "loss"
+	if won {
+		outcome = "win"
+	}
+	obsPortfolioLane.Inc(laneLabel(name), outcome)
 }
 
 // flushSolveObs flushes one finished solve into the shared registry and

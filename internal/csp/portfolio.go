@@ -179,6 +179,9 @@ func Portfolio(ctx context.Context, p *Instance, popts PortfolioOptions) Portfol
 	} else {
 		obsPortfolioWin(out.Winner)
 	}
+	for i := range out.Reports {
+		recordLaneOutcome(out.Reports[i].Name, i == winner)
+	}
 	out.Total.Duration = time.Since(start)
 	out.Result.Stats.Duration = out.Total.Duration
 	raceSpan.SetStr("winner", out.Winner)

@@ -217,3 +217,39 @@ func TestAnalyzerDefaults(t *testing.T) {
 		t.Fatal("analyzer built without a cache")
 	}
 }
+
+// TestLabeledClassTelemetry pins the PR-8 labeled routing metrics: one
+// Solve moves the class vector and the per-class classification-time
+// histogram for exactly the routed class.
+func TestLabeledClassTelemetry(t *testing.T) {
+	enableObs(t)
+	inst := pathCSP(3) // tree-classified
+	class0 := obsClassVec.Load("tree")
+	nsSeries := obsClassifyNs.Series("tree")
+	ns0 := nsSeries.Count()
+
+	an := NewAnalyzer(0, 0)
+	out := an.Solve(context.Background(), inst)
+	if out.Route != Tree {
+		t.Fatalf("route = %v, want tree", out.Route)
+	}
+	if d := obsClassVec.Load("tree") - class0; d != 1 {
+		t.Fatalf("dispatch.class{class=tree} delta = %d, want 1", d)
+	}
+	if d := obsClassifyNs.Series("tree").Count() - ns0; d != 1 {
+		t.Fatalf("dispatch.classify_ns{class=tree} delta = %d, want 1", d)
+	}
+}
+
+// TestClassLabelClosed pins label() against String() for the real classes
+// and proves the default branch cannot mint a new label value.
+func TestClassLabelClosed(t *testing.T) {
+	for _, c := range []Class{Tree, Schaefer, Acyclic, BoundedWidth, Hard} {
+		if c.label() != c.String() {
+			t.Fatalf("class %v: label %q != string %q", int(c), c.label(), c.String())
+		}
+	}
+	if got := Class(99).label(); got != "hard" {
+		t.Fatalf("out-of-range class label = %q, want hard", got)
+	}
+}

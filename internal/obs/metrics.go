@@ -134,14 +134,30 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
+// BucketBound is one histogram bucket with its explicit boundary: Le is the
+// inclusive upper bound (2^i - 1 for the log₂ buckets; 0 for the v <= 0
+// bucket) and Count the observations that landed in [previous Le + 1, Le].
+type BucketBound struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
 // HistogramSnapshot is the JSON form of a histogram: count/sum/max/mean plus
-// the nonzero buckets keyed by their upper bound (2^i as a decimal string).
+// the nonzero buckets, twice over. Buckets is the legacy map keyed by the
+// bucket's *exclusive* upper bound (2^i as a decimal string) — kept verbatim
+// for consumers of the PR-5 schema. Bounds is the bugfix: the same buckets
+// as an ordered array with explicit *inclusive* upper bounds, because the
+// map alone under-specified the boundaries (JSON map keys sort
+// lexicographically — "1024" < "16" — and the keys were one past the largest
+// value actually counted). Quantile estimation (cmd/csptop) and the
+// Prometheus le boundaries both read Bounds.
 type HistogramSnapshot struct {
 	Count   int64            `json:"count"`
 	Sum     int64            `json:"sum"`
 	Max     int64            `json:"max"`
 	Mean    float64          `json:"mean"`
 	Buckets map[string]int64 `json:"buckets,omitempty"`
+	Bounds  []BucketBound    `json:"bounds,omitempty"`
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -160,8 +176,22 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 			s.Buckets = make(map[string]int64)
 		}
 		s.Buckets[bucketLabel(i)] = n
+		s.Bounds = append(s.Bounds, BucketBound{Le: bucketUpper(i), Count: n})
 	}
 	return s
+}
+
+// bucketUpper returns bucket i's inclusive upper bound: the largest value v
+// with bits.Len64(v) == i, i.e. 2^i - 1 (0 for bucket 0, which absorbs
+// v <= 0).
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return int64(1)<<uint(i) - 1
 }
 
 // bucketLabel renders bucket i's upper bound. Bucket 0 is "0"; bucket i>0
@@ -196,18 +226,22 @@ func uitoa(v uint64) string {
 // hot path never touches the registry again (metric handles are plain
 // pointers held by the instrumented packages).
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		histVecs:    make(map[string]*HistogramVec),
 	}
 }
 
@@ -263,8 +297,11 @@ func NewGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
 func NewHistogram(name string) *Histogram { return defaultRegistry.Histogram(name) }
 
 // Snapshot returns a point-in-time copy of every metric, keyed by name:
-// counters and gauges as int64, histograms as HistogramSnapshot. The map is
-// freshly allocated and safe to serialize or mutate.
+// counters and gauges as int64, histograms as HistogramSnapshot. Labeled
+// metrics appear as one entry per series under the SeriesID key format —
+// name{label="value",...} — so the snapshot stays one flat JSON object (the
+// PR-5 schema) with labeled series as additional keys. The map is freshly
+// allocated and safe to serialize or mutate.
 func (r *Registry) Snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -277,6 +314,20 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	for name, h := range r.hists {
 		out[name] = h.snapshot()
+	}
+	for _, v := range r.counterVecs {
+		v.mu.RLock()
+		for k, values := range v.series {
+			out[SeriesID(v.name, v.labels, values)] = v.counters[k].Load()
+		}
+		v.mu.RUnlock()
+	}
+	for _, v := range r.histVecs {
+		v.mu.RLock()
+		for k, values := range v.series {
+			out[SeriesID(v.name, v.labels, values)] = v.hists[k].snapshot()
+		}
+		v.mu.RUnlock()
 	}
 	return out
 }

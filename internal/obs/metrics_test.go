@@ -105,6 +105,51 @@ func TestRegistrySnapshotJSON(t *testing.T) {
 	})
 }
 
+// TestHistogramSnapshotBounds is the regression test for the PR-8 bugfix:
+// the JSON snapshot must carry the bucket boundaries explicitly, ordered and
+// inclusive, not only as lexicographically-sorted map keys one past the
+// largest counted value.
+func TestHistogramSnapshotBounds(t *testing.T) {
+	withEnabled(t, func() {
+		h := NewRegistry().Histogram("h")
+		for _, v := range []int64{0, 1, 2, 3, 900, 1023} {
+			h.Observe(v)
+		}
+		snap := h.snapshot()
+		wantBounds := []BucketBound{{Le: 0, Count: 1}, {Le: 1, Count: 1}, {Le: 3, Count: 2}, {Le: 1023, Count: 2}}
+		if len(snap.Bounds) != len(wantBounds) {
+			t.Fatalf("bounds = %+v, want %+v", snap.Bounds, wantBounds)
+		}
+		for i, b := range snap.Bounds {
+			if b != wantBounds[i] {
+				t.Fatalf("bounds[%d] = %+v, want %+v", i, b, wantBounds[i])
+			}
+			if i > 0 && b.Le <= snap.Bounds[i-1].Le {
+				t.Fatalf("bounds not strictly ascending: %+v", snap.Bounds)
+			}
+		}
+		// The legacy map and the bounds array describe the same buckets: each
+		// inclusive bound le corresponds to the exclusive key le+1.
+		for _, b := range snap.Bounds {
+			key := uitoa(uint64(b.Le) + 1)
+			if b.Le == 0 {
+				key = "0"
+			}
+			if snap.Buckets[key] != b.Count {
+				t.Fatalf("bucket key %q = %d, want %d (legacy/bounds mismatch)", key, snap.Buckets[key], b.Count)
+			}
+		}
+		// The wire form serializes the bounds in order.
+		data, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(data, []byte(`"bounds":[{"le":0,"count":1},{"le":1,"count":1}`)) {
+			t.Fatalf("serialized snapshot missing ordered bounds: %s", data)
+		}
+	})
+}
+
 // TestConcurrentRecording exercises the registry and metric types under the
 // race detector (make check runs this package with -race).
 func TestConcurrentRecording(t *testing.T) {

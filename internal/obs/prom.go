@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) for the registry. The
+// mapping from the repo's metric model:
+//
+//   - Metric names are sanitized to the Prometheus charset: every character
+//     outside [a-zA-Z0-9_:] becomes '_', so "cspd.solve.requests" exports as
+//     cspd_solve_requests. Counters additionally get the conventional
+//     _total suffix.
+//   - Counters and gauges export one sample each; labeled vectors export one
+//     sample per series with the label set rendered in {}.
+//   - Histograms export the classic trio: cumulative <name>_bucket samples
+//     with le boundaries (the log₂ buckets' inclusive upper bounds, plus
+//     +Inf), <name>_sum and <name>_count.
+//   - Output is deterministic: families sort by exported name, series sort
+//     by label values, HELP/TYPE precede each family exactly once.
+//
+// Label values are escaped per the format (backslash, double-quote and
+// newline); HELP text likewise (backslash and newline).
+
+// promName sanitizes a dotted registry name into the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscapeLabel escapes a label value for the text format.
+func promEscapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promEscapeHelp escapes HELP text for the text format.
+func promEscapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promLabels renders {k1="v1",k2="v2"} (empty string for no labels). extra
+// appends one more pair (used for le).
+func promLabels(names, values []string, extraKey, extraVal string) string {
+	if len(names) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(promName(n))
+		b.WriteString(`="`)
+		b.WriteString(promEscapeLabel(v))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promFamily is one metric family prepared for deterministic rendering.
+type promFamily struct {
+	name   string // exported (sanitized, suffixed) name
+	help   string
+	typ    string // counter | gauge | histogram
+	render func(w *bufio.Writer)
+}
+
+// writeHistogramSamples renders one histogram series as cumulative buckets
+// plus sum and count.
+func writeHistogramSamples(w *bufio.Writer, name string, labelNames, labelValues []string, h *Histogram) {
+	snap := h.snapshot()
+	var cum int64
+	for _, b := range snap.Bounds {
+		cum += b.Count
+		w.WriteString(name)
+		w.WriteString("_bucket")
+		w.WriteString(promLabels(labelNames, labelValues, "le", strconv.FormatInt(b.Le, 10)))
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatInt(cum, 10))
+		w.WriteByte('\n')
+	}
+	w.WriteString(name)
+	w.WriteString("_bucket")
+	w.WriteString(promLabels(labelNames, labelValues, "le", "+Inf"))
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(snap.Count, 10))
+	w.WriteByte('\n')
+	w.WriteString(name)
+	w.WriteString("_sum")
+	w.WriteString(promLabels(labelNames, labelValues, "", ""))
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(snap.Sum, 10))
+	w.WriteByte('\n')
+	w.WriteString(name)
+	w.WriteString("_count")
+	w.WriteString(promLabels(labelNames, labelValues, "", ""))
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatInt(snap.Count, 10))
+	w.WriteByte('\n')
+}
+
+// WritePrometheus writes every metric in the registry in the Prometheus
+// text exposition format, deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	var fams []promFamily
+	for name, c := range r.counters {
+		name, c := name, c
+		fams = append(fams, promFamily{
+			name: promName(name) + "_total",
+			help: "csdb counter " + name,
+			typ:  "counter",
+			render: func(bw *bufio.Writer) {
+				bw.WriteString(promName(name) + "_total ")
+				bw.WriteString(strconv.FormatInt(c.Load(), 10))
+				bw.WriteByte('\n')
+			},
+		})
+	}
+	for name, g := range r.gauges {
+		name, g := name, g
+		fams = append(fams, promFamily{
+			name: promName(name),
+			help: "csdb gauge " + name,
+			typ:  "gauge",
+			render: func(bw *bufio.Writer) {
+				bw.WriteString(promName(name) + " ")
+				bw.WriteString(strconv.FormatInt(g.Load(), 10))
+				bw.WriteByte('\n')
+			},
+		})
+	}
+	for name, h := range r.hists {
+		name, h := name, h
+		fams = append(fams, promFamily{
+			name: promName(name),
+			help: "csdb histogram " + name,
+			typ:  "histogram",
+			render: func(bw *bufio.Writer) {
+				writeHistogramSamples(bw, promName(name), nil, nil, h)
+			},
+		})
+	}
+	for _, v := range r.counterVecs {
+		v := v
+		fams = append(fams, promFamily{
+			name: promName(v.name) + "_total",
+			help: "csdb counter " + v.name,
+			typ:  "counter",
+			render: func(bw *bufio.Writer) {
+				v.mu.RLock()
+				defer v.mu.RUnlock()
+				for _, k := range v.sortedKeys() {
+					bw.WriteString(promName(v.name) + "_total")
+					bw.WriteString(promLabels(v.labels, v.series[k], "", ""))
+					bw.WriteByte(' ')
+					bw.WriteString(strconv.FormatInt(v.counters[k].Load(), 10))
+					bw.WriteByte('\n')
+				}
+			},
+		})
+	}
+	for _, v := range r.histVecs {
+		v := v
+		fams = append(fams, promFamily{
+			name: promName(v.name),
+			help: "csdb histogram " + v.name,
+			typ:  "histogram",
+			render: func(bw *bufio.Writer) {
+				v.mu.RLock()
+				defer v.mu.RUnlock()
+				for _, k := range v.sortedKeys() {
+					writeHistogramSamples(bw, promName(v.name), v.labels, v.series[k], v.hists[k])
+				}
+			},
+		})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(promEscapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		f.render(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromText is a strict stdlib parser for the subset of the Prometheus
+// text format the writer emits. It validates structural invariants as it
+// goes: every sample belongs to a family announced by HELP+TYPE (in that
+// order), names match the charset, label syntax is exact, histogram
+// cumulative buckets are non-decreasing and end at +Inf == _count.
+func parsePromText(t *testing.T, text string) (families map[string]string, samples []promSample) {
+	t.Helper()
+	families = make(map[string]string) // family name -> type
+	helpSeen := make(map[string]bool)
+	validName := func(s string) bool {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			ok := c == '_' || c == ':' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(c >= '0' && c <= '9' && i > 0)
+			if !ok {
+				return false
+			}
+		}
+		return len(s) > 0
+	}
+	lines := strings.Split(text, "\n")
+	for ln, line := range lines {
+		if line == "" {
+			if ln != len(lines)-1 {
+				t.Fatalf("line %d: unexpected blank line", ln+1)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			if helpSeen[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			helpSeen[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			if !helpSeen[name] {
+				t.Fatalf("line %d: TYPE %s before its HELP", ln+1, name)
+			}
+			if _, dup := families[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			families[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		}
+		// Sample line: name[{labels}] value
+		s := promSample{labels: make(map[string]string)}
+		rest := line
+		brace := strings.IndexByte(rest, '{')
+		if brace >= 0 {
+			s.name = rest[:brace]
+			end := strings.LastIndexByte(rest, '}')
+			if end < brace {
+				t.Fatalf("line %d: unbalanced braces: %q", ln+1, line)
+			}
+			labelText := rest[brace+1 : end]
+			rest = strings.TrimSpace(rest[end+1:])
+			for labelText != "" {
+				eq := strings.IndexByte(labelText, '=')
+				if eq < 0 || len(labelText) < eq+2 || labelText[eq+1] != '"' {
+					t.Fatalf("line %d: malformed label in %q", ln+1, line)
+				}
+				key := labelText[:eq]
+				if !validName(key) {
+					t.Fatalf("line %d: bad label name %q", ln+1, key)
+				}
+				// Scan the quoted value honoring escapes.
+				var val strings.Builder
+				i := eq + 2
+				for ; i < len(labelText); i++ {
+					c := labelText[i]
+					if c == '\\' {
+						i++
+						if i >= len(labelText) {
+							t.Fatalf("line %d: dangling escape", ln+1)
+						}
+						switch labelText[i] {
+						case '\\':
+							val.WriteByte('\\')
+						case '"':
+							val.WriteByte('"')
+						case 'n':
+							val.WriteByte('\n')
+						default:
+							t.Fatalf("line %d: bad escape \\%c", ln+1, labelText[i])
+						}
+						continue
+					}
+					if c == '"' {
+						break
+					}
+					val.WriteByte(c)
+				}
+				if i >= len(labelText) || labelText[i] != '"' {
+					t.Fatalf("line %d: unterminated label value in %q", ln+1, line)
+				}
+				s.labels[key] = val.String()
+				labelText = labelText[i+1:]
+				labelText = strings.TrimPrefix(labelText, ",")
+			}
+		} else {
+			name, v, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: malformed sample %q", ln+1, line)
+			}
+			s.name, rest = name, v
+		}
+		if !validName(s.name) {
+			t.Fatalf("line %d: bad metric name %q", ln+1, s.name)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		s.value = v
+		// Every sample must belong to an announced family (histogram samples
+		// via their _bucket/_sum/_count suffixes).
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(s.name, suf) && families[strings.TrimSuffix(s.name, suf)] == "histogram" {
+				base = strings.TrimSuffix(s.name, suf)
+			}
+		}
+		if _, ok := families[base]; !ok {
+			t.Fatalf("line %d: sample %s outside any announced family", ln+1, s.name)
+		}
+		samples = append(samples, s)
+	}
+	return families, samples
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.Counter("cspd.solve.requests").Add(7)
+		r.Gauge("cspd.solve.inflight").Set(2)
+		h := r.Histogram("cspd.solve.ns")
+		for _, v := range []int64{1, 2, 3, 1000} {
+			h.Observe(v)
+		}
+		r.CounterVec("cspd.cache.outcome", "outcome").Add(5, "hit")
+		r.CounterVec("cspd.cache.outcome", "outcome").Add(3, "miss")
+		hv := r.HistogramVec("cspd.http.request_ns", "route", "status")
+		hv.Observe(100, "tree", "ok")
+		hv.Observe(200, "tree", "ok")
+		hv.Observe(50, "hard", "error")
+
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		text := buf.String()
+		families, samples := parsePromText(t, text)
+
+		wantTypes := map[string]string{
+			"cspd_solve_requests_total": "counter",
+			"cspd_solve_inflight":       "gauge",
+			"cspd_solve_ns":             "histogram",
+			"cspd_cache_outcome_total":  "counter",
+			"cspd_http_request_ns":      "histogram",
+		}
+		for name, typ := range wantTypes {
+			if families[name] != typ {
+				t.Fatalf("family %s = %q, want %q (families: %v)", name, families[name], typ, families)
+			}
+		}
+
+		find := func(name string, labels map[string]string) *promSample {
+			for i := range samples {
+				s := &samples[i]
+				if s.name != name {
+					continue
+				}
+				match := true
+				for k, v := range labels {
+					if s.labels[k] != v {
+						match = false
+						break
+					}
+				}
+				if match && len(s.labels) == len(labels) {
+					return s
+				}
+			}
+			return nil
+		}
+		if s := find("cspd_solve_requests_total", map[string]string{}); s == nil || s.value != 7 {
+			t.Fatalf("requests_total sample = %+v", s)
+		}
+		if s := find("cspd_cache_outcome_total", map[string]string{"outcome": "hit"}); s == nil || s.value != 5 {
+			t.Fatalf("cache outcome hit sample = %+v", s)
+		}
+		// Histogram trio for the labeled series: cumulative buckets ending at
+		// +Inf == count, and sum/count samples.
+		if s := find("cspd_http_request_ns_count", map[string]string{"route": "tree", "status": "ok"}); s == nil || s.value != 2 {
+			t.Fatalf("labeled histogram count = %+v", s)
+		}
+		if s := find("cspd_http_request_ns_sum", map[string]string{"route": "tree", "status": "ok"}); s == nil || s.value != 300 {
+			t.Fatalf("labeled histogram sum = %+v", s)
+		}
+		var inf *promSample
+		var cum []float64
+		for i := range samples {
+			s := &samples[i]
+			if s.name != "cspd_solve_ns_bucket" {
+				continue
+			}
+			if s.labels["le"] == "+Inf" {
+				inf = s
+				continue
+			}
+			cum = append(cum, s.value)
+		}
+		if inf == nil || inf.value != 4 {
+			t.Fatalf("+Inf bucket = %+v", inf)
+		}
+		if !sort.Float64sAreSorted(cum) {
+			t.Fatalf("cumulative buckets not non-decreasing: %v", cum)
+		}
+		if len(cum) == 0 || cum[len(cum)-1] > inf.value {
+			t.Fatalf("last bucket %v exceeds +Inf %v", cum, inf.value)
+		}
+
+		// Deterministic ordering: two renders are byte-identical, and family
+		// names appear sorted.
+		var buf2 bytes.Buffer
+		if err := r.WritePrometheus(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if text != buf2.String() {
+			t.Fatal("two renders of the same registry differ")
+		}
+		var famOrder []string
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				famOrder = append(famOrder, strings.Fields(line)[2])
+			}
+		}
+		if !sort.StringsAreSorted(famOrder) {
+			t.Fatalf("families not sorted: %v", famOrder)
+		}
+	})
+}
+
+// TestPrometheusEscaping pins label-value escaping: backslash, quote and
+// newline survive a write/parse round trip.
+func TestPrometheusEscaping(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		hostile := "a\\b\"c\nd"
+		r.CounterVec("esc", "v").Inc(hostile)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		_, samples := parsePromText(t, buf.String())
+		for _, s := range samples {
+			if s.name == "esc_total" {
+				if s.labels["v"] != hostile {
+					t.Fatalf("escaped label round trip = %q, want %q", s.labels["v"], hostile)
+				}
+				return
+			}
+		}
+		t.Fatal("esc_total sample not found")
+	})
+}
+
+// TestPromName pins the name sanitizer.
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"cspd.solve.ns":        "cspd_solve_ns",
+		"csp.portfolio.win.FC": "csp_portfolio_win_FC",
+		"9lives":               "_9lives",
+		"a-b c":                "a_b_c",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPromHistogramBoundaries pins the le boundaries against the log₂
+// bucketing rule: a value v lands in the bucket whose le is the smallest
+// inclusive bound >= v.
+func TestPromHistogramBoundaries(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		h := r.Histogram("b")
+		h.Observe(0)    // le 0
+		h.Observe(1)    // le 1
+		h.Observe(2)    // le 3
+		h.Observe(3)    // le 3
+		h.Observe(4)    // le 7
+		h.Observe(1023) // le 1023
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		_, samples := parsePromText(t, buf.String())
+		got := make(map[string]float64)
+		for _, s := range samples {
+			if s.name == "b_bucket" {
+				got[s.labels["le"]] = s.value
+			}
+		}
+		want := map[string]float64{"0": 1, "1": 2, "3": 4, "7": 5, "1023": 6, "+Inf": 6}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("cumulative buckets = %v, want %v", got, want)
+		}
+	})
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label vectors: families of counters/histograms keyed by a small fixed set
+// of label names, in the Prometheus style but with this repo's discipline
+// baked in:
+//
+//   - The label *names* are fixed at construction and the label *values*
+//     must come from small enumerable sets (const strings, or switches over
+//     known inputs) — csplint's obslabel analyzer machine-checks every call
+//     site, so series cardinality cannot explode from user input.
+//   - As defense in depth, each vector also enforces a hard runtime series
+//     cap (maxSeries): once reached, new label combinations collapse onto a
+//     single overflow series whose every label value is "_overflow", so a
+//     bug degrades one metric's resolution instead of the process's memory.
+//   - Recording checks the global enabled switch before anything else, so
+//     the disabled-mode cost is the same single atomic load as an unlabeled
+//     Counter — no map lookup, no lock.
+//
+// When enabled, a record takes one RLock'd map hit on the steady state (the
+// series exists after its first record); vectors are meant for call-boundary
+// recording (once per request, per classification, per race), never for the
+// per-node/per-row hot paths, and the obsboundary analyzer enforces that
+// lexically just as it does for the unlabeled types.
+
+// maxSeries is the per-vector series cap. Labeled metrics in this repo are
+// crossings of sets with ≤ ~10 values each; 256 series is far above any
+// legitimate crossing while still bounding a runaway call site.
+const maxSeries = 256
+
+// overflowValue replaces every label value of a series created past the cap.
+const overflowValue = "_overflow"
+
+// labelSep joins label values into a series key. 0x1f (ASCII unit
+// separator) cannot appear in the enumerable label sets the lint enforces.
+const labelSep = "\x1f"
+
+// vecCore is the shared series table of CounterVec and HistogramVec.
+type vecCore struct {
+	name   string
+	labels []string
+
+	mu     sync.RWMutex
+	series map[string][]string // key -> label values (for exposition)
+}
+
+// SeriesID renders the flat-snapshot key of one series:
+// name{l1="v1",l2="v2"} with label names in construction order. It is the
+// key format Registry.Snapshot uses for labeled metrics, shared with
+// cmd/csptop's parser.
+func SeriesID(name string, labels, values []string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// key joins values, clamping the combination onto the overflow series when
+// the vector is at capacity and the combination is new. The returned slice
+// is the (possibly replaced) value set to remember for exposition.
+func (v *vecCore) key(values []string) (string, []string, bool) {
+	k := strings.Join(values, labelSep)
+	v.mu.RLock()
+	_, ok := v.series[k]
+	n := len(v.series)
+	v.mu.RUnlock()
+	if ok {
+		return k, values, false
+	}
+	if n >= maxSeries {
+		ov := make([]string, len(v.labels))
+		for i := range ov {
+			ov[i] = overflowValue
+		}
+		return strings.Join(ov, labelSep), ov, true
+	}
+	return k, values, true
+}
+
+// sortedKeys returns the series keys in deterministic (label-value) order.
+func (v *vecCore) sortedKeys() []string {
+	keys := make([]string, 0, len(v.series))
+	for k := range v.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	vecCore
+	counters map[string]*Counter
+}
+
+// newCounterVec is Registry.CounterVec's constructor.
+func newCounterVec(name string, labels []string) *CounterVec {
+	return &CounterVec{
+		vecCore:  vecCore{name: name, labels: labels, series: make(map[string][]string)},
+		counters: make(map[string]*Counter),
+	}
+}
+
+// with returns the series counter, creating it under the write lock on
+// first use.
+func (v *CounterVec) with(values []string) *Counter {
+	k, vals, maybeNew := v.key(values)
+	if !maybeNew {
+		v.mu.RLock()
+		c := v.counters[k]
+		v.mu.RUnlock()
+		if c != nil {
+			return c
+		}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.counters[k]; ok {
+		return c
+	}
+	stored := make([]string, len(vals))
+	copy(stored, vals)
+	v.series[k] = stored
+	c := &Counter{}
+	v.counters[k] = c
+	return c
+}
+
+// Add increments the series selected by the label values. Missing values
+// render as ""; extra values are ignored beyond the label count (both are
+// call-site bugs the obslabel fixtures pin). No-op while disabled.
+func (v *CounterVec) Add(n int64, labelValues ...string) {
+	if v == nil || !enabled.Load() {
+		return
+	}
+	v.with(labelValues).v.Add(n)
+}
+
+// Inc is Add(1, labelValues...).
+func (v *CounterVec) Inc(labelValues ...string) { v.Add(1, labelValues...) }
+
+// Load returns the series value (0 when the series does not exist), readable
+// while disabled — tests and csptop deltas use it.
+func (v *CounterVec) Load(labelValues ...string) int64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	c := v.counters[strings.Join(labelValues, labelSep)]
+	return c.Load()
+}
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct {
+	vecCore
+	hists map[string]*Histogram
+}
+
+func newHistogramVec(name string, labels []string) *HistogramVec {
+	return &HistogramVec{
+		vecCore: vecCore{name: name, labels: labels, series: make(map[string][]string)},
+		hists:   make(map[string]*Histogram),
+	}
+}
+
+func (v *HistogramVec) with(values []string) *Histogram {
+	k, vals, maybeNew := v.key(values)
+	if !maybeNew {
+		v.mu.RLock()
+		h := v.hists[k]
+		v.mu.RUnlock()
+		if h != nil {
+			return h
+		}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.hists[k]; ok {
+		return h
+	}
+	stored := make([]string, len(vals))
+	copy(stored, vals)
+	v.series[k] = stored
+	h := &Histogram{}
+	v.hists[k] = h
+	return h
+}
+
+// Observe records one value into the series selected by the label values.
+// No-op while disabled.
+func (v *HistogramVec) Observe(val int64, labelValues ...string) {
+	if v == nil || !enabled.Load() {
+		return
+	}
+	h := v.with(labelValues)
+	// Inline Histogram.Observe's body via the exported method: the per-series
+	// histogram rechecks the enabled bit, which is one redundant atomic load
+	// on the (rare, per-call-boundary) enabled path and keeps the bucketing
+	// logic in exactly one place.
+	h.Observe(val)
+}
+
+// Series returns the histogram backing one series (nil when absent), for
+// tests and exposition.
+func (v *HistogramVec) Series(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.hists[strings.Join(labelValues, labelSep)]
+}
+
+// CounterVec returns the named counter vector, creating it with the given
+// label names on first use. Label names are fixed by the first caller; a
+// later caller with different names gets the original vector (same-name
+// registration is a programming error the exposition makes visible, not a
+// runtime branch).
+func (r *Registry) CounterVec(name string, labelNames ...string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = newCounterVec(name, labelNames)
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram vector, creating it with the
+// given label names on first use.
+func (r *Registry) HistogramVec(name string, labelNames ...string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histVecs[name]
+	if !ok {
+		v = newHistogramVec(name, labelNames)
+		r.histVecs[name] = v
+	}
+	return v
+}
+
+// NewCounterVec registers (or fetches) a counter vector in the default
+// registry.
+func NewCounterVec(name string, labelNames ...string) *CounterVec {
+	return defaultRegistry.CounterVec(name, labelNames...)
+}
+
+// NewHistogramVec registers (or fetches) a histogram vector in the default
+// registry.
+func NewHistogramVec(name string, labelNames ...string) *HistogramVec {
+	return defaultRegistry.HistogramVec(name, labelNames...)
+}

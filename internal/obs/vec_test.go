@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecBasics(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		v := r.CounterVec("req.total", "route", "status")
+		v.Inc("tree", "ok")
+		v.Add(2, "tree", "ok")
+		v.Inc("hard", "error")
+		if got := v.Load("tree", "ok"); got != 3 {
+			t.Fatalf(`Load("tree","ok") = %d, want 3`, got)
+		}
+		if got := v.Load("hard", "error"); got != 1 {
+			t.Fatalf(`Load("hard","error") = %d, want 1`, got)
+		}
+		if got := v.Load("absent", "series"); got != 0 {
+			t.Fatalf("absent series = %d, want 0", got)
+		}
+		if r.CounterVec("req.total", "route", "status") != v {
+			t.Fatal("CounterVec not idempotent per name")
+		}
+	})
+}
+
+func TestVecDisabledNoops(t *testing.T) {
+	SetEnabled(false)
+	r := NewRegistry()
+	v := r.CounterVec("c", "l")
+	v.Inc("x")
+	v.Add(5, "x")
+	if got := v.Load("x"); got != 0 {
+		t.Fatalf("disabled counter vec recorded %d", got)
+	}
+	if len(v.series) != 0 {
+		t.Fatalf("disabled counter vec created %d series", len(v.series))
+	}
+	h := r.HistogramVec("h", "l")
+	h.Observe(10, "x")
+	if h.Series("x") != nil {
+		t.Fatal("disabled histogram vec created a series")
+	}
+	var nilC *CounterVec
+	nilC.Inc("x") // must not panic
+	var nilH *HistogramVec
+	nilH.Observe(1, "x") // must not panic
+}
+
+func TestHistogramVecObserve(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		v := r.HistogramVec("lat.ns", "route")
+		for _, n := range []int64{1, 2, 1000} {
+			v.Observe(n, "tree")
+		}
+		v.Observe(7, "hard")
+		h := v.Series("tree")
+		if h == nil || h.Count() != 3 || h.Sum() != 1003 {
+			t.Fatalf("tree series = %+v", h)
+		}
+		if h := v.Series("hard"); h == nil || h.Count() != 1 {
+			t.Fatalf("hard series = %+v", h)
+		}
+	})
+}
+
+// TestVecCardinalityCap pins the overflow behavior: past maxSeries distinct
+// label combinations, new combinations collapse onto the _overflow series
+// instead of growing the map.
+func TestVecCardinalityCap(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		v := r.CounterVec("runaway", "id")
+		for i := 0; i < maxSeries+50; i++ {
+			v.Inc(fmt.Sprintf("id-%d", i))
+		}
+		v.mu.RLock()
+		n := len(v.series)
+		v.mu.RUnlock()
+		// maxSeries legitimate series plus the single overflow series.
+		if n != maxSeries+1 {
+			t.Fatalf("series count = %d, want %d", n, maxSeries+1)
+		}
+		if got := v.Load(overflowValue); got != 50 {
+			t.Fatalf("overflow series = %d, want 50", got)
+		}
+		// Existing series keep recording normally at the cap.
+		v.Inc("id-0")
+		if got := v.Load("id-0"); got != 2 {
+			t.Fatalf("pre-cap series after cap = %d, want 2", got)
+		}
+	})
+}
+
+func TestSnapshotIncludesLabeledSeries(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		r.CounterVec("req", "route", "status").Inc("tree", "ok")
+		r.HistogramVec("lat", "route").Observe(100, "tree")
+		snap := r.Snapshot()
+		if got, ok := snap[`req{route="tree",status="ok"}`].(int64); !ok || got != 1 {
+			t.Fatalf(`snapshot labeled counter = %v (keys %v)`, snap[`req{route="tree",status="ok"}`], keys(snap))
+		}
+		hs, ok := snap[`lat{route="tree"}`].(HistogramSnapshot)
+		if !ok || hs.Count != 1 {
+			t.Fatalf("snapshot labeled histogram = %#v", snap[`lat{route="tree"}`])
+		}
+	})
+}
+
+func keys(m map[string]any) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestVecConcurrent exercises vector recording under the race detector.
+func TestVecConcurrent(t *testing.T) {
+	withEnabled(t, func() {
+		r := NewRegistry()
+		v := r.CounterVec("c", "worker")
+		h := r.HistogramVec("h", "worker")
+		labels := []string{"a", "b", "c", "d"}
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				l := labels[w%len(labels)]
+				for i := 0; i < 1000; i++ {
+					v.Inc(l)
+					h.Observe(int64(i), l)
+				}
+			}(w)
+		}
+		wg.Wait()
+		var total int64
+		for _, l := range labels {
+			total += v.Load(l)
+		}
+		if total != 8000 {
+			t.Fatalf("counter vec total = %d, want 8000", total)
+		}
+	})
+}
+
+func TestSeriesID(t *testing.T) {
+	got := SeriesID("m", []string{"a", "b"}, []string{"x", "y"})
+	if got != `m{a="x",b="y"}` {
+		t.Fatalf("SeriesID = %q", got)
+	}
+	if got := SeriesID("m", nil, nil); got != "m{}" {
+		t.Fatalf("SeriesID no labels = %q", got)
+	}
+	// Short value slices render missing values as empty strings rather than
+	// panicking — a call-site bug stays visible in the exposition.
+	if got := SeriesID("m", []string{"a", "b"}, []string{"x"}); !strings.Contains(got, `b=""`) {
+		t.Fatalf("SeriesID short values = %q", got)
+	}
+}

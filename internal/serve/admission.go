@@ -51,6 +51,7 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	if a.queued.Load() == 0 {
 		select {
 		case a.sem <- struct{}{}:
+			obsWaitNs.Observe(0, "fast")
 			return a.release, nil
 		default:
 		}
@@ -65,7 +66,9 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 	defer func() {
 		a.queued.Add(-1)
 		obsQueueDepth.Add(-1)
-		obsQueueWait.Observe(time.Since(start).Nanoseconds())
+		wait := time.Since(start).Nanoseconds()
+		obsQueueWait.Observe(wait)
+		obsWaitNs.Observe(wait, "queued")
 	}()
 	select {
 	case a.sem <- struct{}{}:

@@ -202,3 +202,37 @@ func TestAdmissionConcurrencyBound(t *testing.T) {
 		t.Fatalf("gate not drained: inflight=%d queued=%d", a.InFlight(), a.Queued())
 	}
 }
+
+// TestAdmissionWaitVec pins the labeled wait histogram: a free-slot
+// acquisition records under outcome=fast, a queued one under outcome=queued.
+func TestAdmissionWaitVec(t *testing.T) {
+	withObs(t)
+	fastSeries := obsWaitNs.Series("fast")
+	queuedSeries := obsWaitNs.Series("queued")
+	fast0, queued0 := fastSeries.Count(), queuedSeries.Count()
+
+	a := NewAdmission(1, 1)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := obsWaitNs.Series("fast").Count() - fast0; d != 1 {
+		t.Fatalf("fast delta = %d, want 1", d)
+	}
+
+	// Second acquirer queues until the first releases.
+	done := make(chan struct{})
+	go func() {
+		r2, err := a.Acquire(context.Background())
+		if err == nil {
+			r2()
+		}
+		close(done)
+	}()
+	waitFor(t, "second acquirer to queue", func() bool { return a.Queued() == 1 })
+	release()
+	<-done
+	if d := obsWaitNs.Series("queued").Count() - queued0; d != 1 {
+		t.Fatalf("queued delta = %d, want 1", d)
+	}
+}

@@ -92,3 +92,54 @@ func BenchmarkObsOverheadJoin(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkObsOverheadVec is the labeled-metric overhead probe: one
+// CounterVec increment and one HistogramVec observation per iteration, with
+// the registry off (one atomic bool load each — the cost every solve pays
+// after PR 8) and on (series lookup under RLock plus an atomic add).
+func BenchmarkObsOverheadVec(b *testing.B) {
+	vec := obs.NewCounterVec("bench.vec.outcome", "outcome")
+	hist := obs.NewHistogramVec("bench.vec.ns", "route")
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			withObsState(b, mode.enabled, func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					vec.Inc("hit")
+					hist.Observe(int64(i), "engine")
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkObsOverheadEvents is the wide-event probe: emitting one
+// fully-populated SolveEvent per iteration with the ring inactive (one
+// atomic bool load — the library default) and active (one ring slot write
+// under the mutex). Events are per solve, so this is the whole per-request
+// cost cspd adds in PR 8.
+func BenchmarkObsOverheadEvents(b *testing.B) {
+	ring := obs.NewEventRing(4096)
+	ev := obs.SolveEvent{
+		TraceID: "req-1", Source: "cspd", Route: "hard", Strategy: "portfolio",
+		Cache: obs.CacheMiss, QueueWaitNs: 1200, WallNs: 48_000_000,
+		Nodes: 10_000, Backtracks: 4_000, Restarts: 3, Nogoods: 120,
+		Winner: "Learn", Verdict: obs.VerdictSat,
+	}
+	for _, mode := range []struct {
+		name   string
+		active bool
+	}{{"inactive", false}, {"active", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ring.SetActive(mode.active)
+			defer ring.SetActive(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ring.Emit(ev)
+			}
+		})
+	}
+}
