@@ -3,21 +3,35 @@
 //
 // Usage:
 //
-//	csplint [-analyzers ctxloop,obsboundary,...] [-dir DIR] [packages]
+//	csplint [-analyzers ctxloop,obsboundary,...] [-dir DIR] [-json] [packages]
 //
 // Packages default to ./... resolved in -dir (default: the current
-// directory). Exit status: 0 clean, 1 diagnostics found, 2 usage or load
-// failure.
+// directory). With -json, every finding — including suppressed ones — is
+// printed as one JSON object per line, with the file path relative to -dir;
+// the exit status still counts only unsuppressed findings. Exit status:
+// 0 clean, 1 diagnostics found, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"csdb/internal/analysis"
 )
+
+// finding is the -json wire format, one object per line.
+type finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -29,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	names := fs.String("analyzers", "", "comma-separated analyzer names (default: all)")
 	dir := fs.String("dir", ".", "directory to resolve package patterns in")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON finding per line (includes suppressed findings)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -48,12 +63,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "csplint:", err)
 		return 2
 	}
+	if *jsonOut {
+		return runJSON(loaded, analyzers, *dir, stdout, stderr)
+	}
 	diags := analysis.Run(loaded, analyzers)
 	for _, d := range diags {
 		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "csplint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// runJSON prints every finding (suppressed included) as one JSON object per
+// line. Paths are relativized to dir so the output is stable across checkouts.
+func runJSON(loaded *analysis.Loaded, analyzers []*analysis.Analyzer, dir string, stdout, stderr io.Writer) int {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "csplint:", err)
+		return 2
+	}
+	enc := json.NewEncoder(stdout)
+	unsuppressed := 0
+	for _, f := range analysis.RunDetailed(loaded, analyzers) {
+		file := f.Pos.Filename
+		if rel, err := filepath.Rel(absDir, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+		if err := enc.Encode(finding{
+			File:       file,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		}); err != nil {
+			fmt.Fprintln(stderr, "csplint:", err)
+			return 2
+		}
+		if !f.Suppressed {
+			unsuppressed++
+		}
+	}
+	if unsuppressed > 0 {
+		fmt.Fprintf(stderr, "csplint: %d finding(s)\n", unsuppressed)
 		return 1
 	}
 	return 0

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
 
 // TestViolationExitsNonZero pins the CI contract: csplint over a package
 // with a deliberate violation (the analysis fixtures) prints positioned
@@ -35,6 +41,63 @@ func TestCleanExitsZero(t *testing.T) {
 	}
 	if stdout.Len() != 0 {
 		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+// TestJSONGolden pins the -json wire format over the suppress fixture, which
+// mixes surviving and suppressed findings: one JSON object per line, paths
+// relative to -dir, suppressed findings included but excluded from the exit
+// decision. Regenerate with `go test -run JSON -update`.
+func TestJSONGolden(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{
+		"-dir", "../..",
+		"-json",
+		"./internal/analysis/testdata/src/suppress",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has unsuppressed findings)\nstderr: %s", code, stderr.String())
+	}
+
+	goldenPath := filepath.Join("testdata", "json.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(stdout.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("-json output mismatch\n-- got --\n%s-- want --\n%s", stdout.String(), want)
+	}
+
+	// Every line must round-trip as a finding with the full field set.
+	sawSuppressed, sawSurvivor := false, false
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not a JSON finding: %q: %v", line, err)
+		}
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding with missing fields: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("file not relativized to -dir: %s", f.File)
+		}
+		if f.Suppressed {
+			sawSuppressed = true
+		} else {
+			sawSurvivor = true
+		}
+	}
+	if !sawSuppressed || !sawSurvivor {
+		t.Errorf("fixture should yield both suppressed and surviving findings (suppressed=%v survivor=%v)", sawSuppressed, sawSurvivor)
 	}
 }
 

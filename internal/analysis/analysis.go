@@ -14,24 +14,40 @@
 //   - arenaretain: row slices handed out by the relational kernel's arena
 //     accessors must not be stored anywhere that outlives the call;
 //   - atomicmix: a struct field accessed through sync/atomic must never be
-//     read or written plainly.
+//     read or written plainly;
+//   - goleak: every go statement needs a provable termination path — the
+//     spawned function polls a cancellation signal or is joined by the
+//     spawner (WaitGroup.Wait, result-channel receive, closed jobs channel);
+//   - lockorder: named mutexes must be acquired in one global order (cycles
+//     are reported), and blocking operations must not run under a lock;
+//   - sembalance: every semaphore-token acquire (buffered chan struct{}
+//     send) must be released on all paths, by receive, defer, or handoff.
+//
+// The interprocedural analyzers share one call-graph + summary engine (see
+// callgraph.go): per-function facts computed bottom-up over the SCC
+// condensation, built once per load and cached on the Pass.
 //
 // Diagnostics can be suppressed with a directive on the flagged line or the
 // line directly above it:
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// The analyzer list may be * to match every analyzer; the reason is
-// mandatory, and a directive without one is itself reported (as analyzer
-// "lint"), so every suppression in the tree carries its justification.
+// The analyzer list may be * to match every analyzer, and may spread over
+// several comma-separated fields (`//lint:ignore goleak, lockorder reason`);
+// the reason is mandatory, and a directive without one is itself reported
+// (as analyzer "lint"). Findings of the pseudo-analyzer "lint" are driver
+// errors and can never be suppressed, so every suppression in the tree
+// carries its justification.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, positioned and attributed to its analyzer.
@@ -45,19 +61,43 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check. Run receives the whole set of target packages
-// at once so checks can build cross-package facts (atomicmix and ctxloop do).
+// Finding is a diagnostic plus its suppression state: RunDetailed reports
+// suppressed findings too (marked), so tooling (csplint -json) can surface
+// them without re-running the suite.
+type Finding struct {
+	Diagnostic
+	Suppressed bool
+}
+
+// Analyzer is one named check, split into phases so the driver can analyze
+// packages on a worker pool:
+//
+//   - Prepare (optional) runs once per load before any package check and may
+//     build cross-package facts; its result is handed back to CheckPackage
+//     and Finish.
+//   - CheckPackage checks one target package. Calls for distinct packages
+//     may run concurrently, each on its own Pass; shared facts must be
+//     read-only or internally synchronized.
+//   - Finish (optional) runs once after every CheckPackage call returned,
+//     for global reporting (lockorder's cycle detection).
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(*Pass)
+
+	Prepare      func(pass *Pass) any
+	CheckPackage func(pass *Pass, pkg *Package, facts any)
+	Finish       func(pass *Pass, facts any)
 }
 
 // Pass is the per-analyzer view of a load: the target packages, the shared
-// FileSet, and the report sink.
+// FileSet, the call-graph engine, and the report sink.
 type Pass struct {
-	Fset  *token.FileSet
-	Pkgs  []*Package
+	Fset *token.FileSet
+	Pkgs []*Package
+	// Graph is the shared call-graph + summary engine, built once per Run
+	// over the target packages.
+	Graph *CallGraph
+
 	an    *Analyzer
 	diags *[]Diagnostic
 }
@@ -73,7 +113,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{ctxloopAnalyzer, obsboundaryAnalyzer, obslabelAnalyzer, arenaretainAnalyzer, atomicmixAnalyzer}
+	return []*Analyzer{
+		ctxloopAnalyzer, obsboundaryAnalyzer, obslabelAnalyzer,
+		arenaretainAnalyzer, atomicmixAnalyzer,
+		goleakAnalyzer, lockorderAnalyzer, sembalanceAnalyzer,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list against the suite.
@@ -102,20 +146,97 @@ func ByName(names string) ([]*Analyzer, error) {
 // Malformed directives are reported under the pseudo-analyzer "lint" and are
 // not suppressible.
 func Run(loaded *Loaded, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		a.Run(&Pass{Fset: loaded.Fset, Pkgs: loaded.Targets, an: a, diags: &diags})
-	}
-	dirs, malformed := collectDirectives(loaded)
-	kept := diags[:0]
-	for _, d := range diags {
-		if !suppressed(d, dirs) {
-			kept = append(kept, d)
+	var out []Diagnostic
+	for _, f := range RunDetailed(loaded, analyzers) {
+		if !f.Suppressed {
+			out = append(out, f.Diagnostic)
 		}
 	}
-	kept = append(kept, malformed...)
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	return out
+}
+
+// RunDetailed is Run keeping the suppressed findings: every diagnostic the
+// analyzers produced, sorted by position, with matched //lint:ignore
+// directives marking (rather than dropping) their findings. Malformed
+// directives appear as unsuppressible "lint" findings.
+func RunDetailed(loaded *Loaded, analyzers []*Analyzer) []Finding {
+	graph := BuildCallGraph(loaded.Targets)
+
+	// Phase 1: per-analyzer cross-package fact building.
+	type prepared struct {
+		a     *Analyzer
+		facts any
+		diags []Diagnostic
+	}
+	preps := make([]*prepared, len(analyzers))
+	for i, a := range analyzers {
+		p := &prepared{a: a}
+		if a.Prepare != nil {
+			p.facts = a.Prepare(&Pass{Fset: loaded.Fset, Pkgs: loaded.Targets, Graph: graph, an: a, diags: &p.diags})
+		}
+		preps[i] = p
+	}
+
+	// Phase 2: (analyzer, package) units on a bounded worker pool. Each unit
+	// reports into its own slice; the final sort makes the merge order
+	// irrelevant.
+	type unit struct {
+		p     *prepared
+		pkg   *Package
+		diags []Diagnostic
+	}
+	var units []*unit
+	for _, p := range preps {
+		for _, pkg := range loaded.Targets {
+			units = append(units, &unit{p: p, pkg: pkg})
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan *unit)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				u.p.a.CheckPackage(&Pass{Fset: loaded.Fset, Pkgs: loaded.Targets, Graph: graph, an: u.p.a, diags: &u.diags}, u.pkg, u.p.facts)
+			}
+		}()
+	}
+	for _, u := range units {
+		next <- u
+	}
+	close(next)
+	wg.Wait()
+
+	// Phase 3: global reporting.
+	var diags []Diagnostic
+	for _, p := range preps {
+		if p.a.Finish != nil {
+			p.a.Finish(&Pass{Fset: loaded.Fset, Pkgs: loaded.Targets, Graph: graph, an: p.a, diags: &p.diags}, p.facts)
+		}
+		diags = append(diags, p.diags...)
+	}
+	for _, u := range units {
+		diags = append(diags, u.diags...)
+	}
+
+	dirs, malformed := collectDirectives(loaded)
+	findings := make([]Finding, 0, len(diags)+len(malformed))
+	for _, d := range diags {
+		findings = append(findings, Finding{Diagnostic: d, Suppressed: suppressed(d, dirs)})
+	}
+	for _, d := range malformed {
+		findings = append(findings, Finding{Diagnostic: d})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -132,7 +253,7 @@ func Run(loaded *Loaded, analyzers []*Analyzer) []Diagnostic {
 		// share a position (a call that trips two rules).
 		return a.Message < b.Message
 	})
-	return kept
+	return findings
 }
 
 // directive is one parsed //lint:ignore comment.
@@ -159,8 +280,8 @@ func collectDirectives(loaded *Loaded) (map[string]map[int][]directive, []Diagno
 					}
 					pos := loaded.Fset.Position(c.Pos())
 					rest := strings.TrimPrefix(c.Text, ignorePrefix)
-					fields := strings.Fields(rest)
-					if len(fields) < 2 {
+					names, reason := splitDirective(rest)
+					if len(names) == 0 || reason == "" {
 						malformed = append(malformed, Diagnostic{
 							Pos:      pos,
 							Analyzer: "lint",
@@ -171,8 +292,7 @@ func collectDirectives(loaded *Loaded) (map[string]map[int][]directive, []Diagno
 					if dirs[pos.Filename] == nil {
 						dirs[pos.Filename] = make(map[int][]directive)
 					}
-					d := directive{analyzers: strings.Split(fields[0], ",")}
-					dirs[pos.Filename][pos.Line] = append(dirs[pos.Filename][pos.Line], d)
+					dirs[pos.Filename][pos.Line] = append(dirs[pos.Filename][pos.Line], directive{analyzers: names})
 				}
 			}
 		}
@@ -180,9 +300,39 @@ func collectDirectives(loaded *Loaded) (map[string]map[int][]directive, []Diagno
 	return dirs, malformed
 }
 
+// splitDirective parses the text after //lint:ignore into the analyzer list
+// and the reason. The list is comma-separated and may contain spaces after
+// the commas ("goleak,lockorder" and "goleak, lockorder" both name two
+// analyzers); everything after it is the reason.
+func splitDirective(rest string) (names []string, reason string) {
+	fields := strings.Fields(rest)
+	i := 0
+	for i < len(fields) {
+		f := fields[i]
+		i++
+		for _, name := range strings.Split(f, ",") {
+			if name != "" {
+				names = append(names, name)
+			}
+		}
+		if strings.HasSuffix(f, ",") {
+			continue // trailing comma: the list goes on
+		}
+		if i < len(fields) && strings.HasPrefix(fields[i], ",") {
+			continue // the comma leads the next field ("goleak , lockorder")
+		}
+		break // the list is complete
+	}
+	return names, strings.Join(fields[i:], " ")
+}
+
 // suppressed reports whether a directive on the diagnostic's line, or on the
-// line above it, names the diagnostic's analyzer.
+// line above it, names the diagnostic's analyzer. "lint" findings (driver
+// errors) are never suppressible.
 func suppressed(d Diagnostic, dirs map[string]map[int][]directive) bool {
+	if d.Analyzer == "lint" {
+		return false
+	}
 	byLine := dirs[d.Pos.Filename]
 	if byLine == nil {
 		return false

@@ -26,9 +26,9 @@ import (
 // do). The kernel's defining packages are exempt for their own accessors:
 // the cache inside Relation.Tuples is the implementation, not a client.
 var arenaretainAnalyzer = &Analyzer{
-	Name: "arenaretain",
-	Doc:  "arena row views (Relation.Tuples & co.) must not be stored in state that outlives the call",
-	Run:  runArenaretain,
+	Name:         "arenaretain",
+	Doc:          "arena row views (Relation.Tuples & co.) must not be stored in state that outlives the call",
+	CheckPackage: runArenaretain,
 }
 
 // arenaAccessors maps defining package path -> receiver type -> method names
@@ -42,14 +42,12 @@ var arenaAccessors = map[string]map[string]map[string]bool{
 	},
 }
 
-func runArenaretain(pass *Pass) {
-	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if ok && fd.Body != nil {
-					checkArenaFunc(pass, pkg, fd.Body)
-				}
+func runArenaretain(pass *Pass, pkg *Package, _ any) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkArenaFunc(pass, pkg, fd.Body)
 			}
 		}
 	}

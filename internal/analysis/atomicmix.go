@@ -26,16 +26,25 @@ import (
 // reach this analyzer: their value is private to sync/atomic, which is not a
 // target package, and their API makes plain access inexpressible.
 var atomicmixAnalyzer = &Analyzer{
-	Name: "atomicmix",
-	Doc:  "struct fields accessed via sync/atomic must not also be accessed plainly",
-	Run:  runAtomicmix,
+	Name:         "atomicmix",
+	Doc:          "struct fields accessed via sync/atomic must not also be accessed plainly",
+	Prepare:      prepareAtomicmix,
+	CheckPackage: runAtomicmix,
 }
 
-func runAtomicmix(pass *Pass) {
-	// Pass 1: fields used atomically, and the selector nodes sanctioned by
-	// appearing inside the atomic calls themselves.
-	atomicFields := make(map[types.Object]bool)
-	sanctioned := make(map[*ast.SelectorExpr]bool)
+// atomicmixFacts is the cross-package pass-1 result: fields used atomically,
+// and the selector nodes sanctioned by appearing inside the atomic calls
+// themselves. Read-only during package checks.
+type atomicmixFacts struct {
+	atomicFields map[types.Object]bool
+	sanctioned   map[*ast.SelectorExpr]bool
+}
+
+func prepareAtomicmix(pass *Pass) any {
+	facts := &atomicmixFacts{
+		atomicFields: make(map[types.Object]bool),
+		sanctioned:   make(map[*ast.SelectorExpr]bool),
+	}
 	for _, pkg := range pass.Pkgs {
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
@@ -53,33 +62,35 @@ func runAtomicmix(pass *Pass) {
 						continue
 					}
 					if obj := fieldObject(pkg, sel); obj != nil {
-						atomicFields[obj] = true
-						sanctioned[sel] = true
+						facts.atomicFields[obj] = true
+						facts.sanctioned[sel] = true
 					}
 				}
 				return true
 			})
 		}
 	}
-	if len(atomicFields) == 0 {
+	return facts
+}
+
+// runAtomicmix is pass 2: every other access to an atomic field is a mix.
+func runAtomicmix(pass *Pass, pkg *Package, prep any) {
+	facts := prep.(*atomicmixFacts)
+	if len(facts.atomicFields) == 0 {
 		return
 	}
-
-	// Pass 2: every other access to those fields is a mix.
-	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok || sanctioned[sel] {
-					return true
-				}
-				obj := fieldObject(pkg, sel)
-				if obj != nil && atomicFields[obj] {
-					pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere; use atomic operations everywhere", obj.Name())
-				}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || facts.sanctioned[sel] {
 				return true
-			})
-		}
+			}
+			obj := fieldObject(pkg, sel)
+			if obj != nil && facts.atomicFields[obj] {
+				pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere; use atomic operations everywhere", obj.Name())
+			}
+			return true
+		})
 	}
 }
 

@@ -1,0 +1,579 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The call-graph + summary fixpoint engine shared by the interprocedural
+// analyzers (ctxloop, goleak, lockorder, sembalance).
+//
+// The engine collects, for every function declared in the target packages, a
+// set of direct syntactic facts — polls cancellation, performs a blocking
+// operation, acquires which named locks, releases which semaphore tokens —
+// and then closes them transitively over the static call graph: summaries
+// are computed bottom-up over the SCC condensation (Tarjan), so mutually
+// recursive functions converge in one union pass per component and every
+// analyzer reads the same cached result. The paper's thesis applied to the
+// codebase itself: compute the structural parameter (the call graph) once,
+// then let every expensive pass consult it instead of re-deriving ad-hoc
+// transitive closures (which is what ctxloop's checker fixpoint used to be).
+//
+// Facts deliberately skip function literals: a literal's body runs on its
+// own schedule (often on another goroutine), so its effects are not the
+// enclosing function's effects. Analyzers that care about literal bodies
+// (goleak at spawn sites) analyze them directly with DirectFacts.
+
+// Summary is the transitive bottom-up summary of one function: the union of
+// its own direct facts and the summaries of everything it can call.
+type Summary struct {
+	// PollsCtx: the function evaluates ctx.Err()/ctx.Done() on a
+	// context.Context, itself or through a callee (ctxloop's checker set).
+	PollsCtx bool
+	// Blocking is "" when no (transitive) blocking operation was found, and
+	// otherwise a short human-readable reason: a channel operation, a
+	// no-default select, sync.WaitGroup.Wait, a net/http call, an admission
+	// semaphore acquire, or an engine Solve* entry point.
+	Blocking string
+	// Acquires maps each named lock (a sync.Mutex/RWMutex struct field or
+	// package-level variable) the function may lock, transitively, to one
+	// witnessing acquisition position.
+	Acquires map[types.Object]token.Pos
+	// Releases holds the semaphore-token channel fields (chan struct{}
+	// buffered-token discipline, see sembalance) the function may receive
+	// from, transitively.
+	Releases map[types.Object]bool
+
+	// Direct-only facts (no propagation; the binding between caller
+	// arguments and callee parameters is not tracked through chains):
+
+	// RecvParams holds indices of channel-typed parameters the body receives
+	// from or ranges over (the quit/jobs-channel termination protocols).
+	RecvParams map[int]bool
+	// SendParams holds indices of channel-typed parameters the body sends on
+	// or closes (the result-channel half of a join protocol).
+	SendParams map[int]bool
+	// DoneParams holds indices of *sync.WaitGroup parameters the body calls
+	// Done on.
+	DoneParams map[int]bool
+	// DoneObjs holds non-parameter sync.WaitGroup objects (struct fields,
+	// package variables) the function calls Done on, transitively.
+	DoneObjs map[types.Object]bool
+}
+
+// CallGraph is the static call graph over every function declared in the
+// target packages, with per-function transitive summaries and the SCC
+// condensation they were computed on.
+type CallGraph struct {
+	nodes map[*types.Func]*cgNode
+	// SCCs lists the strongly connected components in bottom-up (callee
+	// before caller) order, each component sorted by source position.
+	SCCs [][]*types.Func
+	// lockNames maps each known lock object to its display name
+	// (pkg.Type.field or pkg.var).
+	lockNames map[types.Object]string
+}
+
+type cgNode struct {
+	fn      *types.Func
+	pkg     *Package
+	decl    *ast.FuncDecl
+	order   int // collection order, for deterministic iteration
+	callees []*types.Func
+	direct  *Summary
+	summary *Summary
+	// Tarjan state.
+	index, lowlink int
+	onStack        bool
+}
+
+// Summary returns fn's transitive summary, or nil when fn is not a function
+// declared in the target packages (interface methods, stdlib callees,
+// function values).
+func (g *CallGraph) Summary(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	if n, ok := g.nodes[fn]; ok {
+		return n.summary
+	}
+	return nil
+}
+
+// PollsCtx reports whether calling fn implies a cancellation poll.
+func (g *CallGraph) PollsCtx(fn *types.Func) bool {
+	s := g.Summary(fn)
+	return s != nil && s.PollsCtx
+}
+
+// SCCOf returns the strongly connected component containing fn (including fn
+// itself), or nil when fn is not in the graph.
+func (g *CallGraph) SCCOf(fn *types.Func) []*types.Func {
+	if g.nodes[fn] == nil {
+		return nil
+	}
+	for _, scc := range g.SCCs {
+		for _, m := range scc {
+			if m == fn {
+				return scc
+			}
+		}
+	}
+	return nil
+}
+
+// LockName returns the display name recorded for a lock object, falling back
+// to the bare object name.
+func (g *CallGraph) LockName(obj types.Object) string {
+	if n, ok := g.lockNames[obj]; ok {
+		return n
+	}
+	return obj.Name()
+}
+
+// BuildCallGraph collects every declared function in pkgs, extracts direct
+// facts, and computes transitive summaries bottom-up over the SCC
+// condensation.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*cgNode), lockNames: make(map[types.Object]string)}
+	var order []*cgNode
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &cgNode{fn: fn, pkg: pkg, decl: fd, order: len(order), index: -1}
+				g.nodes[fn] = n
+				order = append(order, n)
+			}
+		}
+	}
+	for _, n := range order {
+		n.direct = g.directFacts(n.pkg, n.decl)
+		for _, callee := range directCallees(n.pkg, n.decl.Body) {
+			if g.nodes[callee] != nil {
+				n.callees = append(n.callees, callee)
+			}
+		}
+	}
+	g.condense(order)
+	g.propagate()
+	return g
+}
+
+// directCallees returns the static callees of body in source order, skipping
+// function literals.
+func directCallees(pkg *Package, body *ast.BlockStmt) []*types.Func {
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pkg, call); fn != nil && !seen[fn] {
+				seen[fn] = true
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// condense runs Tarjan's algorithm over the nodes, emitting SCCs in
+// bottom-up (callee-first) order.
+func (g *CallGraph) condense(order []*cgNode) {
+	var (
+		stack []*cgNode
+		next  int
+	)
+	var strongconnect func(n *cgNode)
+	strongconnect = func(n *cgNode) {
+		n.index, n.lowlink = next, next
+		next++
+		stack = append(stack, n)
+		n.onStack = true
+		for _, callee := range n.callees {
+			m := g.nodes[callee]
+			if m.index < 0 {
+				strongconnect(m)
+				if m.lowlink < n.lowlink {
+					n.lowlink = m.lowlink
+				}
+			} else if m.onStack && m.index < n.lowlink {
+				n.lowlink = m.index
+			}
+		}
+		if n.lowlink == n.index {
+			var scc []*types.Func
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				m.onStack = false
+				scc = append(scc, m.fn)
+				if m == n {
+					break
+				}
+			}
+			sort.Slice(scc, func(i, j int) bool { return g.nodes[scc[i]].order < g.nodes[scc[j]].order })
+			g.SCCs = append(g.SCCs, scc)
+		}
+	}
+	for _, n := range order {
+		if n.index < 0 {
+			strongconnect(n)
+		}
+	}
+}
+
+// propagate computes transitive summaries in SCC emission order: every
+// callee's component is complete before its callers', so one union pass per
+// component reaches the fixpoint.
+func (g *CallGraph) propagate() {
+	for _, scc := range g.SCCs {
+		sum := &Summary{
+			Acquires: make(map[types.Object]token.Pos),
+			Releases: make(map[types.Object]bool),
+			DoneObjs: make(map[types.Object]bool),
+		}
+		inSCC := make(map[*types.Func]bool, len(scc))
+		for _, fn := range scc {
+			inSCC[fn] = true
+		}
+		// Union the members' direct facts, then the summaries of callees
+		// outside the component (those are final).
+		for _, fn := range scc {
+			n := g.nodes[fn]
+			mergeSummary(sum, n.direct, "")
+		}
+		for _, fn := range scc {
+			for _, callee := range g.nodes[fn].callees {
+				if inSCC[callee] {
+					continue
+				}
+				mergeSummary(sum, g.nodes[callee].summary, callee.Name())
+			}
+		}
+		for _, fn := range scc {
+			m := g.nodes[fn]
+			// Direct-only facts stay per function.
+			s := *sum
+			s.RecvParams = m.direct.RecvParams
+			s.SendParams = m.direct.SendParams
+			s.DoneParams = m.direct.DoneParams
+			m.summary = &s
+		}
+	}
+}
+
+// mergeSummary folds src into dst. via, when non-empty, names the callee the
+// facts arrived through (used to annotate the blocking reason).
+func mergeSummary(dst, src *Summary, via string) {
+	if src == nil {
+		return
+	}
+	dst.PollsCtx = dst.PollsCtx || src.PollsCtx
+	if dst.Blocking == "" && src.Blocking != "" {
+		if via == "" {
+			dst.Blocking = src.Blocking
+		} else {
+			dst.Blocking = via + ": " + src.Blocking
+		}
+	}
+	for obj, pos := range src.Acquires {
+		if _, ok := dst.Acquires[obj]; !ok {
+			dst.Acquires[obj] = pos
+		}
+	}
+	for obj := range src.Releases {
+		dst.Releases[obj] = true
+	}
+	for obj := range src.DoneObjs {
+		dst.DoneObjs[obj] = true
+	}
+}
+
+// enginePkgs are the module packages whose Solve*/Portfolio entry points are
+// long-running by design: calling one while holding a lock serializes the
+// engine behind the lock.
+var enginePkgs = map[string]bool{
+	"csdb/internal/csp":      true,
+	"csdb/internal/dispatch": true,
+}
+
+// blockingNetPkgs are standard-library packages whose calls can block on the
+// network. net/url and friends are pure and deliberately absent.
+var blockingNetPkgs = map[string]bool{
+	"net":      true,
+	"net/http": true,
+	"net/rpc":  true,
+}
+
+// DirectFacts extracts the direct (non-transitive) facts of one function
+// body — also used by goleak on spawned function literals. sig may be nil
+// when parameter-index facts are not wanted.
+func (g *CallGraph) DirectFacts(pkg *Package, sig *types.Signature, body *ast.BlockStmt) *Summary {
+	return g.directFactsBody(pkg, sig, body)
+}
+
+func (g *CallGraph) directFacts(pkg *Package, fd *ast.FuncDecl) *Summary {
+	sig, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	var s *types.Signature
+	if sig != nil {
+		s, _ = sig.Type().(*types.Signature)
+	}
+	return g.directFactsBody(pkg, s, fd.Body)
+}
+
+func (g *CallGraph) directFactsBody(pkg *Package, sig *types.Signature, body *ast.BlockStmt) *Summary {
+	sum := &Summary{
+		Acquires:   make(map[types.Object]token.Pos),
+		Releases:   make(map[types.Object]bool),
+		RecvParams: make(map[int]bool),
+		SendParams: make(map[int]bool),
+		DoneParams: make(map[int]bool),
+		DoneObjs:   make(map[types.Object]bool),
+	}
+	paramIndex := make(map[types.Object]int)
+	if sig != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			paramIndex[sig.Params().At(i)] = i
+		}
+	}
+	setBlocking := func(reason string) {
+		if sum.Blocking == "" {
+			sum.Blocking = reason
+		}
+	}
+	noteRecv := func(e ast.Expr) {
+		if obj := chanOperandObj(pkg, e); obj != nil {
+			if i, ok := paramIndex[obj]; ok {
+				sum.RecvParams[i] = true
+			}
+			if isTokenChanField(pkg, obj) {
+				sum.Releases[obj] = true
+			}
+		}
+	}
+	noteSend := func(e ast.Expr) {
+		if obj := chanOperandObj(pkg, e); obj != nil {
+			if i, ok := paramIndex[obj]; ok {
+				sum.SendParams[i] = true
+			}
+		}
+	}
+	var walk func(root ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, c := range n.Body.List {
+					if c.(*ast.CommClause).Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					setBlocking("select with no default case")
+				}
+				// Communication attempts inside a select are not plain
+				// blocking operations; still record their channel facts.
+				for _, clause := range n.Body.List {
+					c := clause.(*ast.CommClause)
+					if c.Comm != nil {
+						switch comm := c.Comm.(type) {
+						case *ast.SendStmt:
+							noteSend(comm.Chan)
+						default:
+							ast.Inspect(comm, func(m ast.Node) bool {
+								if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+									noteRecv(u.X)
+								}
+								return true
+							})
+						}
+					}
+					for _, s := range c.Body {
+						walk(s)
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				setBlocking("channel send")
+				noteSend(n.Chan)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					setBlocking("channel receive")
+					noteRecv(n.X)
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pkg.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						setBlocking("range over channel")
+						noteRecv(n.X)
+					}
+				}
+			case *ast.CallExpr:
+				g.callFacts(pkg, n, sum, paramIndex, setBlocking, noteSend)
+			}
+			return true
+		})
+	}
+	walk(body)
+	return sum
+}
+
+// callFacts classifies one call expression: context polls, lock
+// acquisitions, WaitGroup operations, close() of a channel parameter, and
+// the known blocking entry points.
+func (g *CallGraph) callFacts(pkg *Package, call *ast.CallExpr, sum *Summary,
+	paramIndex map[types.Object]int, setBlocking func(string), noteSend func(ast.Expr)) {
+	if isDirectCtxCheck(pkg, call) {
+		sum.PollsCtx = true
+		return
+	}
+	// close(ch) participates in the join protocol like a send would.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(call.Args) == 1 {
+			noteSend(call.Args[0])
+			return
+		}
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "sync":
+		recv := recvTypeName(fn)
+		switch {
+		case (recv == "Mutex" || recv == "RWMutex") && (fn.Name() == "Lock" || fn.Name() == "RLock"):
+			if obj, name := lockTarget(pkg, call); obj != nil {
+				if _, ok := sum.Acquires[obj]; !ok {
+					sum.Acquires[obj] = call.Pos()
+				}
+				g.lockNames[obj] = name
+			}
+		case recv == "WaitGroup" && fn.Name() == "Wait":
+			setBlocking("sync.WaitGroup.Wait")
+		case recv == "WaitGroup" && fn.Name() == "Done":
+			if obj := waitGroupTarget(pkg, call); obj != nil {
+				if i, ok := paramIndex[obj]; ok {
+					sum.DoneParams[i] = true
+				} else {
+					sum.DoneObjs[obj] = true
+				}
+			}
+		}
+	case "csdb/internal/serve":
+		if recvTypeName(fn) == "Admission" && fn.Name() == "Acquire" {
+			setBlocking("admission semaphore acquire")
+		}
+	default:
+		if blockingNetPkgs[fn.Pkg().Path()] {
+			setBlocking(fn.Pkg().Path() + " call")
+		} else if enginePkgs[fn.Pkg().Path()] && (strings.HasPrefix(fn.Name(), "Solve") || fn.Name() == "Portfolio") {
+			setBlocking("engine entry point " + fn.Pkg().Name() + "." + fn.Name())
+		}
+	}
+}
+
+// recvTypeName returns the name of fn's receiver's named type, or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	named := namedRecv(sig.Recv().Type())
+	if named == nil {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// lockTarget resolves the lock behind x.mu.Lock() (or mu.Lock() on a
+// package-level mutex) to a stable object identity and a display name.
+// Function-local mutexes have no cross-function identity and return nil.
+func lockTarget(pkg *Package, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			obj := s.Obj()
+			owner := ""
+			if named := namedRecv(s.Recv()); named != nil {
+				owner = named.Obj().Name() + "."
+			}
+			return obj, pkg.Types.Name() + "." + owner + obj.Name()
+		}
+		if obj, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && isPackageLevel(obj) {
+			return obj, obj.Pkg().Name() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[x].(*types.Var); ok && isPackageLevel(obj) {
+			return obj, obj.Pkg().Name() + "." + obj.Name()
+		}
+	}
+	return nil, ""
+}
+
+// waitGroupTarget resolves wg.Done()'s receiver to an object identity
+// (parameter, local, field or package variable).
+func waitGroupTarget(pkg *Package, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return chanOperandObj(pkg, sel.X)
+}
+
+// chanOperandObj resolves a channel (or WaitGroup) operand expression to its
+// object: a plain identifier, a dereference, or a struct-field selector.
+func chanOperandObj(pkg *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[e]
+	case *ast.StarExpr:
+		return chanOperandObj(pkg, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return chanOperandObj(pkg, e.X)
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isTokenChanField reports whether obj is a chan struct{} struct field —
+// the shape sembalance's token discipline applies to. Whether the field is
+// actually used as a buffered token store is decided by the sembalance
+// analyzer (it looks for a make with a capacity); the summary layer records
+// every receive from such a field as a potential release.
+func isTokenChanField(pkg *Package, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return false
+	}
+	ch, ok := v.Type().Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// cgFixture returns the callgraph fixture package and its graph (built over
+// all fixture targets, as Run does).
+func cgFixture(t *testing.T) (*Package, *CallGraph) {
+	t.Helper()
+	loaded := loadTestdata(t)
+	for _, pkg := range loaded.Targets {
+		if strings.HasSuffix(pkg.Path, "testdata/src/callgraph") {
+			return pkg, BuildCallGraph(loaded.Targets)
+		}
+	}
+	t.Fatal("callgraph fixture package not loaded")
+	return nil, nil
+}
+
+// lookupFn resolves a package-level function or method by "name" or
+// "Type.name".
+func lookupFn(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	scope := pkg.Types.Scope()
+	if recv, method, ok := strings.Cut(name, "."); ok {
+		obj := scope.Lookup(recv)
+		if obj == nil {
+			t.Fatalf("type %s not found in %s", recv, pkg.Path)
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			t.Fatalf("%s is not a named type", recv)
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == method {
+				return named.Method(i)
+			}
+		}
+		t.Fatalf("method %s not found on %s", method, recv)
+	}
+	fn, ok := scope.Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("function %s not found in %s", name, pkg.Path)
+	}
+	return fn
+}
+
+// TestCallGraphSCC pins the condensation on the mutually recursive fixtures:
+// even/odd share a component, the chain does not, and components come out in
+// bottom-up (callee-first) order.
+func TestCallGraphSCC(t *testing.T) {
+	pkg, g := cgFixture(t)
+	even, odd := lookupFn(t, pkg, "even"), lookupFn(t, pkg, "odd")
+	scc := g.SCCOf(even)
+	if len(scc) != 2 {
+		t.Fatalf("SCC of even has %d members, want 2 (even+odd): %v", len(scc), scc)
+	}
+	found := map[*types.Func]bool{scc[0]: true, scc[1]: true}
+	if !found[even] || !found[odd] {
+		t.Errorf("SCC of even = %v, want {even, odd}", scc)
+	}
+
+	chainA, chainC := lookupFn(t, pkg, "chainA"), lookupFn(t, pkg, "chainC")
+	if scc := g.SCCOf(chainA); len(scc) != 1 {
+		t.Errorf("SCC of chainA has %d members, want 1 (no recursion)", len(scc))
+	}
+	// Bottom-up emission: chainC's (callee) component precedes chainA's.
+	posOf := func(fn *types.Func) int {
+		for i, scc := range g.SCCs {
+			for _, m := range scc {
+				if m == fn {
+					return i
+				}
+			}
+		}
+		t.Fatalf("%v not in any SCC", fn)
+		return -1
+	}
+	if posOf(chainC) >= posOf(chainA) {
+		t.Errorf("SCC order: chainC at %d not before chainA at %d (want callee-first)", posOf(chainC), posOf(chainA))
+	}
+}
+
+// TestCallGraphFixpoint pins the summary propagation: facts reach every
+// member of a recursive component and every transitive caller, and stop
+// where they should.
+func TestCallGraphFixpoint(t *testing.T) {
+	pkg, g := cgFixture(t)
+
+	// PollsCtx converges over the even/odd cycle although only odd polls.
+	for _, name := range []string{"even", "odd"} {
+		if !g.PollsCtx(lookupFn(t, pkg, name)) {
+			t.Errorf("%s: PollsCtx = false, want true (fixpoint over the mutual recursion)", name)
+		}
+	}
+
+	// Blocking propagates up the chain with the via-annotation.
+	for name, want := range map[string]string{
+		"chainC": "channel receive",
+		"chainB": "chainC: channel receive",
+		"chainA": "chainB: chainC: channel receive",
+	} {
+		sum := g.Summary(lookupFn(t, pkg, name))
+		if sum == nil || sum.Blocking != want {
+			t.Errorf("%s: Blocking = %v, want %q", name, sum, want)
+		}
+	}
+
+	// Lock acquisition reaches the lock-free half of the recursion.
+	ping := lookupFn(t, pkg, "counter.pingLock")
+	pong := lookupFn(t, pkg, "counter.pongLock")
+	for _, fn := range []*types.Func{ping, pong} {
+		sum := g.Summary(fn)
+		if sum == nil || len(sum.Acquires) != 1 {
+			t.Fatalf("%s: Acquires = %v, want exactly the counter.mu lock", fn.Name(), sum)
+		}
+		for obj := range sum.Acquires {
+			if got := g.LockName(obj); got != "callgraphtest.counter.mu" {
+				t.Errorf("%s: lock name %q, want callgraphtest.counter.mu", fn.Name(), got)
+			}
+		}
+	}
+
+	// leaf stays clean: no facts leak sideways.
+	sum := g.Summary(lookupFn(t, pkg, "leaf"))
+	if sum == nil || sum.PollsCtx || sum.Blocking != "" || len(sum.Acquires) != 0 {
+		t.Errorf("leaf: summary %+v, want empty", sum)
+	}
+
+	// Functions outside the targets have no summary.
+	if g.Summary(nil) != nil {
+		t.Error("Summary(nil) != nil")
+	}
+}

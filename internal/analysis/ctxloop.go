@@ -20,7 +20,8 @@ import (
 //   - ctx.Err() or ctx.Done() on a context.Context value;
 //   - a call to a function that itself (transitively) performs such a check —
 //     so the engine's amortized cancelChecker.cancelled() helper and the
-//     context-aware solver entry points count;
+//     context-aware solver entry points count; the transitive set comes from
+//     the shared call-graph engine's PollsCtx summaries;
 //   - a select statement with a <-ctx.Done() case.
 //
 // One amortization idiom is recognized: `if counter%interval == 0 { ...check
@@ -30,20 +31,17 @@ import (
 // not count — that is exactly the bug class (a branch that stops polling)
 // this analyzer exists to catch.
 var ctxloopAnalyzer = &Analyzer{
-	Name: "ctxloop",
-	Doc:  "unbounded loops in context-taking functions must poll cancellation on every iteration",
-	Run:  runCtxloop,
+	Name:         "ctxloop",
+	Doc:          "unbounded loops in context-taking functions must poll cancellation on every iteration",
+	CheckPackage: runCtxloop,
 }
 
-func runCtxloop(pass *Pass) {
-	checkers := cancellationCheckers(pass)
-	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if ok && fd.Body != nil && hasCtxParam(pkg, fd) {
-					checkCtxFunc(pass, pkg, fd.Body, checkers)
-				}
+func runCtxloop(pass *Pass, pkg *Package, _ any) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && hasCtxParam(pkg, fd) {
+				checkCtxFunc(pass, pkg, fd.Body)
 			}
 		}
 	}
@@ -75,13 +73,13 @@ func isContextType(t types.Type) bool {
 // checkCtxFunc inspects a function body (including nested function literals,
 // which capture the context) for unbounded loops that fail the per-iteration
 // check guarantee.
-func checkCtxFunc(pass *Pass, pkg *Package, body *ast.BlockStmt, checkers map[*types.Func]bool) {
+func checkCtxFunc(pass *Pass, pkg *Package, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		loop, ok := n.(*ast.ForStmt)
 		if !ok || !isUnboundedLoop(loop) {
 			return true
 		}
-		g := &guarantee{pkg: pkg, checkers: checkers}
+		g := &guarantee{pkg: pkg, graph: pass.Graph}
 		if !g.block(loop.Body) && !g.hasCheck(loop.Cond) {
 			pass.Reportf(loop.For, "unbounded loop does not poll cancellation on every iteration (call ctx.Err()/ctx.Done() or a checking helper)")
 		}
@@ -93,57 +91,6 @@ func checkCtxFunc(pass *Pass, pkg *Package, body *ast.BlockStmt, checkers map[*t
 // `for {}` and condition-only loops (worklist fixpoints).
 func isUnboundedLoop(loop *ast.ForStmt) bool {
 	return loop.Cond == nil || (loop.Init == nil && loop.Post == nil)
-}
-
-// cancellationCheckers computes, over all target packages, the set of
-// functions whose call implies a context poll: functions that directly call
-// Err/Done on a context.Context, closed transitively over direct calls.
-func cancellationCheckers(pass *Pass) map[*types.Func]bool {
-	type funcBody struct {
-		pkg  *Package
-		body *ast.BlockStmt
-	}
-	bodies := make(map[*types.Func]funcBody)
-	for _, pkg := range pass.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					bodies[obj] = funcBody{pkg, fd.Body}
-				}
-			}
-		}
-	}
-	checkers := make(map[*types.Func]bool)
-	for changed := true; changed; {
-		changed = false
-		for fn, fb := range bodies {
-			if checkers[fn] {
-				continue
-			}
-			found := false
-			inspectSkippingFuncLits(fb.body, func(n ast.Node) bool {
-				if found {
-					return false
-				}
-				if call, ok := n.(*ast.CallExpr); ok {
-					if isDirectCtxCheck(fb.pkg, call) || checkers[calleeFunc(fb.pkg, call)] {
-						found = true
-						return false
-					}
-				}
-				return true
-			})
-			if found {
-				checkers[fn] = true
-				changed = true
-			}
-		}
-	}
-	return checkers
 }
 
 // isDirectCtxCheck matches ctx.Err() / ctx.Done() where ctx has type
@@ -173,10 +120,11 @@ func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
 
 // guarantee implements the per-iteration must-check analysis: does every
 // path through one execution of a statement list evaluate a cancellation
-// check?
+// check? Transitive checking helpers are resolved through the call-graph
+// engine's PollsCtx summaries.
 type guarantee struct {
-	pkg      *Package
-	checkers map[*types.Func]bool
+	pkg   *Package
+	graph *CallGraph
 }
 
 // block reports whether the statement list guarantees a check.
@@ -282,7 +230,7 @@ func (g *guarantee) hasCheckStmt(s ast.Stmt) bool {
 			return false
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if isDirectCtxCheck(g.pkg, call) || g.checkers[calleeFunc(g.pkg, call)] {
+			if isDirectCtxCheck(g.pkg, call) || g.graph.PollsCtx(calleeFunc(g.pkg, call)) {
 				found = true
 				return false
 			}

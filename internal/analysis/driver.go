@@ -13,16 +13,28 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 )
 
 // The loader: a stdlib-only replacement for golang.org/x/tools/go/packages.
 // `go list -json -deps` enumerates the requested packages and their full
 // dependency closure (standard library included); every package is then
-// parsed and type-checked from source in dependency order, with imports
-// resolved against the already-checked set. This matches the repo's
-// zero-dependency rule — go/ast, go/parser, go/token and go/types carry the
-// whole load — at the cost of type-checking the standard library from
-// source, which go/types is explicitly specified to support.
+// parsed and type-checked from source, with imports resolved against the
+// already-checked set. This matches the repo's zero-dependency rule — go/ast,
+// go/parser, go/token and go/types carry the whole load — at the cost of
+// type-checking the standard library from source, which go/types is
+// explicitly specified to support.
+//
+// Two things keep the load fast:
+//
+//   - dependency-only packages are checked with IgnoreFuncBodies and no
+//     types.Info: analyzers only walk target packages, so the standard
+//     library contributes declarations and nothing else — skipping its
+//     function bodies is the bulk of the win;
+//   - packages are scheduled over the import DAG on a worker pool
+//     (GOMAXPROCS wide): a package starts as soon as its imports are done,
+//     so independent subtrees check concurrently. token.FileSet and
+//     completed *types.Package values are safe for this sharing.
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
@@ -32,6 +44,7 @@ type listPkg struct {
 	GoFiles    []string
 	Standard   bool
 	DepOnly    bool
+	Imports    []string
 	// ImportMap translates source-level import paths to resolved ones
 	// (the standard library vendors golang.org/x/... under vendor/).
 	ImportMap map[string]string
@@ -46,7 +59,9 @@ type Package struct {
 	Target   bool // named by the Load patterns (vs pulled in as a dependency)
 	Files    []*ast.File
 	Types    *types.Package
-	Info     *types.Info
+	// Info is populated for target packages only; dependencies are checked
+	// with IgnoreFuncBodies and carry no expression-level information.
+	Info *types.Info
 }
 
 // Loaded is the result of a Load call: the shared FileSet and every package
@@ -71,15 +86,7 @@ func Load(dir string, patterns ...string) (*Loaded, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &loader{
-		fset:    token.NewFileSet(),
-		list:    entries,
-		pkgs:    make(map[string]*Package, len(entries)),
-		sizes:   types.SizesFor("gc", runtime.GOARCH),
-		pending: make(map[string]bool),
-	}
-	out := &Loaded{Fset: l.fset, All: l.pkgs}
-	// Check targets (each pulls in its deps recursively).
+	delete(entries, "unsafe") // resolved to types.Unsafe, never checked
 	var targets []string
 	for path, e := range entries {
 		if !e.DepOnly {
@@ -90,11 +97,19 @@ func Load(dir string, patterns ...string) (*Loaded, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("analysis: patterns %v matched no packages", patterns)
 	}
+
+	l := &loader{
+		fset:  token.NewFileSet(),
+		list:  entries,
+		pkgs:  make(map[string]*Package, len(entries)),
+		sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	if err := l.loadAll(); err != nil {
+		return nil, err
+	}
+	out := &Loaded{Fset: l.fset, All: l.pkgs}
 	for _, path := range targets {
-		p, err := l.check(path)
-		if err != nil {
-			return nil, err
-		}
+		p := l.pkgs[path]
 		p.Target = true
 		out.Targets = append(out.Targets, p)
 	}
@@ -141,53 +156,156 @@ func goList(dir string, patterns []string) (map[string]*listPkg, error) {
 	return entries, nil
 }
 
-// loader type-checks packages recursively, memoizing by resolved import path.
+// loader type-checks the whole closure over the import DAG.
 type loader struct {
-	fset    *token.FileSet
-	list    map[string]*listPkg
-	pkgs    map[string]*Package
-	sizes   types.Sizes
-	pending map[string]bool // import-cycle guard
+	fset  *token.FileSet
+	list  map[string]*listPkg
+	sizes types.Sizes
+
+	mu        sync.Mutex
+	pkgs      map[string]*Package
+	err       error
+	closed    bool                // l.ready closed (schedule abandoned or drained)
+	waiting   map[string]int      // per package, number of unchecked imports
+	dependers map[string][]string // reverse import edges
+	ready     chan string
+	scheduled int
+	completed int
 }
 
-// check parses and type-checks the package at the resolved path, checking
-// its imports first.
-func (l *loader) check(path string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
-		return p, nil
+// loadAll schedules every listed package over the import DAG: a package is
+// enqueued once all of its imports are checked, and GOMAXPROCS workers drain
+// the queue. A stalled schedule (nothing running, packages still waiting)
+// means go list handed us an import cycle.
+func (l *loader) loadAll() error {
+	l.waiting = make(map[string]int, len(l.list))
+	l.dependers = make(map[string][]string, len(l.list))
+	l.ready = make(chan string, len(l.list))
+	for path, e := range l.list {
+		seen := make(map[string]bool)
+		for _, imp := range e.Imports {
+			if mapped, ok := e.ImportMap[imp]; ok {
+				imp = mapped
+			}
+			if imp == path || seen[imp] {
+				continue
+			}
+			if _, listed := l.list[imp]; !listed {
+				continue // unsafe, or outside the closure
+			}
+			seen[imp] = true
+			l.waiting[path]++
+			l.dependers[imp] = append(l.dependers[imp], path)
+		}
 	}
-	if l.pending[path] {
-		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	var roots []string
+	for path := range l.list {
+		if l.waiting[path] == 0 {
+			roots = append(roots, path)
+		}
 	}
-	e, ok := l.list[path]
-	if !ok {
-		return nil, fmt.Errorf("analysis: package %s not in go list output", path)
+	sort.Strings(roots)
+	l.scheduled = len(roots)
+	for _, path := range roots {
+		l.ready <- path
 	}
-	l.pending[path] = true
-	defer delete(l.pending, path)
+	if l.scheduled == 0 {
+		return fmt.Errorf("analysis: import cycle: no dependency-free package in the closure")
+	}
 
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(l.list) {
+		workers = len(l.list)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range l.ready {
+				p, err := l.check(path)
+				l.finish(path, p, err)
+			}
+		}()
+	}
+	wg.Wait()
+	return l.err
+}
+
+// finish records one checked package and unblocks its dependers. The last
+// completion closes the queue; a schedule that drains with packages still
+// waiting is an import cycle.
+func (l *loader) finish(path string, p *Package, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.completed++
+	if err != nil && l.err == nil {
+		l.err = err
+	}
+	if err == nil && l.err == nil {
+		l.pkgs[path] = p
+		for _, d := range l.dependers[path] {
+			l.waiting[d]--
+			if l.waiting[d] == 0 {
+				l.scheduled++
+				// ready is buffered to len(l.list) and every package is
+				// enqueued at most once, so this send cannot block; the
+				// mutex is what orders it before the close below.
+				//lint:ignore lockorder bounded send: buffer holds the whole closure, and the lock serializes enqueue against close
+				l.ready <- d
+			}
+		}
+	}
+	if !l.closed && (l.err != nil || l.completed == l.scheduled) {
+		if l.err == nil && l.scheduled < len(l.list) {
+			var stuck []string
+			for p, n := range l.waiting {
+				if n > 0 {
+					stuck = append(stuck, p)
+				}
+			}
+			sort.Strings(stuck)
+			l.err = fmt.Errorf("analysis: import cycle through %s", stuck[0])
+		}
+		l.closed = true
+		close(l.ready)
+	}
+}
+
+// check parses and type-checks one package; every import is already in
+// l.pkgs. Dependency-only packages skip function bodies, comments and
+// expression-level type information — analyzers never walk them.
+func (l *loader) check(path string) (*Package, error) {
+	e := l.list[path]
+	mode := parser.SkipObjectResolution
+	if !e.DepOnly {
+		mode |= parser.ParseComments
+	}
 	files := make([]*ast.File, 0, len(e.GoFiles))
 	for _, name := range e.GoFiles {
-		f, err := parser.ParseFile(l.fset, filepath.Join(e.Dir, name), nil,
-			parser.ParseComments|parser.SkipObjectResolution)
+		f, err := parser.ParseFile(l.fset, filepath.Join(e.Dir, name), nil, mode)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
 		}
 		files = append(files, f)
 	}
 
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Implicits:  make(map[ast.Node]types.Object),
+	var info *types.Info
+	if !e.DepOnly {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
 	}
 	var typeErrs []error
 	conf := types.Config{
-		Importer: &pkgImporter{l: l, from: e},
-		Sizes:    l.sizes,
-		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		Importer:         &pkgImporter{l: l, from: e},
+		Sizes:            l.sizes,
+		IgnoreFuncBodies: e.DepOnly,
+		Error:            func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if len(typeErrs) > 0 {
@@ -196,20 +314,20 @@ func (l *loader) check(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
-	p := &Package{
+	return &Package{
 		Path:     path,
 		Dir:      e.Dir,
 		Standard: e.Standard,
 		Files:    files,
 		Types:    tpkg,
 		Info:     info,
-	}
-	l.pkgs[path] = p
-	return p, nil
+	}, nil
 }
 
 // pkgImporter resolves one package's imports against the loader, applying
-// the package's ImportMap (vendored standard-library dependencies).
+// the package's ImportMap (vendored standard-library dependencies). The DAG
+// schedule guarantees every import is checked before the package that names
+// it starts.
 type pkgImporter struct {
 	l    *loader
 	from *listPkg
@@ -226,9 +344,11 @@ func (im *pkgImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Pa
 	if mapped, ok := im.from.ImportMap[path]; ok {
 		path = mapped
 	}
-	p, err := im.l.check(path)
-	if err != nil {
-		return nil, err
+	im.l.mu.Lock()
+	p := im.l.pkgs[path]
+	im.l.mu.Unlock()
+	if p == nil {
+		return nil, fmt.Errorf("analysis: package %s not checked before its importer (go list omitted it?)", path)
 	}
 	return p.Types, nil
 }

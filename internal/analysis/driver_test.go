@@ -12,12 +12,12 @@ import (
 func TestLoadClosure(t *testing.T) {
 	loaded := loadTestdata(t)
 
-	if len(loaded.Targets) != 6 {
+	if len(loaded.Targets) != 10 {
 		var names []string
 		for _, p := range loaded.Targets {
 			names = append(names, p.Path)
 		}
-		t.Fatalf("want 6 fixture targets, got %d: %v", len(loaded.Targets), names)
+		t.Fatalf("want 10 fixture targets, got %d: %v", len(loaded.Targets), names)
 	}
 	for _, p := range loaded.Targets {
 		if !p.Target {
@@ -78,5 +78,29 @@ func TestRelationSuppressionRegression(t *testing.T) {
 	}
 	for _, d := range Run(loaded, All()) {
 		t.Errorf("unexpected finding in internal/relation: %s", d)
+	}
+}
+
+// TestDriverSuppressionRegression runs the suite over this package itself and
+// pins the one deliberate suppression: the loader's enqueue in finish() sends
+// on the bounded ready channel while holding the mutex (lockorder would flag
+// it), which is safe because the buffer holds the whole closure. The finding
+// must stay suppressed — and must still be *produced*, so the directive can't
+// silently drift away from the send it annotates.
+func TestDriverSuppressionRegression(t *testing.T) {
+	loaded, err := Load(".", ".")
+	if err != nil {
+		t.Fatalf("loading internal/analysis: %v", err)
+	}
+	var suppressed int
+	for _, f := range RunDetailed(loaded, All()) {
+		if !f.Suppressed {
+			t.Errorf("unexpected finding in internal/analysis: %s", f.Diagnostic)
+		} else if f.Analyzer == "lockorder" && strings.Contains(f.Message, "channel send") {
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("want exactly 1 suppressed lockorder send-under-lock finding in the loader, got %d", suppressed)
 	}
 }

@@ -134,16 +134,59 @@ func TestSuppression(t *testing.T) {
 	for _, d := range inSuppress {
 		byAnalyzer[d.Analyzer]++
 	}
-	// wrongAnalyzer, missingReason and tooFar leak through; the three
-	// suppressed* functions must not.
-	if got := byAnalyzer["ctxloop"]; got != 3 {
-		t.Errorf("suppress fixture: want 3 surviving ctxloop findings, got %d:\n%v", got, inSuppress)
+	// wrongAnalyzer, missingReason, tooFar and lintUnsuppressible leak
+	// through; the three suppressed* functions and commaBoth must not.
+	if got := byAnalyzer["ctxloop"]; got != 4 {
+		t.Errorf("suppress fixture: want 4 surviving ctxloop findings, got %d:\n%v", got, inSuppress)
 	}
-	if got := byAnalyzer["lint"]; got != 1 {
-		t.Errorf("suppress fixture: want 1 malformed-directive finding, got %d:\n%v", got, inSuppress)
+	if got := byAnalyzer["lint"]; got != 2 {
+		t.Errorf("suppress fixture: want 2 malformed-directive findings, got %d:\n%v", got, inSuppress)
 	}
-	if len(inSuppress) != 4 {
-		t.Errorf("suppress fixture: want 4 findings total, got %d:\n%v", len(inSuppress), inSuppress)
+	if len(inSuppress) != 6 {
+		t.Errorf("suppress fixture: want 6 findings total, got %d:\n%v", len(inSuppress), inSuppress)
+	}
+}
+
+// TestCommaListSuppression pins the comma-separated analyzer list: commaBoth
+// trips lockorder and sembalance on the same line, and the single
+// `//lint:ignore lockorder, sembalance reason` directive above it must mark
+// both findings suppressed (regression for one-directive-per-analyzer).
+func TestCommaListSuppression(t *testing.T) {
+	loaded := loadTestdata(t)
+	suppressed := make(map[string]bool)
+	for _, f := range RunDetailed(loaded, All()) {
+		if filepath.Base(filepath.Dir(f.Pos.Filename)) == "suppress" && f.Suppressed {
+			suppressed[f.Analyzer] = true
+		}
+	}
+	for _, want := range []string{"lockorder", "sembalance"} {
+		if !suppressed[want] {
+			t.Errorf("commaBoth: no suppressed %s finding — the comma-list directive did not match it", want)
+		}
+	}
+}
+
+// TestSplitDirective pins the directive parser on the comma/space variants.
+func TestSplitDirective(t *testing.T) {
+	cases := []struct {
+		in     string
+		names  []string
+		reason string
+	}{
+		{" ctxloop reason here", []string{"ctxloop"}, "reason here"},
+		{" goleak,lockorder the reason", []string{"goleak", "lockorder"}, "the reason"},
+		{" goleak, lockorder the reason", []string{"goleak", "lockorder"}, "the reason"},
+		{" goleak , lockorder r", []string{"goleak", "lockorder"}, "r"},
+		{" * wildcard reason", []string{"*"}, "wildcard reason"},
+		{" ctxloop", []string{"ctxloop"}, ""},
+		{" ctxloop,", []string{"ctxloop"}, ""},
+		{"", nil, ""},
+	}
+	for _, c := range cases {
+		names, reason := splitDirective(c.in)
+		if strings.Join(names, "|") != strings.Join(c.names, "|") || reason != c.reason {
+			t.Errorf("splitDirective(%q) = %v, %q; want %v, %q", c.in, names, reason, c.names, c.reason)
+		}
 	}
 }
 

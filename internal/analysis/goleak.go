@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goleak: every go statement must have a provable termination path.
+//
+// A goroutine with no termination evidence outlives the request that spawned
+// it: a portfolio lane that keeps searching after the race is decided, a
+// lifecycle helper blocked forever on a channel nobody closes. The analyzer
+// accepts a spawn when any of the following holds:
+//
+//   - the spawned function polls cancellation — its call-graph summary (or,
+//     for a function literal, its body plus one level of callees) evaluates
+//     ctx.Err()/ctx.Done();
+//   - the spawned function receives from or ranges over a channel it was
+//     handed (a quit or jobs channel: it terminates when the channel closes);
+//   - the spawner joins it — the goroutine sends on or closes a channel the
+//     spawning function receives from (result-channel join), or calls Done on
+//     a sync.WaitGroup the spawning function Waits on;
+//   - the spawn carries a //lint:ignore goleak directive with a reason
+//     (handled by the generic suppression layer).
+//
+// Spawns whose callee cannot be resolved statically (function values,
+// interface methods) have no checkable summary and are flagged: give the
+// goroutine an analyzable shape or suppress with a reason.
+//
+// Join evidence is matched inside the enclosing function declaration: the
+// channel or WaitGroup object the goroutine uses must be received from /
+// waited on somewhere in the same declaration (before or after the spawn —
+// the analysis is flow-insensitive on the spawner side).
+var goleakAnalyzer = &Analyzer{
+	Name:         "goleak",
+	Doc:          "every go statement needs provable termination: a cancellation poll, a joined channel/WaitGroup, or a reasoned //lint:ignore",
+	CheckPackage: runGoleak,
+}
+
+func runGoleak(pass *Pass, pkg *Package, _ any) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var joins *spawnerJoins
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if joins == nil {
+					joins = collectSpawnerJoins(pkg, fd.Body)
+				}
+				checkGoStmt(pass, pkg, g, joins)
+				return true
+			})
+		}
+	}
+}
+
+// spawnerJoins records which channel objects the enclosing function receives
+// from and which WaitGroup objects it waits on — the spawner's half of every
+// join protocol in the declaration.
+type spawnerJoins struct {
+	recvs map[types.Object]bool // <-ch, range ch, select case <-ch
+	waits map[types.Object]bool // wg.Wait()
+}
+
+func collectSpawnerJoins(pkg *Package, body *ast.BlockStmt) *spawnerJoins {
+	j := &spawnerJoins{recvs: make(map[types.Object]bool), waits: make(map[types.Object]bool)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := chanOperandObj(pkg, n.X); obj != nil {
+					j.recvs[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					if obj := chanOperandObj(pkg, n.X); obj != nil {
+						j.recvs[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && recvTypeName(fn) == "WaitGroup" && fn.Name() == "Wait" {
+				if obj := waitGroupTarget(pkg, n); obj != nil {
+					j.waits[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return j
+}
+
+// checkGoStmt verifies one spawn against the termination-evidence rules.
+func checkGoStmt(pass *Pass, pkg *Package, g *ast.GoStmt, joins *spawnerJoins) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		checkGoLit(pass, pkg, g, lit, joins)
+		return
+	}
+	fn := calleeFunc(pkg, g.Call)
+	if fn == nil {
+		pass.Reportf(g.Pos(), "goroutine has no provable termination path: cannot resolve the spawned function statically")
+		return
+	}
+	sum := pass.Graph.Summary(fn)
+	if sum == nil {
+		pass.Reportf(g.Pos(), "goroutine has no provable termination path: %s is outside the analyzed packages", fn.Name())
+		return
+	}
+	if sum.PollsCtx {
+		return
+	}
+	// Map argument objects to the callee's parameter-index facts.
+	for i, arg := range g.Call.Args {
+		obj := chanOperandObj(pkg, arg)
+		if sum.RecvParams[i] {
+			return // handed a quit/jobs channel it receives from
+		}
+		if obj == nil {
+			continue
+		}
+		if sum.SendParams[i] && joins.recvs[obj] {
+			return // result channel the spawner receives from
+		}
+		if sum.DoneParams[i] && joins.waits[obj] {
+			return // WaitGroup the spawner waits on
+		}
+	}
+	// Method spawns mark Done on fields/package vars rather than parameters.
+	for obj := range sum.DoneObjs {
+		if joins.waits[obj] {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(), "goroutine has no provable termination path: %s neither polls cancellation nor is joined by the spawner (receive its result channel, Wait on its WaitGroup, or //lint:ignore goleak with a reason)", fn.Name())
+}
+
+// checkGoLit verifies a `go func(...){...}(...)` spawn: the literal's own
+// facts plus one level of callee summaries.
+func checkGoLit(pass *Pass, pkg *Package, g *ast.GoStmt, lit *ast.FuncLit, joins *spawnerJoins) {
+	facts := collectLitFacts(pass.Graph, pkg, lit.Body)
+	if facts.pollsCtx {
+		return
+	}
+	if len(facts.recvObjs) > 0 {
+		return // blocks on a captured quit/jobs/done channel
+	}
+	for obj := range facts.sendObjs {
+		if joins.recvs[obj] {
+			return // result channel the spawner receives from
+		}
+	}
+	for obj := range facts.doneObjs {
+		if joins.waits[obj] {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(), "goroutine has no provable termination path: the function literal neither polls cancellation nor is joined by the spawner (receive its result channel, Wait on its WaitGroup, or //lint:ignore goleak with a reason)")
+}
+
+// litFacts are the termination-relevant facts of one spawned literal body.
+type litFacts struct {
+	pollsCtx bool
+	recvObjs map[types.Object]bool // channels received from / ranged over
+	sendObjs map[types.Object]bool // channels sent on / closed (join half)
+	doneObjs map[types.Object]bool // WaitGroups Done is called on
+}
+
+// collectLitFacts walks a spawned literal's body (skipping literals it
+// spawns in turn): direct channel operations, WaitGroup.Done calls, and
+// cancellation polls — its own or via any callee's transitive summary.
+func collectLitFacts(graph *CallGraph, pkg *Package, body *ast.BlockStmt) *litFacts {
+	f := &litFacts{
+		recvObjs: make(map[types.Object]bool),
+		sendObjs: make(map[types.Object]bool),
+		doneObjs: make(map[types.Object]bool),
+	}
+	noteRecv := func(e ast.Expr) {
+		if obj := chanOperandObj(pkg, e); obj != nil {
+			f.recvObjs[obj] = true
+		}
+	}
+	noteSend := func(e ast.Expr) {
+		if obj := chanOperandObj(pkg, e); obj != nil {
+			f.sendObjs[obj] = true
+		}
+	}
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				noteRecv(n.X)
+			}
+		case *ast.SendStmt:
+			noteSend(n.Chan)
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					noteRecv(n.X)
+				}
+			}
+		case *ast.CallExpr:
+			if isDirectCtxCheck(pkg, n) {
+				f.pollsCtx = true
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(n.Args) == 1 {
+					noteSend(n.Args[0])
+					return true
+				}
+			}
+			fn := calleeFunc(pkg, n)
+			if graph.PollsCtx(fn) {
+				f.pollsCtx = true
+			}
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+				recvTypeName(fn) == "WaitGroup" && fn.Name() == "Done" {
+				if obj := waitGroupTarget(pkg, n); obj != nil {
+					f.doneObjs[obj] = true
+				}
+			}
+			// A named callee's parameter-index facts transfer through the
+			// literal's own arguments (the worker-helper idiom:
+			// go func(){ worker(jobs, results) }()).
+			if sum := graph.Summary(fn); sum != nil {
+				for i, arg := range n.Args {
+					if obj := chanOperandObj(pkg, arg); obj != nil {
+						if sum.RecvParams[i] {
+							f.recvObjs[obj] = true
+						}
+						if sum.SendParams[i] {
+							f.sendObjs[obj] = true
+						}
+						if sum.DoneParams[i] {
+							f.doneObjs[obj] = true
+						}
+					}
+				}
+				for obj := range sum.DoneObjs {
+					f.doneObjs[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return f
+}

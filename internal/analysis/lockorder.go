@@ -1,0 +1,562 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// lockorder: named mutexes must be acquired in one global order, and
+// blocking operations must not run while a lock is held.
+//
+// The analyzer tracks, per function, which named locks (sync.Mutex/RWMutex
+// struct fields and package-level variables) are held at each point of a
+// lexical walk: Lock/RLock pushes, Unlock/RUnlock pops, a deferred unlock
+// keeps the lock held to the end of the function (which is its meaning).
+// Two kinds of facts come out of the walk:
+//
+//   - acquisition edges: acquiring B while holding A orders A before B.
+//     Calls are closed over the call graph — calling a function whose
+//     summary acquires B counts. All edges feed one global graph; Finish
+//     reports every strongly connected component with two or more locks
+//     (or a self-loop: recursive acquisition) as a deadlock-capable cycle.
+//   - blocking-under-lock: performing a blocking operation — channel
+//     send/receive, a select with no default, WaitGroup.Wait, a net/http
+//     call, the admission semaphore, an engine Solve* entry point, directly
+//     or via a callee's summary — while holding any lock serializes every
+//     other critical section behind that operation and invites deadlock.
+//
+// Branches merge conservatively: after an if/else or switch the held set is
+// the intersection of the branch outcomes, so only locks held on every path
+// order later acquisitions.
+var lockorderAnalyzer = &Analyzer{
+	Name:         "lockorder",
+	Doc:          "named mutexes must be acquired in a consistent global order; no blocking operations while a lock is held",
+	Prepare:      prepareLockorder,
+	CheckPackage: runLockorder,
+	Finish:       finishLockorder,
+}
+
+// lockEdge is one ordered acquisition: to was acquired while from was held.
+type lockEdge struct {
+	from, to types.Object
+}
+
+// lockorderFacts is the global edge set. CheckPackage calls run concurrently,
+// so recording is mutex-guarded; Finish reads it alone.
+type lockorderFacts struct {
+	mu    sync.Mutex
+	edges map[lockEdge][]token.Position
+}
+
+func prepareLockorder(*Pass) any {
+	return &lockorderFacts{edges: make(map[lockEdge][]token.Position)}
+}
+
+func (f *lockorderFacts) record(pos token.Position, from, to types.Object) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.edges[lockEdge{from, to}] = append(f.edges[lockEdge{from, to}], pos)
+}
+
+func runLockorder(pass *Pass, pkg *Package, facts any) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				w := &lockWalk{pass: pass, pkg: pkg, facts: facts.(*lockorderFacts)}
+				w.stmts(fd.Body.List, nil)
+			}
+		}
+	}
+}
+
+// heldLock is one entry of the walk's held set.
+type heldLock struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// lockWalk is the per-function lexical walk state.
+type lockWalk struct {
+	pass  *Pass
+	pkg   *Package
+	facts *lockorderFacts
+}
+
+// stmts walks a statement list with the given held set and returns the held
+// set at its end.
+func (w *lockWalk) stmts(list []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalk) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		held = w.expr(s.Cond, held)
+		thenHeld := w.stmts(s.Body.List, cloneHeld(held))
+		elseHeld := held
+		if s.Else != nil {
+			elseHeld = w.stmt(s.Else, cloneHeld(held))
+		}
+		return intersectHeld(thenHeld, elseHeld)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = w.expr(s.Cond, held)
+		}
+		if s.Post != nil {
+			w.stmt(s.Post, cloneHeld(held))
+		}
+		w.stmts(s.Body.List, cloneHeld(held))
+		return held // the loop may run zero times
+	case *ast.RangeStmt:
+		held = w.expr(s.X, held)
+		if tv, ok := w.pkg.Info.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.blocking(s.Pos(), "range over channel", held)
+			}
+		}
+		w.stmts(s.Body.List, cloneHeld(held))
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, cloneHeld(held))
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, cloneHeld(held))
+		}
+		return held
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.blocking(s.Pos(), "select with no default case", held)
+		}
+		for _, clause := range s.Body.List {
+			c := clause.(*ast.CommClause)
+			h := cloneHeld(held)
+			if c.Comm != nil {
+				h = w.commExprs(c.Comm, h)
+			}
+			w.stmts(c.Body, h)
+		}
+		return held
+	case *ast.DeferStmt:
+		// A deferred unlock runs at return: the lock stays held through the
+		// rest of the walk, which is exactly what not popping models. Any
+		// other deferred call's facts apply at return time too — out of
+		// scope for a lexical held-set walk, so only the arguments (which
+		// evaluate now) are examined.
+		if obj, kind := w.lockCallTarget(s.Call); obj != nil && kind == lockRelease {
+			return held
+		}
+		for _, arg := range s.Call.Args {
+			held = w.expr(arg, held)
+		}
+		return held
+	case *ast.GoStmt:
+		// The spawned call runs elsewhere; its arguments evaluate here.
+		for _, arg := range s.Call.Args {
+			held = w.expr(arg, held)
+		}
+		return held
+	case *ast.SendStmt:
+		held = w.expr(s.Chan, held)
+		held = w.expr(s.Value, held)
+		w.blocking(s.Pos(), "channel send", held)
+		return held
+	case *ast.ExprStmt:
+		return w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = w.expr(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.expr(e, held)
+		}
+		return held
+	case *ast.IncDecStmt:
+		return w.expr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.expr(v, held)
+					}
+				}
+			}
+		}
+		return held
+	default:
+		return held
+	}
+}
+
+// commExprs processes a select communication statement's expressions without
+// treating the attempt itself as blocking (select chooses a ready case).
+func (w *lockWalk) commExprs(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		held = w.expr(s.Chan, held)
+		return w.expr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				held = w.expr(u.X, held)
+			} else {
+				held = w.expr(e, held)
+			}
+		}
+		return held
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return w.expr(u.X, held)
+		}
+		return w.expr(s.X, held)
+	default:
+		return held
+	}
+}
+
+// expr walks one expression in evaluation order, updating the held set at
+// every lock call and checking every other call and channel operation
+// against it. Function literals are skipped (they run on their own
+// schedule).
+func (w *lockWalk) expr(e ast.Expr, held []heldLock) []heldLock {
+	if e == nil {
+		return held
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return held
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			held = w.expr(e.X, held)
+			w.blocking(e.Pos(), "channel receive", held)
+			return held
+		}
+		return w.expr(e.X, held)
+	case *ast.BinaryExpr:
+		held = w.expr(e.X, held)
+		return w.expr(e.Y, held)
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			held = w.expr(arg, held)
+		}
+		return w.call(e, held)
+	case *ast.StarExpr:
+		return w.expr(e.X, held)
+	case *ast.SelectorExpr:
+		return w.expr(e.X, held)
+	case *ast.IndexExpr:
+		held = w.expr(e.X, held)
+		return w.expr(e.Index, held)
+	case *ast.SliceExpr:
+		held = w.expr(e.X, held)
+		held = w.expr(e.Low, held)
+		held = w.expr(e.High, held)
+		return w.expr(e.Max, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			held = w.expr(el, held)
+		}
+		return held
+	case *ast.KeyValueExpr:
+		return w.expr(e.Value, held)
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X, held)
+	default:
+		return held
+	}
+}
+
+type lockCallKind int
+
+const (
+	lockNone lockCallKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockCallTarget classifies a call as a named-lock acquire or release.
+func (w *lockWalk) lockCallTarget(call *ast.CallExpr) (types.Object, lockCallKind) {
+	fn := calleeFunc(w.pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, lockNone
+	}
+	recv := recvTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return nil, lockNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		obj, _ := lockTarget(w.pkg, call)
+		return obj, lockAcquire
+	case "Unlock", "RUnlock":
+		obj, _ := lockTarget(w.pkg, call)
+		return obj, lockRelease
+	}
+	return nil, lockNone
+}
+
+// call applies one call's effects to the held set: push/pop named locks,
+// record acquisition edges, and check callee summaries for blocking
+// operations and transitive acquisitions.
+func (w *lockWalk) call(call *ast.CallExpr, held []heldLock) []heldLock {
+	if obj, kind := w.lockCallTarget(call); kind != lockNone {
+		if obj == nil {
+			return held // function-local mutex: no cross-function identity
+		}
+		switch kind {
+		case lockAcquire:
+			pos := w.pass.Fset.Position(call.Pos())
+			for _, h := range held {
+				w.facts.record(pos, h.obj, obj)
+			}
+			return append(held, heldLock{obj: obj, pos: call.Pos()})
+		case lockRelease:
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].obj == obj {
+					return append(held[:i:i], held[i+1:]...)
+				}
+			}
+		}
+		return held
+	}
+	fn := calleeFunc(w.pkg, call)
+	if isDirectCtxCheck(w.pkg, call) {
+		return held
+	}
+	// Blocking classification for the call itself (stdlib/net, engine entry
+	// points, admission) plus the callee's transitive summary.
+	if len(held) > 0 {
+		if reason := w.directBlockingCall(fn); reason != "" {
+			w.blocking(call.Pos(), reason, held)
+		} else if sum := w.pass.Graph.Summary(fn); sum != nil && sum.Blocking != "" {
+			w.blocking(call.Pos(), fn.Name()+": "+sum.Blocking, held)
+		}
+		if sum := w.pass.Graph.Summary(fn); sum != nil {
+			pos := w.pass.Fset.Position(call.Pos())
+			for _, h := range held {
+				for acquired := range sum.Acquires {
+					if acquired != h.obj {
+						w.facts.record(pos, h.obj, acquired)
+					}
+				}
+			}
+		}
+	}
+	return held
+}
+
+// directBlockingCall classifies callees outside the analyzed packages whose
+// blocking behavior is known by name (the same table the summary engine
+// uses).
+func (w *lockWalk) directBlockingCall(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case fn.Pkg().Path() == "sync" && recvTypeName(fn) == "WaitGroup" && fn.Name() == "Wait":
+		return "sync.WaitGroup.Wait"
+	case blockingNetPkgs[fn.Pkg().Path()]:
+		return fn.Pkg().Path() + " call"
+	case fn.Pkg().Path() == "csdb/internal/serve" && recvTypeName(fn) == "Admission" && fn.Name() == "Acquire":
+		return "admission semaphore acquire"
+	case enginePkgs[fn.Pkg().Path()] && (strings.HasPrefix(fn.Name(), "Solve") || fn.Name() == "Portfolio"):
+		return "engine entry point " + fn.Pkg().Name() + "." + fn.Name()
+	}
+	return ""
+}
+
+// blocking reports a blocking operation performed while any lock is held.
+func (w *lockWalk) blocking(pos token.Pos, reason string, held []heldLock) {
+	if len(held) == 0 {
+		return
+	}
+	h := held[len(held)-1]
+	w.pass.Reportf(pos, "blocking operation (%s) while holding %s; release the lock first",
+		reason, w.pass.Graph.LockName(h.obj))
+}
+
+func cloneHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// intersectHeld keeps the locks held on both paths, in a's order.
+func intersectHeld(a, b []heldLock) []heldLock {
+	inB := make(map[types.Object]bool, len(b))
+	for _, h := range b {
+		inB[h.obj] = true
+	}
+	var out []heldLock
+	for _, h := range a {
+		if inB[h.obj] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// finishLockorder detects cycles in the global acquisition-order graph:
+// every SCC with more than one lock, and every self-loop, is deadlock
+// capable. One diagnostic per cycle, at its lexically smallest acquisition
+// site, naming the locks in a stable order.
+func finishLockorder(pass *Pass, facts any) {
+	f := facts.(*lockorderFacts)
+	adj := make(map[types.Object]map[types.Object]bool)
+	nodes := make(map[types.Object]bool)
+	for e := range f.edges {
+		nodes[e.from], nodes[e.to] = true, true
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[types.Object]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	for _, scc := range lockSCCs(nodes, adj) {
+		inSCC := make(map[types.Object]bool, len(scc))
+		for _, o := range scc {
+			inSCC[o] = true
+		}
+		if len(scc) == 1 && !adj[scc[0]][scc[0]] {
+			continue
+		}
+		// Collect the cycle's witnessing positions and lock names.
+		var positions []token.Position
+		for e, ps := range f.edges {
+			if inSCC[e.from] && inSCC[e.to] {
+				positions = append(positions, ps...)
+			}
+		}
+		sort.Slice(positions, func(i, j int) bool { return posLess(positions[i], positions[j]) })
+		names := make([]string, 0, len(scc))
+		for _, o := range scc {
+			names = append(names, pass.Graph.LockName(o))
+		}
+		sort.Strings(names)
+		pass.reportAt(positions[0], "lock-order cycle between %s: acquired in inconsistent order at %d sites; pick one global order",
+			strings.Join(names, ", "), len(positions))
+	}
+}
+
+// lockSCCs is Tarjan over the lock graph, deterministic via sorted
+// neighbor/start order (by lock name; objects have stable names per load).
+func lockSCCs(nodes map[types.Object]bool, adj map[types.Object]map[types.Object]bool) [][]types.Object {
+	ordered := make([]types.Object, 0, len(nodes))
+	for o := range nodes {
+		ordered = append(ordered, o)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return objSortKey(ordered[i]) < objSortKey(ordered[j]) })
+	index := make(map[types.Object]int, len(nodes))
+	lowlink := make(map[types.Object]int, len(nodes))
+	onStack := make(map[types.Object]bool, len(nodes))
+	var stack []types.Object
+	var sccs [][]types.Object
+	next := 0
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v], lowlink[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		succs := make([]types.Object, 0, len(adj[v]))
+		for s := range adj[v] {
+			succs = append(succs, s)
+		}
+		sort.Slice(succs, func(i, j int) bool { return objSortKey(succs[i]) < objSortKey(succs[j]) })
+		for _, s := range succs {
+			if _, seen := index[s]; !seen {
+				strongconnect(s)
+				if lowlink[s] < lowlink[v] {
+					lowlink[v] = lowlink[s]
+				}
+			} else if onStack[s] && index[s] < lowlink[v] {
+				lowlink[v] = index[s]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []types.Object
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, o := range ordered {
+		if _, seen := index[o]; !seen {
+			strongconnect(o)
+		}
+	}
+	return sccs
+}
+
+// objSortKey gives lock objects a deterministic order independent of load
+// concurrency: package path, then position-free name.
+func objSortKey(o types.Object) string {
+	pkg := ""
+	if o.Pkg() != nil {
+		pkg = o.Pkg().Path()
+	}
+	return pkg + "\x00" + o.Name()
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// reportAt records a diagnostic at an already-resolved position (Finish
+// works with stored token.Positions, not live token.Pos values).
+func (p *Pass) reportAt(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.an.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

@@ -27,9 +27,9 @@ import (
 // fresh scope: a closure defined in a loop may run once, and a loop inside a
 // closure is a loop.
 var obsboundaryAnalyzer = &Analyzer{
-	Name: "obsboundary",
-	Doc:  "obs metric recording is forbidden inside loops; tally locals and flush at the call boundary",
-	Run:  runObsboundary,
+	Name:         "obsboundary",
+	Doc:          "obs metric recording is forbidden inside loops; tally locals and flush at the call boundary",
+	CheckPackage: runObsboundary,
 }
 
 // obsPkgPath is the observability package whose recording API is gated.
@@ -53,17 +53,15 @@ var obsRecordingFuncs = map[string]bool{
 	"NewCounterVec": true, "NewHistogramVec": true,
 }
 
-func runObsboundary(pass *Pass) {
-	for _, pkg := range pass.Pkgs {
-		if pkg.Path == obsPkgPath {
-			continue // the layer itself is not an instrumentation site
-		}
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if ok && fd.Body != nil {
-					checkObsFunc(pass, pkg, fd.Body)
-				}
+func runObsboundary(pass *Pass, pkg *Package, _ any) {
+	if pkg.Path == obsPkgPath {
+		return // the layer itself is not an instrumentation site
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkObsFunc(pass, pkg, fd.Body)
 			}
 		}
 	}

@@ -31,9 +31,10 @@ import (
 // is rejected even though its value set is closed — each case must return
 // its own literal, so the label set is readable off the helper.
 var obslabelAnalyzer = &Analyzer{
-	Name: "obslabel",
-	Doc:  "label values passed to obs *Vec metrics must come from fixed enumerable sets (literals, consts, pure-literal helpers)",
-	Run:  runObslabel,
+	Name:         "obslabel",
+	Doc:          "label values passed to obs *Vec metrics must come from fixed enumerable sets (literals, consts, pure-literal helpers)",
+	Prepare:      prepareObslabel,
+	CheckPackage: runObslabel,
 }
 
 // obsVecLabelArgs maps Vec receiver type → recording method → index of the
@@ -54,7 +55,9 @@ type obslabelDecl struct {
 	decl *ast.FuncDecl
 }
 
-func runObslabel(pass *Pass) {
+// prepareObslabel builds the cross-package declaration index once; package
+// checks only read it.
+func prepareObslabel(pass *Pass) any {
 	idx := &obslabelIndex{decls: make(map[*types.Func]obslabelDecl)}
 	for _, pkg := range pass.Pkgs {
 		for _, f := range pkg.Files {
@@ -69,16 +72,19 @@ func runObslabel(pass *Pass) {
 			}
 		}
 	}
-	for _, pkg := range pass.Pkgs {
-		if pkg.Path == obsPkgPath {
-			continue // the layer itself is not an instrumentation site
-		}
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if ok && fd.Body != nil {
-					checkObslabelFunc(pass, idx, pkg, fd)
-				}
+	return idx
+}
+
+func runObslabel(pass *Pass, pkg *Package, facts any) {
+	idx := facts.(*obslabelIndex)
+	if pkg.Path == obsPkgPath {
+		return // the layer itself is not an instrumentation site
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkObslabelFunc(pass, idx, pkg, fd)
 			}
 		}
 	}

@@ -1,0 +1,405 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// sembalance: every semaphore-token acquire must be released on all paths.
+//
+// The pattern under analysis is the buffered chan struct{} token store — the
+// serve admission gate and any future worker-slot limiter: a struct field of
+// type chan struct{} that is somewhere initialized with make(chan struct{},
+// capacity). Sending on such a field acquires a token; receiving from it
+// releases one. The capacity argument is the discriminator: an unbuffered
+// chan struct{} field is a quit/broadcast channel, where sends are
+// rendezvous, not resource acquisitions, and stays out of scope.
+//
+// For each acquire (a send on a token field, plain or as a select case) the
+// analyzer walks the statement paths that follow and requires every one of
+// them to release before leaving the function, where a release is:
+//
+//   - a receive from the same field, directly or via a callee whose
+//     call-graph summary releases it (the a.release() helper);
+//   - a defer that performs such a receive or calls such a callee;
+//   - a return whose results hand the release capability to the caller — a
+//     method value or function literal that performs the release (the
+//     `return a.release, nil` handoff contract: the caller must call it).
+//
+// A return that does none of these, or a fall-through to the end of the
+// function, leaks the token and shrinks the semaphore's effective capacity
+// forever. Loop bodies are walked for leaky returns but never count as
+// guaranteed releases (a loop may run zero times).
+var sembalanceAnalyzer = &Analyzer{
+	Name:         "sembalance",
+	Doc:          "semaphore-token acquires (buffered chan struct{} sends) must be released on every path: receive, defer, or handoff via returned release func",
+	Prepare:      prepareSembalance,
+	CheckPackage: runSembalance,
+}
+
+// sembalanceFacts is the set of token fields: chan struct{} struct fields
+// initialized with a make that has a capacity argument. Read-only after
+// Prepare.
+type sembalanceFacts struct {
+	tokenFields map[types.Object]bool
+}
+
+func prepareSembalance(pass *Pass) any {
+	facts := &sembalanceFacts{tokenFields: make(map[types.Object]bool)}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					// Admission{sem: make(chan struct{}, cap), ...}
+					for _, el := range n.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok || !isBufferedTokenMake(pkg, kv.Value) {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if obj := pkg.Info.Uses[key]; obj != nil && isTokenChanField(pkg, obj) {
+							facts.tokenFields[obj] = true
+						}
+					}
+				case *ast.AssignStmt:
+					// s.sem = make(chan struct{}, cap)
+					for i, lhs := range n.Lhs {
+						rhs := assignedExpr(n.Lhs, n.Rhs, i)
+						if rhs == nil || !isBufferedTokenMake(pkg, rhs) {
+							continue
+						}
+						sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal && isTokenChanField(pkg, s.Obj()) {
+							facts.tokenFields[s.Obj()] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return facts
+}
+
+// isBufferedTokenMake matches make(chan struct{}, capacity) — the capacity
+// argument is what makes the channel a token store rather than a
+// rendezvous/quit channel.
+func isBufferedTokenMake(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	tv, ok := pkg.Info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func runSembalance(pass *Pass, pkg *Package, prep any) {
+	facts := prep.(*sembalanceFacts)
+	if len(facts.tokenFields) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				c := &semCheck{pass: pass, pkg: pkg, facts: facts}
+				c.visit(fd.Body.List, nil)
+			}
+		}
+	}
+}
+
+// semCheck walks one function, finding acquire sites and checking the paths
+// that follow each one.
+type semCheck struct {
+	pass  *Pass
+	pkg   *Package
+	facts *sembalanceFacts
+	obj   types.Object // the token field of the acquire under check
+}
+
+// tokenFieldOf resolves a send target to a token field, or nil.
+func (c *semCheck) tokenFieldOf(chanExpr ast.Expr) types.Object {
+	obj := chanOperandObj(c.pkg, chanExpr)
+	if obj != nil && c.facts.tokenFields[obj] {
+		return obj
+	}
+	return nil
+}
+
+// visit traverses a statement list looking for acquire sites. tails holds
+// the statement lists that execute after this one (innermost first) — the
+// continuation an acquire's release must be found in.
+func (c *semCheck) visit(list []ast.Stmt, tails [][]ast.Stmt) {
+	for i, s := range list {
+		rest := list[i+1:]
+		cont := append([][]ast.Stmt{rest}, tails...)
+		switch s := s.(type) {
+		case *ast.SendStmt:
+			if obj := c.tokenFieldOf(s.Chan); obj != nil {
+				c.checkAcquire(obj, s.Pos(), cont)
+			}
+		case *ast.SelectStmt:
+			for _, clause := range s.Body.List {
+				cc := clause.(*ast.CommClause)
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					if obj := c.tokenFieldOf(send.Chan); obj != nil {
+						c.checkAcquire(obj, send.Pos(), append([][]ast.Stmt{cc.Body}, cont...))
+					}
+				}
+				c.visit(cc.Body, cont)
+			}
+		case *ast.BlockStmt:
+			c.visit(s.List, cont)
+		case *ast.IfStmt:
+			c.visit(s.Body.List, cont)
+			if s.Else != nil {
+				c.visit([]ast.Stmt{s.Else}, cont)
+			}
+		case *ast.ForStmt:
+			c.visit(s.Body.List, cont)
+		case *ast.RangeStmt:
+			c.visit(s.Body.List, cont)
+		case *ast.SwitchStmt:
+			for _, clause := range s.Body.List {
+				c.visit(clause.(*ast.CaseClause).Body, cont)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, clause := range s.Body.List {
+				c.visit(clause.(*ast.CaseClause).Body, cont)
+			}
+		case *ast.LabeledStmt:
+			c.visit([]ast.Stmt{s.Stmt}, cont)
+		}
+	}
+}
+
+// checkAcquire verifies one acquire: every path through the continuation
+// must release obj (or hand the release to the caller) before leaving the
+// function. Leaky returns are reported at the return; a leaky fall-through
+// is reported at the acquire.
+func (c *semCheck) checkAcquire(obj types.Object, acquirePos token.Pos, cont [][]ast.Stmt) {
+	saved := c.obj
+	c.obj = obj
+	defer func() { c.obj = saved }()
+
+	released, diverged := false, false
+	for _, list := range cont {
+		if released || diverged {
+			break
+		}
+		released, diverged = c.walkList(list, released)
+	}
+	if !released && !diverged {
+		c.pass.Reportf(acquirePos, "semaphore token acquired on %s is not released on the fall-through path (receive it back, defer the release, or return a release func)", c.pass.Graph.LockName(obj))
+	}
+}
+
+// walkList processes one statement list. released says a release already
+// happened on this path. It returns the state at the end of the list:
+// released' (release guaranteed on fall-through) and diverged (no path
+// falls through — every one returned).
+func (c *semCheck) walkList(list []ast.Stmt, released bool) (bool, bool) {
+	for _, s := range list {
+		if released {
+			return true, false
+		}
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			if !c.returnCarriesRelease(s) {
+				c.pass.Reportf(s.Pos(), "return leaks the semaphore token acquired on %s (release before returning, or return a release func)", c.pass.Graph.LockName(c.obj))
+			}
+			return released, true
+		case *ast.DeferStmt:
+			if c.deferReleases(s) {
+				released = true
+			}
+		case *ast.BlockStmt:
+			var div bool
+			released, div = c.walkList(s.List, released)
+			if div {
+				return released, true
+			}
+		case *ast.IfStmt:
+			tR, tD := c.walkList(s.Body.List, released)
+			eR, eD := released, false
+			if s.Else != nil {
+				eR, eD = c.walkList([]ast.Stmt{s.Else}, released)
+			}
+			switch {
+			case tD && eD:
+				return true, true
+			case tD:
+				released = eR
+			case eD:
+				released = tR
+			default:
+				released = tR && eR
+			}
+		case *ast.SelectStmt:
+			// The select blocks until one case runs: release is guaranteed
+			// when every case guarantees it (or returns having handled it).
+			all, allDiverge := len(s.Body.List) > 0, len(s.Body.List) > 0
+			for _, clause := range s.Body.List {
+				r, d := c.walkList(clause.(*ast.CommClause).Body, released)
+				if !d {
+					allDiverge = false
+				}
+				if !r && !d {
+					all = false
+				}
+			}
+			if allDiverge {
+				return true, true
+			}
+			released = released || all
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			var clauses []*ast.CaseClause
+			var body *ast.BlockStmt
+			if sw, ok := s.(*ast.SwitchStmt); ok {
+				body = sw.Body
+			} else {
+				body = s.(*ast.TypeSwitchStmt).Body
+			}
+			hasDefault := false
+			for _, clause := range body.List {
+				cc := clause.(*ast.CaseClause)
+				clauses = append(clauses, cc)
+				if cc.List == nil {
+					hasDefault = true
+				}
+			}
+			all := hasDefault
+			for _, cc := range clauses {
+				r, d := c.walkList(cc.Body, released)
+				if !r && !d {
+					all = false
+				}
+			}
+			released = released || all
+		case *ast.ForStmt:
+			// Walk for leaky returns; a loop body never guarantees a release
+			// (zero iterations).
+			c.walkList(s.Body.List, released)
+		case *ast.RangeStmt:
+			c.walkList(s.Body.List, released)
+		case *ast.LabeledStmt:
+			var div bool
+			released, div = c.walkList([]ast.Stmt{s.Stmt}, released)
+			if div {
+				return released, true
+			}
+		default:
+			if c.stmtReleases(s) {
+				released = true
+			}
+		}
+	}
+	return released, false
+}
+
+// stmtReleases reports whether a simple statement unconditionally releases
+// the token: a receive from the field, or a call whose summary releases it.
+func (c *semCheck) stmtReleases(s ast.Stmt) bool {
+	found := false
+	inspectSkippingFuncLits(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && chanOperandObj(c.pkg, n.X) == c.obj {
+				found = true
+			}
+		case *ast.CallExpr:
+			if c.calleeReleases(calleeFunc(c.pkg, n)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeReleases reports whether fn's transitive summary receives from the
+// token field.
+func (c *semCheck) calleeReleases(fn *types.Func) bool {
+	sum := c.pass.Graph.Summary(fn)
+	return sum != nil && sum.Releases[c.obj]
+}
+
+// deferReleases matches defer <release>() and defer func() { <-field }().
+func (c *semCheck) deferReleases(s *ast.DeferStmt) bool {
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		return c.litReleases(lit)
+	}
+	return c.calleeReleases(calleeFunc(c.pkg, s.Call))
+}
+
+// litReleases reports whether a function literal's body performs the release.
+func (c *semCheck) litReleases(lit *ast.FuncLit) bool {
+	found := false
+	inspectSkippingFuncLits(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && chanOperandObj(c.pkg, n.X) == c.obj {
+				found = true
+			}
+		case *ast.CallExpr:
+			if c.calleeReleases(calleeFunc(c.pkg, n)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// returnCarriesRelease reports whether any of the return's results hands the
+// release capability to the caller: a method/function value whose summary
+// releases the field, or a function literal that does.
+func (c *semCheck) returnCarriesRelease(ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		switch res := ast.Unparen(res).(type) {
+		case *ast.FuncLit:
+			if c.litReleases(res) {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := c.pkg.Info.Uses[res.Sel].(*types.Func); ok && c.calleeReleases(fn) {
+				return true
+			}
+		case *ast.Ident:
+			if fn, ok := c.pkg.Info.Uses[res].(*types.Func); ok && c.calleeReleases(fn) {
+				return true
+			}
+		}
+	}
+	return false
+}

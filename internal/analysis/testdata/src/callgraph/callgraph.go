@@ -1,0 +1,63 @@
+// Package callgraphtest is the call-graph engine's unit-test fixture:
+// mutually recursive functions whose summaries must converge over the SCC
+// condensation. No analyzer flags anything here (its golden file is empty);
+// callgraph_test.go builds the graph directly and asserts on the summaries.
+package callgraphtest
+
+import (
+	"context"
+	"sync"
+)
+
+// even/odd: a two-function SCC where only odd polls the context directly —
+// the fixpoint must give PollsCtx to both.
+func even(ctx context.Context, n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(ctx, n-1)
+}
+
+func odd(ctx context.Context, n int) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if n == 0 {
+		return false
+	}
+	return even(ctx, n-1)
+}
+
+// chainA → chainB → chainC: blocking facts propagate up an acyclic chain.
+func chainA(ch chan int) int { return chainB(ch) }
+
+func chainB(ch chan int) int { return chainC(ch) }
+
+func chainC(ch chan int) int { return <-ch }
+
+// pingLock/pongLock: lock acquisition propagates through a mutual recursion
+// that only locks on one side.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) pingLock(depth int) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	if depth > 0 {
+		c.pongLock(depth - 1)
+	}
+}
+
+func (c *counter) pongLock(depth int) {
+	if depth > 0 {
+		c.pingLock(depth - 1)
+	}
+}
+
+// leaf has an empty summary: no polls, no blocks, no locks.
+func leaf(n int) int {
+	return n + 1
+}

@@ -1,0 +1,104 @@
+// Package goleaktest exercises the goleak analyzer: every go statement needs
+// provable termination evidence — a cancellation poll, a quit/jobs channel,
+// or a join (result channel / WaitGroup) in the spawner.
+package goleaktest
+
+import (
+	"context"
+	"sync"
+)
+
+// badFireAndForget: the literal spins forever with no cancellation signal,
+// no channel and no join. (true positive)
+func badFireAndForget(counter *int) {
+	go func() {
+		for i := 0; ; i++ {
+			*counter = i
+		}
+	}()
+}
+
+// badUnjoinedResult: the literal sends its result, but nobody in the spawner
+// ever receives it — with an unbuffered channel the goroutine blocks
+// forever. (true positive)
+func badUnjoinedResult(compute func() int) chan int {
+	results := make(chan int)
+	go func() {
+		results <- compute()
+	}()
+	return results // handed to the caller, but this function never receives
+}
+
+// badOpaqueValue: a function value has no resolvable summary; nothing is
+// provable. (true positive)
+func badOpaqueValue(f func()) {
+	go f()
+}
+
+// goodCtxPoll: the literal polls ctx every iteration — termination follows
+// from cancellation. (negative)
+func goodCtxPoll(ctx context.Context, counter *int) {
+	go func() {
+		for i := 0; ; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			*counter = i
+		}
+	}()
+}
+
+// rangeWorker drains its jobs channel and stops when it is closed.
+func rangeWorker(jobs chan int, counter *int) {
+	for j := range jobs {
+		*counter += j
+	}
+}
+
+// goodJobsChannel: the named worker ranges over the channel it was handed —
+// it terminates when the spawner closes it. (near-miss negative: no ctx, no
+// join in this function)
+func goodJobsChannel(counter *int) chan int {
+	jobs := make(chan int)
+	go rangeWorker(jobs, counter)
+	return jobs
+}
+
+// goodResultJoin: the spawner receives the goroutine's result channel — the
+// send completes and the goroutine exits. (negative)
+func goodResultJoin(compute func() int) int {
+	results := make(chan int)
+	go func() {
+		results <- compute()
+	}()
+	return <-results
+}
+
+// goodWaitGroup: Done in the goroutine, Wait in the spawner. (negative)
+func goodWaitGroup(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+// doneHelper is joined through a WaitGroup parameter.
+func doneHelper(wg *sync.WaitGroup, f func()) {
+	defer wg.Done()
+	f()
+}
+
+// goodWaitGroupParam: the parameter-index fact (callee Dones its *WaitGroup
+// argument) matches the spawner's Wait. (near-miss negative: the Done is one
+// call away)
+func goodWaitGroupParam(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go doneHelper(&wg, f)
+	wg.Wait()
+}

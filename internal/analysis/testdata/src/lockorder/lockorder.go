@@ -1,0 +1,109 @@
+// Package lockordertest exercises the lockorder analyzer: named mutexes must
+// be acquired in one global order, and no blocking operation may run while a
+// lock is held.
+package lockordertest
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+type index struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+type journal struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+// lockStoreThenIndex orders store.mu before index.mu.
+func lockStoreThenIndex(s *store, i *index, k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i.mu.Lock()
+	i.keys = append(i.keys, k)
+	i.mu.Unlock()
+	s.data[k] = len(i.keys)
+}
+
+// badIndexThenStore acquires the same pair in the opposite order — together
+// with lockStoreThenIndex this is a deadlock-capable cycle, reported once by
+// the global cycle detector. (true positive: one cycle finding)
+func badIndexThenStore(s *store, i *index, k string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	s.mu.Lock()
+	s.data[k] = 0
+	s.mu.Unlock()
+	i.keys = append(i.keys, k)
+}
+
+// badRecvUnderLock blocks on a channel receive while holding store.mu: every
+// other critical section now waits on the channel too. (true positive)
+func badRecvUnderLock(s *store, updates chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data["latest"] = <-updates
+}
+
+// awaitFlush blocks on its input channel; callers inherit that through its
+// call-graph summary.
+func awaitFlush(in chan string) string {
+	return <-in
+}
+
+// badBlockingCallee calls a (transitively) blocking helper while holding the
+// lock — the block is one call away but just as real. (true positive)
+func badBlockingCallee(s *store, in chan string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[awaitFlush(in)] = 1
+}
+
+// goodUnlockBeforeRecv releases the lock before blocking. (near-miss
+// negative: same shape as badRecvUnderLock with the unlock hoisted)
+func goodUnlockBeforeRecv(s *store, updates chan int) {
+	s.mu.Lock()
+	n := len(s.data)
+	s.mu.Unlock()
+	v := <-updates
+	_ = n
+	_ = v
+}
+
+// goodConsistentOrder takes journal.mu before store.mu everywhere it needs
+// both — one more edge, no cycle. (negative)
+func goodConsistentOrder(s *store, j *journal, k string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s.mu.Lock()
+	s.data[k] = len(j.entries)
+	s.mu.Unlock()
+	j.entries = append(j.entries, k)
+}
+
+// goodLocalMutex: a function-local mutex has no cross-function identity and
+// is out of scope. (near-miss negative: a receive happens under a lock, but
+// not a named one)
+func goodLocalMutex(updates chan int) int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	return <-updates
+}
+
+// goodSelectWithDefault polls without blocking while the lock is held.
+// (near-miss negative: a select under a lock, but it cannot block)
+func goodSelectWithDefault(s *store, updates chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-updates:
+		s.data["latest"] = v
+	default:
+	}
+}

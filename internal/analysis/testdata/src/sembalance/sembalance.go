@@ -1,0 +1,79 @@
+// Package sembalancetest exercises the sembalance analyzer: every send on a
+// buffered chan struct{} token field (a semaphore acquire) must be released
+// on all paths — receive, defer, or handoff via a returned release func.
+package sembalancetest
+
+import "errors"
+
+var errClosed = errors.New("gate closed")
+
+type gate struct {
+	sem  chan struct{} // token store: made with a capacity
+	quit chan struct{} // rendezvous: made without one
+}
+
+func newGate(slots int) *gate {
+	return &gate{
+		sem:  make(chan struct{}, slots),
+		quit: make(chan struct{}),
+	}
+}
+
+func (g *gate) release() { <-g.sem }
+
+// badEarlyReturn acquires a token and leaks it on the error path. (true
+// positive: the return inside the if)
+func (g *gate) badEarlyReturn(fail bool) error {
+	g.sem <- struct{}{}
+	if fail {
+		return errClosed
+	}
+	<-g.sem
+	return nil
+}
+
+// badFallThrough acquires a token and never releases it at all. (true
+// positive: reported at the acquire)
+func (g *gate) badFallThrough(work func()) {
+	g.sem <- struct{}{}
+	work()
+}
+
+// goodDefer releases on every path via defer, error or not. (negative)
+func (g *gate) goodDefer(fail bool) error {
+	g.sem <- struct{}{}
+	defer g.release()
+	if fail {
+		return errClosed
+	}
+	return nil
+}
+
+// goodHandoff acquires inside a select and hands the release capability to
+// the caller — the admission-gate contract. (near-miss negative: no release
+// in this function; the returned method value carries it)
+func (g *gate) goodHandoff() (func(), error) {
+	select {
+	case g.sem <- struct{}{}:
+		return g.release, nil
+	case <-g.quit:
+		return nil, errClosed
+	}
+}
+
+// goodAllBranches releases explicitly on both sides of a branch. (negative)
+func (g *gate) goodAllBranches(direct bool) {
+	g.sem <- struct{}{}
+	if direct {
+		<-g.sem
+	} else {
+		g.release()
+	}
+}
+
+// goodQuitSignal sends on the unbuffered quit field: a rendezvous, not a
+// token acquisition — out of scope. (near-miss negative: a send on a chan
+// struct{} field with no release anywhere)
+func (g *gate) goodQuitSignal() {
+	g.quit <- struct{}{}
+}

@@ -1,7 +1,10 @@
 // Package suppresstest exercises the //lint:ignore directive mechanics.
 package suppresstest
 
-import "context"
+import (
+	"context"
+	"sync"
+)
 
 // suppressedAbove: directive on the line above the finding. (suppressed)
 func suppressedAbove(ctx context.Context, work chan int) {
@@ -48,6 +51,41 @@ func missingReason(ctx context.Context, work chan int) {
 func tooFar(ctx context.Context, work chan int) {
 	//lint:ignore ctxloop test fixture: too far from the finding
 
+	for {
+		<-work
+	}
+}
+
+// semGate pairs a mutex with a token semaphore so one line can trip two
+// analyzers at once.
+type semGate struct {
+	mu  sync.Mutex
+	sem chan struct{}
+}
+
+func newSemGate(slots int) *semGate {
+	return &semGate{sem: make(chan struct{}, slots)}
+}
+
+// commaBoth: the send below trips lockorder (channel send while holding mu)
+// and sembalance (token never released) at the same position; one directive
+// with a comma-separated analyzer list — spaced, to pin the tolerant parse —
+// suppresses both. (suppressed twice)
+func (g *semGate) commaBoth() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//lint:ignore lockorder, sembalance test fixture: one directive, two analyzers
+	g.sem <- struct{}{}
+}
+
+// lintUnsuppressible: a malformed directive is a driver error ("lint"
+// pseudo-analyzer) and survives even under a wildcard suppression aimed at
+// it — otherwise a reason-less directive could launder itself. The loop is
+// out of the wildcard's one-line range, so its finding survives too. (two
+// findings: lint + ctxloop)
+func lintUnsuppressible(ctx context.Context, work chan int) {
+	//lint:ignore * test fixture: tries to silence the driver error below
+	//lint:ignore ctxloop
 	for {
 		<-work
 	}
