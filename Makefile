@@ -11,11 +11,11 @@ GO ?= go
 BENCH_LABEL ?= after
 FUZZTIME ?= 10s
 
-.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs race-serve race-dispatch race-search bench bench-serve bench-search obs-overhead expofmt csptop-smoke
+.PHONY: check build test verify vet lint fuzz-smoke race race-engine race-kernel race-obs race-serve race-dispatch race-search race-cluster bench bench-serve bench-search bench-cluster obs-overhead expofmt csptop-smoke
 
 # Default target: everything a PR must pass locally. expofmt is the
 # exposition-format gate (Prometheus text writer + /metrics content tests).
-check: vet verify lint expofmt race-kernel race-obs race-serve race-dispatch race-search
+check: vet verify lint expofmt race-kernel race-obs race-serve race-dispatch race-search race-cluster
 
 build:
 	$(GO) build ./...
@@ -89,6 +89,12 @@ race-dispatch:
 race-search:
 	$(GO) test -race -count=1 ./internal/csp/ ./internal/gen/
 
+# The cluster router and its binary: the health poller writes liveness/load
+# that every request reads, batch fan-out runs a worker pool, and the
+# lifecycle test drains under SIGTERM — all under the detector.
+race-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/ ./cmd/cspr/
+
 # Benchmark the join/semijoin/Yannakakis/engine hot paths and merge the
 # medians into BENCH_relation.json under $(BENCH_LABEL). Run with
 # BENCH_LABEL=before on a pre-change tree to record a baseline.
@@ -106,6 +112,16 @@ bench-serve:
 		-benchtime=0.3s -run '^$$' -timeout 30m ./cmd/cspd/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_serve.json -label $(BENCH_LABEL) \
 		-note "cspd request latency: cold engine solve vs canonical result-cache hit on PHP(8), plus the cache-key (parse+hash) cost"
+
+# Benchmark the cluster router into BENCH_serve.json: aggregate throughput
+# as replicas are added (sleep-bound backends expose per-node capacity), and
+# consistent-hash affinity vs round-robin spraying on bounded backend caches
+# (the miss/op gap is what the ring buys).
+bench-cluster:
+	$(GO) test -bench 'ClusterQPS|ClusterAffinity|ClusterRandom' -benchmem \
+		-count 5 -benchtime=0.3s -run '^$$' -timeout 30m ./internal/cluster/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_serve.json -label $(BENCH_LABEL) \
+		-note "cspr cluster router: aggregate QPS vs replica count, and consistent-hash affinity vs round-robin on bounded caches (miss/op)"
 
 # Time the search-core engines (seed vs bitset MAC vs restart/nogood
 # learning) in-process on the fixed hard-instance suite — pigeonhole,

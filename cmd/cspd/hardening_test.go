@@ -1,0 +1,240 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"csdb/internal/obs"
+)
+
+// Hardening tests: the slow-client connection timeouts, the load-derived
+// Retry-After, and drain-under-load (SIGTERM with a non-empty wait queue).
+
+// TestLifecycleDrainsPastSlowClient is the regression test for the
+// trickling-client hang: a client that sends its request headers and then
+// stalls mid-body holds a connection open. With only ReadHeaderTimeout set
+// (the pre-fix server), Shutdown waits on that connection forever and the
+// drain never completes; ReadTimeout must reap it so SIGTERM still produces
+// a clean exit within the grace period.
+func TestLifecycleDrainsPastSlowClient(t *testing.T) {
+	cfg := testConfig()
+	cfg.readTimeout = 300 * time.Millisecond
+	cfg.drainTimeout = 2 * time.Second
+	srv := newServer(cfg)
+	url, sigCh, exit := startLifecycle(t, srv)
+
+	// A hand-rolled trickling client: complete headers, Content-Length far
+	// beyond what is ever sent, then silence. The handler blocks reading the
+	// body until the read deadline fires.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(url, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, err = io.WriteString(conn,
+		"POST /solve HTTP/1.1\r\nHost: cspd\r\nContent-Length: 4096\r\n\r\nvars 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sigCh <- syscall.SIGTERM
+	start := time.Now()
+	if err := waitExit(t, exit); err != nil {
+		t.Fatalf("drain with a stalled client returned error: %v", err)
+	}
+	// The exit must come from the read deadline (sub-second), not from
+	// waitExit's last-resort 10s bound.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("drain took %v with a stalled client, want the read deadline to reap it", elapsed)
+	}
+	// The stalled client's connection was closed on it: the next read fails.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
+	}
+}
+
+// TestRetryAfterSeconds pins the Retry-After derivation: ceil to whole
+// seconds, floor 1s, capped by the drain budget.
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		estimate, drain time.Duration
+		want            int
+	}{
+		{0, 10 * time.Second, 1},                       // no queue history: floor
+		{300 * time.Millisecond, 10 * time.Second, 1},  // sub-second: floor
+		{1001 * time.Millisecond, 10 * time.Second, 2}, // ceil, not truncate
+		{2500 * time.Millisecond, 10 * time.Second, 3},
+		{30 * time.Second, 10 * time.Second, 10}, // capped by drain budget
+		{30 * time.Second, 0, 1},                 // degenerate budget: floor wins
+		{5 * time.Second, 5 * time.Second, 5},
+	} {
+		if got := retryAfterSeconds(tc.estimate, tc.drain); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v, %v) = %d, want %d", tc.estimate, tc.drain, got, tc.want)
+		}
+	}
+}
+
+// TestShedRetryAfterIsDerived checks the wiring: the 429 path's Retry-After
+// is the estimator's output — an integer in [1s, drain budget] — not a
+// hardcoded constant the router cannot trust.
+func TestShedRetryAfterIsDerived(t *testing.T) {
+	cfg := testConfig()
+	cfg.maxInflight = 1
+	cfg.maxQueue = 0 // every concurrent request beyond the slot is shed
+	cfg.cacheSize = 0
+	ts, srv := startDaemonCfg(t, cfg)
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv.dispatch = blockingDispatch(started, release)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postSolve(t, ts, "", distinctInstance(0))
+	}()
+	<-started
+
+	resp, err := http.Post(ts.URL+"/solve", "text/plain", strings.NewReader(distinctInstance(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	want := retryAfterSeconds(srv.admit.EstimateWait(), cfg.drainTimeout)
+	if ra != want {
+		t.Fatalf("Retry-After = %d, want estimator output %d", ra, want)
+	}
+	if ra < 1 || time.Duration(ra)*time.Second > cfg.drainTimeout {
+		t.Fatalf("Retry-After = %d outside [1s, drain budget %v]", ra, cfg.drainTimeout)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestLifecycleDrainUnderLoad is the acceptance test for draining with a
+// non-empty wait queue: SIGTERM arrives while one solve runs, several wait
+// for the slot, and more have already been shed. Every queued request must
+// complete (the drain lets the queue empty), every shed request must have
+// gotten its 429, exactly one wide event exists per request, and no
+// goroutines leak.
+func TestLifecycleDrainUnderLoad(t *testing.T) {
+	withDaemonObs(t)
+	cfg := testConfig()
+	cfg.maxInflight = 1
+	cfg.maxQueue = 3 // exactly the waiters below, so the overflow posts shed
+	cfg.cacheSize = 0
+	srv := newServer(cfg)
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	srv.dispatch = blockingDispatch(started, release)
+	url, sigCh, exit := startLifecycle(t, srv)
+
+	runtime.GC()
+	goroutinesBefore := runtime.NumGoroutine()
+
+	const queued = 4 // 1 running + 3 waiting
+	statuses := make(chan int, queued)
+	var wg sync.WaitGroup
+	for i := 0; i < queued; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(url+"/solve", "text/plain",
+				strings.NewReader(distinctInstance(i)))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				statuses <- 0
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	<-started // request 0 holds the solve slot
+	waitForState(t, "three requests in the wait queue", func() bool {
+		return srv.admit.Queued() == queued-1
+	})
+
+	// Overflow the queue before the signal: these two are shed with 429.
+	const shed = 2
+	for i := 0; i < shed; i++ {
+		resp, err := http.Post(url+"/solve", "text/plain",
+			strings.NewReader(distinctInstance(4+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("overflow request %d: status %d, want 429", i, resp.StatusCode)
+		}
+	}
+
+	// SIGTERM with the queue still full, then let solves proceed: the drain
+	// must serve every queued request to completion before exiting.
+	sigCh <- syscall.SIGTERM
+	close(release)
+	wg.Wait()
+	for i := 0; i < queued; i++ {
+		if got := <-statuses; got != http.StatusOK {
+			t.Fatalf("queued request finished with status %d, want 200 (complete) during drain", got)
+		}
+	}
+	if err := waitExit(t, exit); err != nil {
+		t.Fatalf("drain under load returned error: %v", err)
+	}
+
+	// Exactly one wide event per request: queued completions plus sheds.
+	events := obs.DefaultEvents().Drain()
+	if len(events) != queued+shed {
+		t.Fatalf("wide events = %d, want %d (one per request)", len(events), queued+shed)
+	}
+	seen := map[string]bool{}
+	verdicts := map[string]int{}
+	for _, ev := range events {
+		if seen[ev.TraceID] {
+			t.Fatalf("trace %s emitted more than one event", ev.TraceID)
+		}
+		seen[ev.TraceID] = true
+		verdicts[ev.Verdict]++
+	}
+	if verdicts[obs.VerdictSat] != queued || verdicts[obs.VerdictShed] != shed {
+		t.Fatalf("verdict counts %v, want %d sat and %d shed", verdicts, queued, shed)
+	}
+
+	// No goroutine leaks once the daemon has exited (cancel_test.go style:
+	// allow the runtime a moment to reap finished goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= goroutinesBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before load, %d after drain", goroutinesBefore, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -25,12 +25,23 @@ import (
 // runDaemon serves s on ln until the listener fails or sigCh delivers a
 // signal, then drains. It returns nil on a clean shutdown and the serve
 // error otherwise.
+//
+// The connection timeouts are load-shedding, not politeness: without
+// ReadTimeout a client that trickles its request body holds a connection —
+// and blocks Shutdown, hence the whole drain — forever, because
+// ReadHeaderTimeout stops covering the request once the headers are in.
+// WriteTimeout bounds slow readers of the response the same way; it must
+// exceed -max-timeout or long solves lose their response mid-write (main
+// enforces that). IdleTimeout reaps keep-alive connections between requests.
 func runDaemon(s *server, ln net.Listener, sigCh <-chan os.Signal, logf func(string, ...any)) error {
 	closeEvents := openEventsSink(s.cfg.eventsFile, logf)
 	defer closeEvents()
 	httpSrv := &http.Server{
 		Handler:           s.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.cfg.readTimeout,
+		WriteTimeout:      s.cfg.writeTimeout,
+		IdleTimeout:       s.cfg.idleTimeout,
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

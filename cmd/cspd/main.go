@@ -18,8 +18,9 @@
 // Usage:
 //
 //	cspd [-addr :8344] [-max-timeout 2m] [-max-inflight N] [-queue N]
-//	     [-cache N] [-drain-timeout 10s] [-trace-flush file.jsonl]
-//	     [-events events.jsonl]
+//	     [-cache N] [-drain-timeout 10s] [-read-timeout 1m]
+//	     [-write-timeout 5m] [-idle-timeout 2m]
+//	     [-trace-flush file.jsonl] [-events events.jsonl]
 //
 // Examples:
 //
@@ -51,6 +52,9 @@ type daemonConfig struct {
 	addr         string
 	maxTimeout   time.Duration
 	drainTimeout time.Duration
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
 	maxInflight  int
 	maxQueue     int
 	cacheSize    int
@@ -63,12 +67,18 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", ":8344", "listen address")
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 2*time.Minute, "cap on per-request solve timeouts (0 = uncapped)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight solves on shutdown before their contexts are cancelled")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", time.Minute, "cap on reading one whole request incl. body; reaps slow-client connections (0 = no limit)")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 5*time.Minute, "cap on handling+writing one response; must exceed -max-timeout (0 = no limit)")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "cap on idle keep-alive connections between requests (0 = no limit)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", runtime.GOMAXPROCS(0), "max concurrent engine solves (0 = unlimited, disables the queue)")
 	flag.IntVar(&cfg.maxQueue, "queue", 64, "solve requests allowed to wait for a slot before overflow is shed with 429")
 	flag.IntVar(&cfg.cacheSize, "cache", 256, "result-cache entries (0 = caching off)")
 	flag.StringVar(&cfg.traceFlush, "trace-flush", "", "file to flush the span ring to on shutdown (empty = discard)")
 	flag.StringVar(&cfg.eventsFile, "events", "", "file to stream wide events to as JSON lines (empty = ring only, drained by /events)")
 	flag.Parse()
+	if cfg.writeTimeout > 0 && cfg.maxTimeout > 0 && cfg.writeTimeout <= cfg.maxTimeout {
+		log.Fatalf("cspd: -write-timeout %v must exceed -max-timeout %v, or long solves lose their response mid-write", cfg.writeTimeout, cfg.maxTimeout)
+	}
 
 	// The daemon is the observability consumer: metrics, tracing and wide
 	// events are on for its whole lifetime (library default is off).

@@ -38,6 +38,9 @@ func testConfig() daemonConfig {
 	return daemonConfig{
 		maxTimeout:   time.Minute,
 		drainTimeout: 5 * time.Second,
+		readTimeout:  time.Minute,
+		writeTimeout: 2 * time.Minute,
+		idleTimeout:  time.Minute,
 		maxInflight:  4,
 		maxQueue:     16,
 		cacheSize:    64,

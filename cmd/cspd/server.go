@@ -450,7 +450,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusTooManyRequests
 		ev.Verdict, ev.Cause = obs.VerdictShed, "admission_queue_full"
 		ev.QueueWaitNs = res.queueWaitNs
-		w.Header().Set("Retry-After", "1")
+		// An honest backoff hint: how long the line the caller was shed from
+		// is actually moving, not a constant. Routers (cmd/cspr) rely on this
+		// to back off proportionally when the whole replica set is saturated.
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterSeconds(s.admit.EstimateWait(), s.cfg.drainTimeout)))
 		http.Error(w, "solver at capacity: admission queue full, retry later",
 			http.StatusTooManyRequests)
 		return
@@ -505,6 +509,27 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(&resp)
+}
+
+// retryAfterSeconds turns a predicted queue wait (serve.Admission's recent
+// queue-wait EWMA times the current queue depth) into a Retry-After value:
+// whole seconds rounded up, at least 1 (the header is integer seconds and 0
+// invites an instant retry against a saturated gate), and at most the drain
+// budget — a client told to wait longer than the daemon's own shutdown grace
+// would outlive a restart. A non-positive drain budget caps at the 1s floor.
+func retryAfterSeconds(estimate, drainBudget time.Duration) int {
+	secs := int((estimate + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	maxSecs := int(drainBudget / time.Second)
+	if maxSecs < 1 {
+		maxSecs = 1
+	}
+	if secs > maxSecs {
+		secs = maxSecs
+	}
+	return secs
 }
 
 // parseParams validates the query string. The strategy is checked here, at

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"csdb/internal/cluster"
+)
+
+// Router lifecycle, mirroring cspd's: serve until a signal arrives, then
+// drain gracefully. The same slow-client discipline applies — without
+// ReadTimeout a trickling client would hold a connection open and block
+// Shutdown forever (ReadHeaderTimeout stops covering a request once its
+// headers are in), and WriteTimeout bounds slow readers of proxied
+// responses. The health poller's context is cancelled with the drain, so the
+// background goroutine exits before the process does.
+
+// runRouter serves rt on ln until the listener fails or sigCh delivers a
+// signal, then drains in-flight proxied requests for cfg.drainTimeout. It
+// returns nil on a clean shutdown and the serve error otherwise.
+func runRouter(rt *cluster.Router, cfg routerConfig, ln net.Listener, sigCh <-chan os.Signal, logf func(string, ...any)) error {
+	pollCtx, stopPoller := context.WithCancel(context.Background())
+	defer stopPoller()
+	rt.Start(pollCtx)
+
+	httpSrv := &http.Server{
+		Handler:           rt.Mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		rt.CloseIdleConnections()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-sigCh:
+		logf("cspr: caught %v; draining in-flight requests (grace %s)", sig, cfg.drainTimeout)
+	}
+
+	// Stop the poller first: no point probing replicas while shutting down,
+	// and the goroutine must not outlive the process's useful life.
+	stopPoller()
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		// The grace period expired with requests still in flight; close them.
+		logf("cspr: drain deadline passed (%v); closing remaining connections", err)
+		_ = httpSrv.Close()
+	}
+	rt.CloseIdleConnections()
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logf("cspr: drained cleanly")
+	return nil
+}

@@ -1,0 +1,139 @@
+// Command cspr is the cluster router: a stateless HTTP front for a replica
+// set of cspd nodes. It routes each POSTed instance by its canonical
+// (order-insensitive) hash on a consistent-hash ring, so repeated instances
+// always land on the replica whose result cache already holds their answer —
+// the cluster-wide cache hit rate matches the single-node hit rate at any
+// replica count. A background poller tracks replica liveness and load
+// (queue depth + in-flight solves); saturated primaries are offloaded to the
+// least-loaded live node, connection failures and 5xx are retried once on
+// the key's next ring position, and when the whole set sheds, the replica's
+// own 429 and derived Retry-After are propagated unchanged.
+//
+// POST /solve/batch fans a JSON batch of instances out with bounded
+// intra-batch parallelism, each item individually routed for affinity.
+//
+// Usage:
+//
+//	cspr -replicas http://h1:8344,http://h2:8344 [-addr :8345]
+//	     [-vnodes 64] [-poll-interval 1s] [-shed-depth 16]
+//	     [-batch-workers N] [-max-batch 256]
+//	     [-read-timeout 1m] [-write-timeout 5m] [-idle-timeout 2m]
+//	     [-drain-timeout 10s]
+//
+// Examples:
+//
+//	cspr -replicas http://10.0.0.1:8344,http://10.0.0.2:8344 &
+//	curl -s -X POST --data-binary @instance.csp \
+//	    'localhost:8345/solve?strategy=portfolio&timeout=5s' | jq .
+//	curl -s -X POST -d '{"items":[{"instance":"vars 2\ndom 2\ncon 0 1 : 0 1\n"}]}' \
+//	    localhost:8345/solve/batch | jq .
+//	curl -s localhost:8345/replicas | jq .
+//	curl -s localhost:8345/events           # one JSON line per routed request
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"csdb/internal/cluster"
+	"csdb/internal/obs"
+)
+
+// routerConfig is everything cspr is parameterized by; flags populate it in
+// main and the lifecycle tests construct it directly.
+type routerConfig struct {
+	addr         string
+	replicas     string
+	vnodes       int
+	pollInterval time.Duration
+	shedDepth    int64
+	batchWorkers int
+	maxBatch     int
+	drainTimeout time.Duration
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
+}
+
+// clusterConfig translates the flag surface into the library Config.
+func (c routerConfig) clusterConfig() (cluster.Config, error) {
+	urls, err := splitReplicas(c.replicas)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	return cluster.Config{
+		Replicas:      urls,
+		VNodes:        c.vnodes,
+		PollInterval:  c.pollInterval,
+		ShedDepth:     c.shedDepth,
+		BatchWorkers:  c.batchWorkers,
+		MaxBatchItems: c.maxBatch,
+	}, nil
+}
+
+// splitReplicas parses the -replicas flag: a comma-separated URL list,
+// whitespace tolerated, at least one entry required.
+func splitReplicas(s string) ([]string, error) {
+	var urls []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			urls = append(urls, part)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cspr: -replicas needs at least one URL (got %q)", s)
+	}
+	return urls, nil
+}
+
+func main() {
+	var cfg routerConfig
+	flag.StringVar(&cfg.addr, "addr", ":8345", "listen address")
+	flag.StringVar(&cfg.replicas, "replicas", "", "comma-separated cspd base URLs (required)")
+	flag.IntVar(&cfg.vnodes, "vnodes", 64, "virtual nodes per replica on the hash ring")
+	flag.DurationVar(&cfg.pollInterval, "poll-interval", time.Second, "replica health/load poll cadence")
+	flag.Int64Var(&cfg.shedDepth, "shed-depth", 16, "replica backlog (queue+inflight) at which new keys are offloaded to the least-loaded node")
+	flag.IntVar(&cfg.batchWorkers, "batch-workers", 0, "max concurrent items per /solve/batch request (0 = GOMAXPROCS, capped at 8)")
+	flag.IntVar(&cfg.maxBatch, "max-batch", 256, "max items in one /solve/batch request")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight proxied requests on shutdown")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", time.Minute, "cap on reading one whole request incl. body; reaps slow-client connections (0 = no limit)")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 5*time.Minute, "cap on handling+writing one response; must exceed the replicas' solve timeouts (0 = no limit)")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "cap on idle keep-alive connections between requests (0 = no limit)")
+	flag.Parse()
+
+	ccfg, err := cfg.clusterConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := cluster.New(ccfg)
+	if err != nil {
+		log.Fatal(fmt.Errorf("cspr: %w", err))
+	}
+
+	// The router is an observability consumer like the daemon: metrics and
+	// wide events on for its lifetime (tracing stays off — spans belong to
+	// the replicas actually running solves).
+	obs.SetEnabled(true)
+	obs.SetEvents(true)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		log.Fatal(fmt.Errorf("cspr: %w", err))
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	log.Printf("cspr: routing /solve /solve/batch for %d replicas on %s "+
+		"(vnodes %d, shed-depth %d, poll %s)",
+		len(ccfg.Replicas), ln.Addr(), ccfg.VNodes, cfg.shedDepth, cfg.pollInterval)
+	if err := runRouter(rt, cfg, ln, sigCh, log.Printf); err != nil {
+		log.Fatal(fmt.Errorf("cspr: %w", err))
+	}
+}

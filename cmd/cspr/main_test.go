@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"csdb/internal/cluster"
+)
+
+func TestSplitReplicas(t *testing.T) {
+	got, err := splitReplicas(" http://a:1 , http://b:2,,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("splitReplicas = %v", got)
+	}
+	if _, err := splitReplicas(" , "); err == nil {
+		t.Fatal("empty replica list must fail")
+	}
+}
+
+func TestClusterConfigTranslation(t *testing.T) {
+	cfg := routerConfig{
+		replicas:     "http://a:1,http://b:2",
+		vnodes:       32,
+		shedDepth:    5,
+		batchWorkers: 3,
+		maxBatch:     10,
+		pollInterval: 250 * time.Millisecond,
+	}
+	ccfg, err := cfg.clusterConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ccfg.Replicas) != 2 || ccfg.VNodes != 32 || ccfg.ShedDepth != 5 ||
+		ccfg.BatchWorkers != 3 || ccfg.MaxBatchItems != 10 ||
+		ccfg.PollInterval != 250*time.Millisecond {
+		t.Fatalf("clusterConfig = %+v", ccfg)
+	}
+	if _, err := (routerConfig{}).clusterConfig(); err == nil {
+		t.Fatal("missing -replicas must fail")
+	}
+}
+
+// fakeNode is a minimal cspd look-alike for the lifecycle test.
+func fakeNode(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"cspd.admit.queue_depth":0,"cspd.solve.inflight":0}`)
+	})
+	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"trace_id":"node-req-1","found":true,"cached":false,"aborted":false}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRouterLifecycle boots the full cspr surface on a real listener,
+// proxies one request through it, then SIGTERMs and expects a clean drain
+// with the poller goroutine gone.
+func TestRouterLifecycle(t *testing.T) {
+	node := fakeNode(t)
+	cfg := routerConfig{
+		replicas:     node.URL,
+		pollInterval: 20 * time.Millisecond,
+		drainTimeout: 2 * time.Second,
+		readTimeout:  time.Minute,
+		writeTimeout: time.Minute,
+		idleTimeout:  time.Minute,
+	}
+	ccfg, err := cfg.clusterConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := cluster.New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	goroutinesBefore := runtime.NumGoroutine()
+
+	sigCh := make(chan os.Signal, 1)
+	exit := make(chan error, 1)
+	go func() { exit <- runRouter(rt, cfg, ln, sigCh, t.Logf) }()
+
+	url := "http://" + ln.Addr().String()
+	var resp *http.Response
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Post(url+"/solve", "text/plain",
+			strings.NewReader("vars 2\ndom 2\ncon 0 1 : 0 1\n"))
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, body)
+	}
+	var nr struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(body, &nr); err != nil || nr.TraceID != "node-req-1" {
+		t.Fatalf("unexpected proxied body %s (err %v)", body, err)
+	}
+
+	sigCh <- syscall.SIGTERM
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("runRouter returned %v, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("runRouter did not exit after SIGTERM")
+	}
+
+	// The poller and serve goroutines must be gone after the drain.
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= goroutinesBefore {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after drain",
+				goroutinesBefore, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Cluster benchmarks, recorded into BENCH_serve.json by `make bench-cluster`.
+//
+// The backends simulate cspd's economics rather than its engine: a cache
+// miss costs engineCost of wall time with at most two concurrent "solves"
+// per node (cspd's admission discipline), a hit is free. That keeps the
+// benchmarks about routing — which replica gets the request and whether its
+// cache already holds the result — instead of about solver speed.
+//
+// BenchmarkClusterQPS: aggregate throughput against replica count. Eight
+// concurrent clients push uncacheable work through one router; per-node
+// capacity is 2/engineCost solves per second, so ns/op should fall roughly
+// linearly as replicas are added until the router's own CPU floor.
+//
+// BenchmarkClusterAffinity vs BenchmarkClusterRandom: what consistent-hash
+// routing buys. Backend caches hold one replica's consistent-hash share of
+// the working set but not the whole set. Affinity routing partitions the
+// keyspace so steady state is all cache hits; random (round-robin) routing
+// makes every backend see every key, so bounded caches keep missing and the
+// engine cost never amortizes away.
+
+// engineCost is the simulated per-miss solve time. It is deliberately much
+// larger than one HTTP hop so the benches measure routing policy, not the
+// HTTP stack.
+const engineCost = 20 * time.Millisecond
+
+// benchClient returns a client whose pool matches bench parallelism; the
+// stock 2-idle-conns-per-host default would serialize on the TCP layer and
+// measure connection churn instead of routing.
+func benchClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 256
+	return &http.Client{Transport: tr}
+}
+
+func benchPost(b *testing.B, client *http.Client, url, body string) {
+	resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func BenchmarkClusterQPS(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			rt, backends := testCluster(b, n, func(c *Config) { c.PollInterval = time.Hour })
+			for _, bk := range backends {
+				bk.maxEntries = 1 // effectively uncached: every request costs engine time
+				bk.solveDelay = engineCost
+				bk.gate = make(chan struct{}, 2)
+			}
+			ts := routerServer(b, rt)
+			client := benchClient()
+			var ctr atomic.Int64
+			// Force real client concurrency even on one CPU: the backends
+			// sleep, they do not compute, so eight in-flight requests are what
+			// exposes per-replica capacity.
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(ctr.Add(1))
+					benchPost(b, client, ts.URL+"/solve", clusterInstance(i))
+				}
+			})
+		})
+	}
+}
+
+// benchWorkingSet is sized so one replica's consistent-hash share (~1/3 of
+// it, imbalance included) fits a backend cache but the full set does not.
+// It is co-prime with the replica count: with a multiple of 3, round-robin
+// spraying would send key i to backend i%3 every time — accidental perfect
+// affinity that would erase the very effect the control measures.
+const benchWorkingSet = 25
+
+func benchCacheBackends(backends []*backend) {
+	for _, bk := range backends {
+		bk.maxEntries = 16 // holds any one replica's share; not the whole set
+		bk.solveDelay = engineCost
+	}
+}
+
+func BenchmarkClusterAffinity(b *testing.B) {
+	rt, backends := testCluster(b, 3, func(c *Config) { c.PollInterval = time.Hour })
+	benchCacheBackends(backends)
+	ts := routerServer(b, rt)
+	client := benchClient()
+	for i := 0; i < benchWorkingSet; i++ {
+		benchPost(b, client, ts.URL+"/solve", clusterInstance(i)) // warm each home
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, client, ts.URL+"/solve", clusterInstance(i%benchWorkingSet))
+	}
+	b.StopTimer()
+	var runs int64
+	for _, bk := range backends {
+		runs += bk.engineRuns.Load()
+	}
+	b.ReportMetric(float64(runs-benchWorkingSet)/float64(b.N), "miss/op")
+}
+
+// BenchmarkClusterRandom is the control: same backends, same working set,
+// but requests sprayed round-robin directly at the replicas — the routing a
+// plain load balancer would do.
+func BenchmarkClusterRandom(b *testing.B) {
+	backends := make([]*backend, 3)
+	urls := make([]string, len(backends))
+	for i := range backends {
+		backends[i] = newBackend(b, fmt.Sprintf("node%d", i))
+	}
+	benchCacheBackends(backends)
+	for i, bk := range backends {
+		urls[i] = bk.ts.URL + "/solve"
+	}
+	client := benchClient()
+	for i := 0; i < benchWorkingSet; i++ {
+		benchPost(b, client, urls[i%len(urls)], clusterInstance(i)) // same warm budget
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, client, urls[i%len(urls)], clusterInstance(i%benchWorkingSet))
+	}
+	b.StopTimer()
+	var runs int64
+	for _, bk := range backends {
+		runs += bk.engineRuns.Load()
+	}
+	b.ReportMetric(float64(runs-benchWorkingSet)/float64(b.N), "miss/op")
+}

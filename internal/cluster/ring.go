@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over a fixed replica set with virtual
+// nodes. Each replica owns vnodes points on the uint64 ring (the FNV-1a
+// hashes of "url#k"); a key is served by the replica owning the first point
+// clockwise from the key's hash. Virtual nodes make the per-replica keyspace
+// shares near-uniform and spread a dead replica's keys across all survivors.
+//
+// The ring is immutable after construction — membership changes are a
+// restart-with-new-flags operation for now — so lookups need no locking.
+type Ring struct {
+	urls   []string
+	hashes []uint64 // sorted ring points
+	owner  []int    // owner[i] = replica index of hashes[i]
+}
+
+// NewRing builds a ring with the given replica base URLs and virtual-node
+// count per replica (vnodes < 1 is clamped to 1).
+func NewRing(urls []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Ring{
+		urls:   append([]string(nil), urls...),
+		hashes: make([]uint64, 0, len(urls)*vnodes),
+		owner:  make([]int, 0, len(urls)*vnodes),
+	}
+	type point struct {
+		h     uint64
+		owner int
+	}
+	points := make([]point, 0, len(urls)*vnodes)
+	for i, u := range urls {
+		for k := 0; k < vnodes; k++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", u, k)
+			points = append(points, point{mix64(h.Sum64()), i})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].h != points[b].h {
+			return points[a].h < points[b].h
+		}
+		return points[a].owner < points[b].owner
+	})
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.h)
+		r.owner = append(r.owner, p.owner)
+	}
+	return r
+}
+
+// mix64 is the murmur3 finalizer. Raw FNV-1a hashes of vnode strings that
+// differ only in their last few bytes clump badly on the ring (measured: a
+// 4×64-vnode ring gave one replica 49% of the keyspace and another 8%); the
+// finalizer's avalanche spreads them to near-uniform shares.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Replicas returns the number of replicas on the ring.
+func (r *Ring) Replicas() int { return len(r.urls) }
+
+// URL returns replica i's base URL.
+func (r *Ring) URL(i int) string { return r.urls[i] }
+
+// Primary returns the replica owning key h: the owner of the first ring
+// point at or clockwise after h.
+func (r *Ring) Primary(h uint64) int {
+	if len(r.hashes) == 0 {
+		return -1
+	}
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owner[i]
+}
+
+// Order returns every replica index exactly once, in ring order starting
+// from key h's primary: the failover sequence. Walking clockwise past the
+// primary's point yields the replica that would own h if the primary died,
+// then the next, and so on.
+func (r *Ring) Order(h uint64) []int {
+	n := len(r.urls)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	seen := make([]bool, n)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	for k := 0; k < len(r.hashes) && len(out) < n; k++ {
+		o := r.owner[(start+k)%len(r.hashes)]
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	// Degenerate vnode collisions could hide a replica entirely; append any
+	// stragglers in index order so Order is always a full permutation.
+	for o := 0; o < n; o++ {
+		if !seen[o] {
+			out = append(out, o)
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPrimaryMatchesOrder(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := NewRing(urls, 64)
+	if r.Replicas() != 3 {
+		t.Fatalf("Replicas() = %d, want 3", r.Replicas())
+	}
+	for h := uint64(0); h < 10000; h += 97 {
+		order := r.Order(h)
+		if len(order) != 3 {
+			t.Fatalf("Order(%d) has %d entries, want 3", h, len(order))
+		}
+		seen := map[int]bool{}
+		for _, o := range order {
+			if o < 0 || o >= 3 || seen[o] {
+				t.Fatalf("Order(%d) = %v is not a permutation", h, order)
+			}
+			seen[o] = true
+		}
+		if p := r.Primary(h); p != order[0] {
+			t.Fatalf("Primary(%d) = %d but Order starts with %d", h, p, order[0])
+		}
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1, r2 := NewRing(urls, 32), NewRing(urls, 32)
+	for h := uint64(1); h < 1<<20; h *= 3 {
+		if r1.Primary(h) != r2.Primary(h) {
+			t.Fatalf("two rings over the same replicas disagree on key %d", h)
+		}
+	}
+}
+
+// TestRingBalance checks that virtual nodes spread the keyspace: with 64
+// vnodes per replica, no replica's share of 10k uniform keys should be wildly
+// off 1/n (we allow a generous [half, double] band — the point is to catch a
+// broken ring, not to certify perfect uniformity).
+func TestRingBalance(t *testing.T) {
+	n := 4
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://replica-%d:8344", i)
+	}
+	r := NewRing(urls, 64)
+	counts := make([]int, n)
+	const keys = 10000
+	for k := 0; k < keys; k++ {
+		// A cheap uniform-ish key sequence (splitmix-style scramble).
+		h := uint64(k) * 0x9e3779b97f4a7c15
+		h ^= h >> 31
+		counts[r.Primary(h)]++
+	}
+	want := keys / n
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("replica %d owns %d of %d keys (expected near %d): %v", i, c, keys, want, counts)
+		}
+	}
+}
+
+// TestRingFailoverSuccessor pins the failover semantics: for any key, the
+// second entry of Order is where the key would land if its primary left the
+// ring — failover goes to the node that would own the key anyway.
+func TestRingFailoverSuccessor(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	full := NewRing(urls, 64)
+	for h := uint64(5); h < 1<<30; h *= 7 {
+		order := full.Order(h)
+		// Rebuild the ring without the primary; same vnode hashes for the
+		// survivors, so the key's new owner is the old ring's next candidate.
+		survivors := make([]string, 0, 3)
+		for i, u := range urls {
+			if i != order[0] {
+				survivors = append(survivors, u)
+			}
+		}
+		reduced := NewRing(survivors, 64)
+		if got, want := reduced.URL(reduced.Primary(h)), urls[order[1]]; got != want {
+			t.Fatalf("key %d: reduced ring owner %s, Order[1] %s", h, got, want)
+		}
+	}
+}
+
+func TestRingVnodesClamped(t *testing.T) {
+	r := NewRing([]string{"http://a:1"}, 0)
+	if r.Primary(42) != 0 {
+		t.Fatal("single-replica ring must route everything to replica 0")
+	}
+	if len(r.Order(42)) != 1 {
+		t.Fatal("single-replica Order must have one entry")
+	}
+}

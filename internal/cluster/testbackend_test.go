@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csdb/internal/cspio"
+	"csdb/internal/obs"
+)
+
+// backend is an in-process cspd stand-in for cluster tests: the real parse
+// and canonical-hash path, a real result cache keyed like the daemon's
+// (hash + strategy), a counted fake engine, and a settable reported queue
+// depth. cmd/cspd itself is package main, so the cluster tests exercise the
+// contract (the HTTP surface) rather than the binary.
+type backend struct {
+	name string
+	ts   *httptest.Server
+
+	mu    sync.Mutex
+	cache map[string][]byte
+
+	// Bench knobs (set before traffic): maxEntries bounds the result cache
+	// (0 = unbounded) so routing policies with poor affinity keep missing;
+	// solveDelay is the simulated engine cost per miss; gate bounds
+	// concurrent "engine" runs like cspd's admission semaphore.
+	maxEntries int
+	solveDelay time.Duration
+	gate       chan struct{}
+
+	engineRuns atomic.Int64 // cache misses that "ran the engine"
+	served     atomic.Int64 // total /solve requests answered
+	queueDepth atomic.Int64 // reported via /metrics?format=json
+	inflight   atomic.Int64 // reported via /metrics?format=json
+	shedding   atomic.Bool  // answer every /solve with 429
+	failing    atomic.Bool  // answer every /solve with 500
+	reqID      atomic.Uint64
+}
+
+func newBackend(t testing.TB, name string) *backend {
+	t.Helper()
+	b := &backend{name: name, cache: make(map[string][]byte)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", b.handleSolve)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") != "json" {
+			http.Error(w, "prom text not served by the test backend", http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int64{
+			"cspd.admit.queue_depth": b.queueDepth.Load(),
+			"cspd.solve.inflight":    b.inflight.Load(),
+		})
+	})
+	b.ts = httptest.NewServer(mux)
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+func (b *backend) handleSolve(w http.ResponseWriter, r *http.Request) {
+	b.served.Add(1)
+	if b.shedding.Load() {
+		w.Header().Set("Retry-After", "3")
+		http.Error(w, "solver at capacity", http.StatusTooManyRequests)
+		return
+	}
+	if b.failing.Load() {
+		http.Error(w, "backend exploded", http.StatusInternalServerError)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read", http.StatusBadRequest)
+		return
+	}
+	inst, err := cspio.Parse(bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, "parse: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	strategy := r.URL.Query().Get("strategy")
+	if strategy == "" {
+		strategy = "portfolio"
+	}
+	key := fmt.Sprintf("%x|%s", cspio.CanonicalHash(inst), strategy)
+	traceID := fmt.Sprintf("%s-req-%d", b.name, b.reqID.Add(1))
+
+	b.mu.Lock()
+	_, hit := b.cache[key]
+	if !hit {
+		if b.maxEntries > 0 && len(b.cache) >= b.maxEntries {
+			for k := range b.cache {
+				delete(b.cache, k)
+				break
+			}
+		}
+		b.cache[key] = body
+	}
+	b.mu.Unlock()
+	if !hit {
+		b.engineRuns.Add(1)
+		if b.gate != nil {
+			b.gate <- struct{}{}
+		}
+		if b.solveDelay > 0 {
+			time.Sleep(b.solveDelay)
+		}
+		if b.gate != nil {
+			<-b.gate
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"trace_id": traceID,
+		"strategy": strategy,
+		"cached":   hit,
+		"found":    true,
+		"aborted":  false,
+		"wall_ns":  1,
+	})
+}
+
+// testCluster spins up n backends and a started router in front of them.
+func testCluster(t testing.TB, n int, tune func(*Config)) (*Router, []*backend) {
+	t.Helper()
+	backends := make([]*backend, n)
+	urls := make([]string, n)
+	for i := range backends {
+		backends[i] = newBackend(t, fmt.Sprintf("node%d", i))
+		urls[i] = backends[i].ts.URL
+	}
+	cfg := Config{Replicas: urls, PollInterval: 50 * time.Millisecond}
+	if tune != nil {
+		tune(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	rt.Start(ctx)
+	return rt, backends
+}
+
+// routerServer exposes a router over httptest.
+func routerServer(t testing.TB, rt *Router) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(rt.Mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// withClusterObs enables the obs layers for a test and restores them after,
+// starting and ending with drained rings (same idiom as cmd/cspd's tests).
+func withClusterObs(t *testing.T) {
+	t.Helper()
+	prevEnabled, prevEvents := obs.Enabled(), obs.EventsActive()
+	obs.SetEnabled(true)
+	obs.SetEvents(true)
+	obs.DefaultEvents().Drain()
+	t.Cleanup(func() {
+		obs.DefaultEvents().Drain()
+		obs.SetEnabled(prevEnabled)
+		obs.SetEvents(prevEvents)
+	})
+}
+
+// clusterInstance generates structurally distinct (hence distinctly hashed)
+// satisfiable instances.
+func clusterInstance(i int) string {
+	return fmt.Sprintf("vars 2\ndom 32\ncon 0 1 : %d %d\n", i%32, (i+1)%32)
+}
+
+// postRouter posts one instance through the router and returns the reply.
+func postRouter(t *testing.T, ts *httptest.Server, query, body string) (*http.Response, []byte) {
+	t.Helper()
+	u := ts.URL + "/solve"
+	if query != "" {
+		u += "?" + query
+	}
+	resp, err := http.Post(u, "text/plain", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

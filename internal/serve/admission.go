@@ -23,6 +23,11 @@ type Admission struct {
 	sem      chan struct{}
 	maxQueue int64
 	queued   atomic.Int64
+	// waitEWMA tracks the recent per-acquisition queue wait (ns) as an
+	// exponentially weighted moving average (new = (3·old + sample)/4),
+	// updated once per queued acquisition. It feeds EstimateWait, which the
+	// daemon turns into an honest Retry-After on the shed path.
+	waitEWMA atomic.Int64
 }
 
 // NewAdmission returns a gate with the given bounds. maxInflight <= 0 means
@@ -67,6 +72,7 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 		a.queued.Add(-1)
 		obsQueueDepth.Add(-1)
 		wait := time.Since(start).Nanoseconds()
+		a.noteWait(wait)
 		obsQueueWait.Observe(wait)
 		obsWaitNs.Observe(wait, "queued")
 	}()
@@ -79,6 +85,30 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 }
 
 func (a *Admission) release() { <-a.sem }
+
+// noteWait folds one queued-acquisition wait into the EWMA. The load/store
+// pair is deliberately not a CAS loop: concurrent updates may drop a sample,
+// which is harmless for a smoothed estimate and keeps the queued path cheap.
+func (a *Admission) noteWait(ns int64) {
+	prev := a.waitEWMA.Load()
+	if prev == 0 {
+		a.waitEWMA.Store(ns)
+		return
+	}
+	a.waitEWMA.Store((3*prev + ns) / 4)
+}
+
+// EstimateWait predicts how long a caller shed right now would have had to
+// wait for a slot: the recent per-acquisition queue wait times the line it
+// would have stood behind (current queue depth plus itself). Zero when the
+// gate is unlimited or nothing has ever queued — the caller should fall back
+// to its own floor.
+func (a *Admission) EstimateWait() time.Duration {
+	if a == nil || a.sem == nil {
+		return 0
+	}
+	return time.Duration(a.waitEWMA.Load() * (a.queued.Load() + 1))
+}
 
 // InFlight returns the number of currently held slots (0 for an unlimited
 // gate, which does not track holders).

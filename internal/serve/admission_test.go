@@ -236,3 +236,70 @@ func TestAdmissionWaitVec(t *testing.T) {
 		t.Fatalf("queued delta = %d, want 1", d)
 	}
 }
+
+// TestAdmissionEstimateWait pins the shed-path backoff estimate: an idle or
+// unlimited gate predicts zero, queued acquisitions feed the EWMA, and the
+// prediction scales with the number of callers already in line.
+func TestAdmissionEstimateWait(t *testing.T) {
+	if (*Admission)(nil).EstimateWait() != 0 {
+		t.Fatal("nil gate predicted a nonzero wait")
+	}
+	if NewAdmission(0, 0).EstimateWait() != 0 {
+		t.Fatal("unlimited gate predicted a nonzero wait")
+	}
+	a := NewAdmission(1, 4)
+	if a.EstimateWait() != 0 {
+		t.Fatal("gate with no queue history predicted a nonzero wait")
+	}
+
+	// Hold the slot so the next acquirers queue for a measurable time.
+	const hold = 20 * time.Millisecond
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		close(done)
+	}()
+	waitFor(t, "acquirer to queue", func() bool { return a.Queued() == 1 })
+	time.Sleep(hold)
+	release()
+	<-done
+
+	est := a.EstimateWait()
+	if est < hold/2 {
+		t.Fatalf("EstimateWait after ~%v queued wait = %v, want >= %v", hold, est, hold/2)
+	}
+
+	// With callers in line, the same EWMA predicts a proportionally longer
+	// wait: depth+1 times the per-acquisition estimate.
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := a.Acquire(context.Background())
+			if err == nil {
+				<-stop
+				r()
+			}
+		}()
+	}
+	waitFor(t, "two queued callers", func() bool { return a.Queued() == 2 })
+	if deep := a.EstimateWait(); deep < 2*est {
+		t.Fatalf("EstimateWait with 2 queued = %v, want >= 2x idle estimate %v", deep, est)
+	}
+	r2()
+	close(stop)
+	wg.Wait()
+}
